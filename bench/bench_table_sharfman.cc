@@ -1,0 +1,78 @@
+// Reproduces the §V-A "Comparison with related work" example: the
+// geometric-monitoring approach of Sharfman et al. [5] adapted to DAB
+// assignment ("WSDAB") produces more stringent DABs than Optimal Refresh,
+// because it enforces n per-item sufficient conditions instead of the one
+// necessary-and-sufficient condition.
+//
+// The paper's worked numbers use f = x*y^4 with threshold B = 50 at
+// V = (40, 20) and equal rates, reporting DABs of (3.16625, 2.5) for [5]
+// versus (3.87, 2.79) for Optimal Refresh. The scanned text garbles the
+// exact function scaling, so this table reports both f = x*y and
+// f = x*y^4 at those values; the reproduction target is the *ordering*
+// (WSDAB strictly tighter, hence more refreshes) rather than the digits.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/baseline.h"
+#include "core/optimal_refresh.h"
+
+namespace polydab::bench {
+namespace {
+
+void Compare(const char* label, const std::string& expr, double qab,
+             VariableRegistry* reg) {
+  auto p = Polynomial::Parse(expr, reg);
+  if (!p.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", p.status().ToString().c_str());
+    return;
+  }
+  PolynomialQuery q{0, *p, qab};
+  const Vector values = {40.0, 20.0};
+  const Vector rates = {1.0, 1.0};
+
+  auto ws = core::SolveWsDab(q, values);
+  auto opt = core::SolveOptimalRefresh(q, values, rates);
+  if (!ws.ok() || !opt.ok()) {
+    std::fprintf(stderr, "%s: solve failed (%s / %s)\n", label,
+                 ws.status().ToString().c_str(),
+                 opt.status().ToString().c_str());
+    return;
+  }
+  auto load = [&rates](const QueryDabs& d) {
+    double s = 0.0;
+    for (size_t i = 0; i < d.vars.size(); ++i) {
+      s += rates[static_cast<size_t>(d.vars[i])] / d.primary[i];
+    }
+    return s;
+  };
+
+  Table t({"scheme", "b_x", "b_y", "modeled refreshes/s"});
+  t.AddRow({"WSDAB (per-item, [5]-style)", Fmt(ws->primary[0], 5),
+            Fmt(ws->primary[1], 5), Fmt(load(*ws), 3)});
+  t.AddRow({"Optimal Refresh (this paper)", Fmt(opt->primary[0], 5),
+            Fmt(opt->primary[1], 5), Fmt(load(*opt), 3)});
+  std::printf("--- %s : B = %g at V = (40, 20), equal rates ---\n", label,
+              qab);
+  t.Print();
+  std::printf("\n");
+}
+
+void Run() {
+  std::printf(
+      "=== Section V-A comparison vs Sharfman et al. [5] (adapted) ===\n\n");
+  VariableRegistry reg;
+  Compare("f = x*y", "x*y", 50.0, &reg);
+  Compare("f = x*y^4", "x*y^4", 50.0, &reg);
+  // A larger threshold on the quartic shows the same ordering at DAB
+  // magnitudes closer to the paper's worked example.
+  Compare("f = x*y^4 (B = 1% of f(V))", "x*y^4", 64000.0, &reg);
+}
+
+}  // namespace
+}  // namespace polydab::bench
+
+int main() {
+  polydab::bench::Run();
+  return 0;
+}

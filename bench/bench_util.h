@@ -1,0 +1,101 @@
+#ifndef POLYDAB_BENCH_BENCH_UTIL_H_
+#define POLYDAB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/query_gen.h"
+#include "workload/rate_estimator.h"
+#include "workload/trace.h"
+
+/// \file bench_util.h
+/// Shared scaffolding for the per-figure reproduction harnesses. Each
+/// bench binary regenerates one table/figure of the paper's §V; shapes
+/// (orderings, ratios, crossovers) are the reproduction target, not
+/// absolute numbers (see EXPERIMENTS.md).
+///
+/// Default parameters are scaled down so the whole suite runs in minutes
+/// on a laptop; set REPRO_FULL=1 for the paper's full scale (100 items,
+/// 10 000 s traces, up to 1 000 queries).
+
+namespace polydab::bench {
+
+/// True when the paper-scale run was requested via REPRO_FULL=1.
+inline bool FullScale() {
+  const char* env = std::getenv("REPRO_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Standard experimental universe of §V-A: items, traces and rate
+/// estimates for one data-dynamics shape.
+struct Universe {
+  workload::TraceSet traces;
+  Vector rates;       ///< 1-minute-sampled rate estimates (§V-A)
+  Vector initial;     ///< snapshot at tick 0 (query QABs derive from it)
+};
+
+inline Universe MakeUniverse(workload::TraceKind kind, uint64_t seed,
+                             int num_items = 100, int num_ticks = 0) {
+  if (num_ticks == 0) num_ticks = FullScale() ? 10000 : 2000;
+  Rng rng(seed);
+  workload::TraceSetConfig tc;
+  tc.kind = kind;
+  tc.num_items = num_items;
+  tc.num_ticks = num_ticks;
+  Universe u;
+  u.traces = *workload::GenerateTraceSet(tc, &rng);
+  u.rates = *workload::EstimateRates(u.traces, 60);
+  u.initial = u.traces.Snapshot(0);
+  return u;
+}
+
+/// Query-count sweep used by the multi-query figures.
+inline std::vector<int> QueryCounts() {
+  if (FullScale()) return {200, 400, 600, 800, 1000};
+  return {25, 50, 100, 200};
+}
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      for (size_t c = 0; c < r.size(); ++c) {
+        if (r[c].size() > width[c]) width[c] = r[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      for (size_t c = 0; c < r.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), r[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string Fmt(int64_t v) { return std::to_string(v); }
+
+}  // namespace polydab::bench
+
+#endif  // POLYDAB_BENCH_BENCH_UTIL_H_

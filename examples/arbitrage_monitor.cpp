@@ -1,0 +1,77 @@
+// Arbitrage monitoring (the paper's Query 1(b)): general polynomial
+// queries of the form
+//     buy_side(P1) - sell_side(P2)  :  B
+// have negative coefficients, so no geometric program solves them
+// directly. This example runs both §III-B heuristics -- Half and Half
+// (split the QAB 50/50) and Different Sum (solve P1 + P2 : B) -- through
+// the simulator and prints the comparison behind Figure 8.
+//
+// Usage:  ./build/examples/arbitrage_monitor [num_queries] [trace_secs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/simulation.h"
+#include "workload/query_gen.h"
+#include "workload/rate_estimator.h"
+
+using namespace polydab;
+
+int main(int argc, char** argv) {
+  const int num_queries = argc > 1 ? std::atoi(argv[1]) : 40;
+  const int trace_secs = argc > 2 ? std::atoi(argv[2]) : 1500;
+
+  Rng rng(7777);
+  workload::TraceSetConfig tc;
+  tc.num_items = 100;
+  tc.num_ticks = trace_secs;
+  auto traces = workload::GenerateTraceSet(tc, &rng);
+  auto rates = workload::EstimateRates(*traces, 60);
+
+  // Arbitrage queries whose buy and sell legs price disjoint item sets
+  // (the "independent" case); each tolerates 2% imprecision relative to
+  // P1 + P2 at the start.
+  workload::QueryGenConfig qc;
+  auto queries = workload::GenerateArbitrageQueries(
+      num_queries, qc, traces->Snapshot(0), /*dependent=*/false, &rng);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+
+  // Show one generated query so the shape is concrete.
+  VariableRegistry reg;
+  for (int i = 0; i < 100; ++i) reg.Intern("item" + std::to_string(i));
+  std::printf("Example query: %s\n\n", (*queries)[0].ToString(reg).c_str());
+
+  std::printf("%-22s %10s %10s %10s\n", "heuristic", "refreshes", "recomps",
+              "loss%");
+  for (double mu : {1.0, 5.0}) {
+    for (auto h : {core::GeneralPqHeuristic::kHalfAndHalf,
+                   core::GeneralPqHeuristic::kDifferentSum}) {
+      sim::SimConfig config;
+      config.planner.method = core::AssignmentMethod::kDualDab;
+      config.planner.heuristic = h;
+      config.planner.dual.mu = mu;
+      config.seed = 7;
+      auto m = sim::RunSimulation(*queries, *traces, *rates, config);
+      if (!m.ok()) {
+        std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-13s mu=%-5g %10lld %10lld %10.3f\n",
+                  h == core::GeneralPqHeuristic::kHalfAndHalf
+                      ? "HalfAndHalf"
+                      : "DifferentSum",
+                  mu, static_cast<long long>(m->refreshes),
+                  static_cast<long long>(m->recomputations),
+                  m->mean_fidelity_loss_pct);
+    }
+  }
+
+  std::printf(
+      "\nDifferent Sum sees the whole accuracy budget at once, so it\n"
+      "needs fewer recomputations than the blind 50/50 split -- and the\n"
+      "paper proves it is near-optimal for independent legs (Claim 2).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Tracking a dynamic physical phenomenon (the paper's §I example 2):
+// sensors report points (x_i, y_i) on the perimeter of an approximately
+// circular oil spill; a disaster-management coordinator tracks the
+// spill's squared-radius sum
+//     A = sum_i ((x_i - x0)^2 + (y_i - y0)^2)
+// where the centre (x0, y0) is itself a tracked (drifting) data item.
+// Expanding the squares yields a polynomial with negative cross terms
+// (-2 x_i x0, -2 y_i y0): a genuinely non-linear *general* PQ that the
+// Different Sum heuristic handles.
+//
+// Usage:  ./build/examples/oil_spill [trace_secs]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/simulation.h"
+#include "workload/rate_estimator.h"
+
+using namespace polydab;
+
+int main(int argc, char** argv) {
+  const int trace_secs = argc > 1 ? std::atoi(argv[1]) : 1200;
+  const int kSensors = 6;
+
+  // 1. Build the sensor traces by hand: a spill centred near (50, 60)
+  //    drifting with the current while its radius grows, plus per-sensor
+  //    measurement jitter. Items: x0, y0, then x_i, y_i per sensor.
+  Rng rng(31415);
+  const size_t n_items = 2 + 2 * kSensors;
+  workload::TraceSet traces;
+  traces.num_ticks = trace_secs;
+  traces.traces.assign(n_items, Vector(static_cast<size_t>(trace_secs)));
+  double cx = 50.0, cy = 60.0, radius = 8.0;
+  for (int t = 0; t < trace_secs; ++t) {
+    cx += 0.004 + 0.002 * rng.Gaussian();  // current pushes the spill
+    cy += 0.002 + 0.002 * rng.Gaussian();
+    radius += 0.003 + 0.001 * rng.Gaussian();  // spill keeps spreading
+    if (radius < 1.0) radius = 1.0;
+    traces.traces[0][static_cast<size_t>(t)] = cx;
+    traces.traces[1][static_cast<size_t>(t)] = cy;
+    for (int s = 0; s < kSensors; ++s) {
+      const double theta = 2.0 * M_PI * s / kSensors;
+      const double jitter = 0.02 * rng.Gaussian();
+      traces.traces[static_cast<size_t>(2 + 2 * s)][static_cast<size_t>(t)] =
+          cx + (radius + jitter) * std::cos(theta) + 20.0;  // keep > 0
+      traces.traces[static_cast<size_t>(3 + 2 * s)][static_cast<size_t>(t)] =
+          cy + (radius + jitter) * std::sin(theta) + 20.0;
+    }
+  }
+  // The sensors sit at centre + 20 offset per axis so all values stay
+  // positive; fold the offset into the tracked centre items.
+  for (int t = 0; t < trace_secs; ++t) {
+    traces.traces[0][static_cast<size_t>(t)] += 20.0;
+    traces.traces[1][static_cast<size_t>(t)] += 20.0;
+  }
+
+  // 2. Author the area query: sum over sensors of the squared distance to
+  //    the centre, with a QAB of 2% of its initial value.
+  VariableRegistry reg;
+  const VarId x0 = reg.Intern("x0");
+  const VarId y0 = reg.Intern("y0");
+  Polynomial area;
+  for (int s = 0; s < kSensors; ++s) {
+    const VarId xs = reg.Intern("x" + std::to_string(s));
+    const VarId ys = reg.Intern("y" + std::to_string(s));
+    Polynomial dx = Polynomial::Variable(xs) - Polynomial::Variable(x0);
+    Polynomial dy = Polynomial::Variable(ys) - Polynomial::Variable(y0);
+    area = area + dx * dx + dy * dy;
+  }
+  PolynomialQuery query{0, area, 0.0};
+  query.qab = 0.02 * area.Evaluate(traces.Snapshot(0));
+  std::printf("Tracking spill area proxy over %d sensors; initial value "
+              "%.1f, QAB %.2f\n",
+              kSensors, area.Evaluate(traces.Snapshot(0)), query.qab);
+
+  // 3. Monitor it with the Dual-DAB + Different Sum pipeline.
+  auto rates = workload::EstimateRates(traces, 60);
+  if (!rates.ok()) {
+    std::fprintf(stderr, "%s\n", rates.status().ToString().c_str());
+    return 1;
+  }
+  for (double mu : {1.0, 5.0}) {
+    sim::SimConfig config;
+    config.planner.method = core::AssignmentMethod::kDualDab;
+    config.planner.heuristic = core::GeneralPqHeuristic::kDifferentSum;
+    config.planner.dual.mu = mu;
+    config.num_sources = kSensors + 1;  // each sensor a source + the
+                                        // centre-estimation service
+    config.seed = 7;
+    auto m = sim::RunSimulation({query}, traces, *rates, config);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "mu=%-3g refreshes=%-6lld recomputations=%-5lld fidelity loss "
+        "%.3f%%\n",
+        mu, static_cast<long long>(m->refreshes),
+        static_cast<long long>(m->recomputations),
+        m->mean_fidelity_loss_pct);
+  }
+
+  std::printf(
+      "\nThe sensors only transmit when a coordinate escapes its filter,\n"
+      "yet the coordinator's area estimate honours the 2%% bound for the\nvast majority of the run (losses come from in-flight messages).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Global-portfolio monitoring (the paper's Query 1(a)): a coordinator
+// tracks many queries of the form
+//     sum_k  (shares_k * price_k * fx_rate_k)  :  B
+// over 100 stock-like data items served by 20 sources, end to end through
+// the event-driven simulator. Compares Optimal Refresh with Dual-DAB at
+// several recomputation costs.
+//
+// Usage:  ./build/examples/portfolio_monitor [num_queries] [trace_secs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/simulation.h"
+#include "workload/query_gen.h"
+#include "workload/rate_estimator.h"
+
+using namespace polydab;
+
+int main(int argc, char** argv) {
+  const int num_queries = argc > 1 ? std::atoi(argv[1]) : 50;
+  const int trace_secs = argc > 2 ? std::atoi(argv[2]) : 1500;
+
+  // 1. Synthesize the data universe: 100 trending stock traces, and the
+  //    per-item rate-of-change estimates the planner consumes.
+  Rng rng(2024);
+  workload::TraceSetConfig tc;
+  tc.num_items = 100;
+  tc.num_ticks = trace_secs;
+  auto traces = workload::GenerateTraceSet(tc, &rng);
+  if (!traces.ok()) {
+    std::fprintf(stderr, "%s\n", traces.status().ToString().c_str());
+    return 1;
+  }
+  auto rates = workload::EstimateRates(*traces, 60);
+
+  // 2. Generate portfolio queries under the 80-20 hot-item model; each
+  //    query tolerates 1% imprecision relative to its starting value.
+  workload::QueryGenConfig qc;
+  auto queries = workload::GeneratePortfolioQueries(
+      num_queries, qc, traces->Snapshot(0), &rng);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Monitoring %d portfolio queries over %zu items for %d s\n\n",
+              num_queries, traces->num_items(), trace_secs);
+
+  // 3. Run the push-based protocol under each assignment scheme.
+  struct Scheme {
+    const char* name;
+    core::AssignmentMethod method;
+    double mu;
+  };
+  const Scheme schemes[] = {
+      {"Optimal Refresh", core::AssignmentMethod::kOptimalRefresh, 1.0},
+      {"Dual-DAB mu=1", core::AssignmentMethod::kDualDab, 1.0},
+      {"Dual-DAB mu=5", core::AssignmentMethod::kDualDab, 5.0},
+      {"Dual-DAB mu=10", core::AssignmentMethod::kDualDab, 10.0},
+  };
+  std::printf("%-16s %10s %10s %12s %10s %8s\n", "scheme", "refreshes",
+              "recomps", "dab-changes", "total-cost", "loss%");
+  for (const Scheme& s : schemes) {
+    sim::SimConfig config;
+    config.planner.method = s.method;
+    config.planner.dual.mu = s.mu;
+    config.seed = 7;
+    auto m = sim::RunSimulation(*queries, *traces, *rates, config);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s: %s\n", s.name,
+                   m.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-16s %10lld %10lld %12lld %10.0f %8.3f\n", s.name,
+                static_cast<long long>(m->refreshes),
+                static_cast<long long>(m->recomputations),
+                static_cast<long long>(m->dab_change_messages),
+                m->TotalCost(s.mu), m->mean_fidelity_loss_pct);
+  }
+
+  std::printf(
+      "\nThe Dual-DAB rows trade a few %% more refreshes for orders of\n"
+      "magnitude fewer recomputations -- the paper's Figure 5 in one "
+      "table.\n");
+  return 0;
+}

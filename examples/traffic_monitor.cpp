@@ -1,0 +1,97 @@
+// Linear aggregate queries (the paper's LAQ class, §I-A): network-traffic
+// style monitoring where each query tracks a weighted sum of per-link
+// byte rates, e.g. total ingress of a data center or a customer's billed
+// aggregate. Degree-1 queries have a value-independent condition
+// (sum |w_i| b_i <= B), so their DABs never go stale: zero
+// recomputations, closed-form optima — and when queries share links, the
+// joint GP (SolveMultiLaq) beats merging per-query solutions.
+//
+// Usage:  ./build/examples/traffic_monitor [num_queries] [trace_secs]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/laq.h"
+#include "sim/simulation.h"
+#include "workload/rate_estimator.h"
+
+using namespace polydab;
+
+int main(int argc, char** argv) {
+  const int num_queries = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int trace_secs = argc > 2 ? std::atoi(argv[2]) : 1200;
+  const int kLinks = 30;
+
+  // Per-link byte-rate traces: positive random walks.
+  Rng rng(4242);
+  workload::TraceSetConfig tc;
+  tc.kind = workload::TraceKind::kRandomWalk;
+  tc.num_items = kLinks;
+  tc.num_ticks = trace_secs;
+  auto traces = workload::GenerateTraceSet(tc, &rng);
+  auto rates = workload::EstimateRates(*traces, 60);
+
+  // Aggregation queries over overlapping link subsets; 1% QABs.
+  VariableRegistry reg;
+  std::vector<VarId> links;
+  for (int i = 0; i < kLinks; ++i) {
+    links.push_back(reg.Intern("link" + std::to_string(i)));
+  }
+  std::vector<PolynomialQuery> queries;
+  for (int q = 0; q < num_queries; ++q) {
+    std::vector<Monomial> terms;
+    const int k = 3 + static_cast<int>(rng.UniformInt(0, 5));
+    for (int j = 0; j < k; ++j) {
+      terms.emplace_back(
+          rng.Uniform(1.0, 4.0),
+          std::vector<std::pair<VarId, int>>{
+              {links[static_cast<size_t>(rng.UniformInt(0, kLinks - 1))],
+               1}});
+    }
+    PolynomialQuery query{q, Polynomial(std::move(terms)), 0.0};
+    query.qab = 0.01 * query.p.Evaluate(traces->Snapshot(0));
+    queries.push_back(std::move(query));
+  }
+
+  // 1. Static comparison: joint GP vs per-query closed forms + min merge.
+  auto joint = core::SolveMultiLaq(queries, *rates);
+  Vector merged(static_cast<size_t>(kLinks), 1e300);
+  for (const auto& q : queries) {
+    auto d = core::SolveLaq(q, *rates);
+    if (!d.ok()) continue;
+    for (size_t i = 0; i < d->vars.size(); ++i) {
+      auto& slot = merged[static_cast<size_t>(d->vars[i])];
+      slot = std::min(slot, d->primary[i]);
+    }
+  }
+  double merged_rate = 0.0;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i] < 1e300) merged_rate += (*rates)[i] / merged[i];
+  }
+  if (joint.ok()) {
+    std::printf(
+        "%d LAQs over %d links: modeled refresh load %.2f/s jointly "
+        "optimized vs %.2f/s per-query-merged (%.1f%% saved)\n",
+        num_queries, kLinks, joint->total_rate, merged_rate,
+        100.0 * (merged_rate - joint->total_rate) /
+            std::max(1e-12, merged_rate));
+  }
+
+  // 2. End-to-end: run the push protocol; LAQ plans never recompute.
+  sim::SimConfig config;
+  config.planner.method = core::AssignmentMethod::kDualDab;  // irrelevant
+  config.seed = 7;
+  auto m = sim::RunSimulation(queries, *traces, *rates, config);
+  if (!m.ok()) {
+    std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "simulated %d s: refreshes=%lld recomputations=%lld (always 0 for "
+      "LAQs) fidelity loss %.3f%%\n",
+      trace_secs, static_cast<long long>(m->refreshes),
+      static_cast<long long>(m->recomputations),
+      m->mean_fidelity_loss_pct);
+  return 0;
+}

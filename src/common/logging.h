@@ -1,0 +1,24 @@
+#ifndef POLYDAB_COMMON_LOGGING_H_
+#define POLYDAB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file logging.h
+/// Minimal assertion macros for internal invariants. These are programmer
+/// errors, not recoverable conditions, so they abort (Status/Result is used
+/// for recoverable errors — see status.h).
+
+/// Abort with a message when an internal invariant is violated.
+#define POLYDAB_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "POLYDAB_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                            \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define POLYDAB_DCHECK(cond) POLYDAB_CHECK(cond)
+
+#endif  // POLYDAB_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+#ifndef POLYDAB_COMMON_MATRIX_H_
+#define POLYDAB_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+/// \file matrix.h
+/// Small dense linear-algebra kernel used by the geometric-program solver
+/// (src/gp). The Newton systems there are modest (tens to a few hundred
+/// variables), so a straightforward row-major dense implementation with a
+/// regularized Cholesky factorization is both sufficient and dependable.
+
+namespace polydab {
+
+using Vector = std::vector<double>;
+
+/// Euclidean inner product. Sizes must match.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm(const Vector& v);
+
+/// In-place a += s * b.
+void Axpy(double s, const Vector& b, Vector* a);
+
+/// \brief Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    POLYDAB_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    POLYDAB_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// y = M x.
+  Vector Multiply(const Vector& x) const;
+
+  /// y = Mᵀ x.
+  Vector MultiplyTranspose(const Vector& x) const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// \brief Solve the symmetric positive-definite system A x = b by Cholesky
+/// factorization.
+///
+/// If A is only positive semi-definite (or slightly indefinite from
+/// round-off, common near the boundary of a barrier subproblem), a Tikhonov
+/// ridge `reg * I` is added and the factorization retried with a growing
+/// ridge, up to a bounded number of attempts. Returns kNotConverged if no
+/// ridge in range produces a valid factorization.
+Result<Vector> SolveCholesky(const Matrix& a, const Vector& b,
+                             double reg = 0.0);
+
+}  // namespace polydab
+
+#endif  // POLYDAB_COMMON_MATRIX_H_

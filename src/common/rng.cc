@@ -1,0 +1,19 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace polydab {
+
+double Rng::Pareto(double mean, double shape) {
+  POLYDAB_CHECK(mean > 0.0);
+  POLYDAB_CHECK(shape > 1.0);
+  const double scale = mean * (shape - 1.0) / shape;
+  // Inverse-CDF sampling: X = x_m / U^{1/a}, U ~ Uniform(0,1].
+  double u = std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  if (u <= 0.0) u = 1e-12;
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+}  // namespace polydab

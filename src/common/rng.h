@@ -1,0 +1,61 @@
+#ifndef POLYDAB_COMMON_RNG_H_
+#define POLYDAB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+/// \file rng.h
+/// Seedable random-number utilities shared by workload generation and the
+/// simulator's delay models. All experiments are deterministic given a seed.
+
+namespace polydab {
+
+/// \brief Seedable random source with the distributions the paper's
+/// evaluation methodology needs (uniform weights, Pareto delays, Gaussian
+/// steps for random walks / GBM traces).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// \brief Heavy-tailed Pareto draw with given shape and *mean*.
+  ///
+  /// The paper derives communication and computation delays from heavy
+  /// tailed Pareto distributions parameterized by their mean (§V-A). For
+  /// shape a > 1 and scale x_m, the Pareto mean is a·x_m/(a−1); we invert
+  /// that so callers specify the mean directly. Shape defaults to 2.5,
+  /// heavy-tailed but with finite variance.
+  double Pareto(double mean, double shape = 2.5);
+
+  /// Access to the underlying engine for std:: distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Derive an independent child generator (for per-entity streams).
+  Rng Fork() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace polydab
+
+#endif  // POLYDAB_COMMON_RNG_H_

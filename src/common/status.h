@@ -1,0 +1,117 @@
+#ifndef POLYDAB_COMMON_STATUS_H_
+#define POLYDAB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Arrow/RocksDB-style error handling for polydab. Library code does not
+/// throw; fallible operations return Status or Result<T>.
+
+namespace polydab {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotConverged,   ///< iterative solver failed to reach tolerance
+  kInfeasible,     ///< optimization problem has no feasible point
+  kUnsupported,    ///< valid input outside the implemented feature set
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// One-line rendering, e.g. "InvalidArgument: QAB must be positive".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : payload_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Status of the operation; OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Access the contained value. Undefined if !ok().
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define POLYDAB_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::polydab::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluate a Result-returning expression; bind its value or propagate.
+#define POLYDAB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define POLYDAB_ASSIGN_OR_RETURN(lhs, expr) \
+  POLYDAB_ASSIGN_OR_RETURN_IMPL(            \
+      POLYDAB_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define POLYDAB_CONCAT_INNER_(a, b) a##b
+#define POLYDAB_CONCAT_(a, b) POLYDAB_CONCAT_INNER_(a, b)
+
+}  // namespace polydab
+
+#endif  // POLYDAB_COMMON_STATUS_H_

@@ -1,0 +1,87 @@
+#include "core/baseline.h"
+
+#include <cmath>
+
+#include "core/condition.h"
+
+namespace polydab::core {
+
+namespace {
+
+/// Largest step d such that P(V + d·e_j) − P(V) ≤ budget, by doubling +
+/// bisection (P is monotone increasing in each item over positive data).
+double SolveSingleItemBound(const Polynomial& p, const Vector& values,
+                            VarId item, double budget) {
+  const double base = p.Evaluate(values);
+  auto drift = [&](double d) {
+    Vector shifted = values;
+    shifted[static_cast<size_t>(item)] += d;
+    return p.Evaluate(shifted) - base;
+  };
+  double hi = 1e-6;
+  while (drift(hi) < budget && hi < 1e12) hi *= 2.0;
+  double lo = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (drift(mid) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<QueryDabs> SolveWsDab(const PolynomialQuery& query,
+                             const Vector& values) {
+  POLYDAB_RETURN_NOT_OK(CheckConditionInputs(query.p, values, query.qab));
+  QueryDabs out;
+  out.vars = query.p.Variables();
+  const size_t k = out.vars.size();
+  if (k == 0) {
+    return Status::InvalidArgument("query has no variables");
+  }
+
+  // Step 1: per-item sufficient conditions with an equal QAB split.
+  out.primary.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.primary[i] = SolveSingleItemBound(query.p, values, out.vars[i],
+                                          query.qab / static_cast<double>(k));
+    if (out.primary[i] <= 0.0) {
+      return Status::Internal("per-item bound collapsed to zero");
+    }
+  }
+
+  // Step 2: cross terms are not covered by the per-item split; scale the
+  // whole vector down until the joint worst case respects the QAB.
+  auto joint_drift = [&](double s) {
+    Vector shifted = values;
+    for (size_t i = 0; i < k; ++i) {
+      shifted[static_cast<size_t>(out.vars[i])] += s * out.primary[i];
+    }
+    return query.p.Evaluate(shifted) - query.p.Evaluate(values);
+  };
+  double scale = 1.0;
+  if (joint_drift(1.0) > query.qab) {
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 100; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (joint_drift(mid) <= query.qab) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    scale = lo;
+  }
+  for (double& b : out.primary) b *= scale;
+
+  out.secondary = out.primary;  // mirrors primary; see single_dab
+  out.single_dab = true;
+  out.recompute_rate = 0.0;     // baseline models no rate information
+  return out;
+}
+
+}  // namespace polydab::core

@@ -1,0 +1,58 @@
+#ifndef POLYDAB_CORE_DDM_H_
+#define POLYDAB_CORE_DDM_H_
+
+#include <algorithm>
+
+#include "gp/posynomial.h"
+
+/// \file ddm.h
+/// Data-dynamics models (§III-A.1 / §III-A.5). The ddm only enters the
+/// optimization through the modeled rate of messages caused by a filter of
+/// width w on an item whose estimated rate of change is lambda:
+///   monotonic drift:  lambda / w     refreshes per unit time
+///   random walk:      lambda² / w²   refreshes per unit time (from [4])
+
+namespace polydab::core {
+
+enum class DataDynamicsModel {
+  kMonotonic,
+  kRandomWalk,
+};
+
+/// Smallest rate used in objectives so static items still yield valid
+/// posynomial terms (GP coefficients must be positive).
+inline constexpr double kMinRate = 1e-9;
+
+/// Modeled message rate for filter width \p w under \p ddm.
+inline double MessageRate(DataDynamicsModel ddm, double lambda, double w) {
+  const double l = std::max(lambda, kMinRate);
+  return ddm == DataDynamicsModel::kMonotonic ? l / w : (l * l) / (w * w);
+}
+
+/// Append the objective term for one filter: lambda·w⁻¹ or lambda²·w⁻².
+inline void AddRateTerm(DataDynamicsModel ddm, double lambda, int gp_var,
+                        gp::Posynomial* obj) {
+  const double l = std::max(lambda, kMinRate);
+  if (ddm == DataDynamicsModel::kMonotonic) {
+    obj->AddTerm(l, {{gp_var, -1.0}});
+  } else {
+    obj->AddTerm(l * l, {{gp_var, -2.0}});
+  }
+}
+
+/// Append the constraint rate(lambda, c) ≤ R as a posynomial "≤ 1":
+/// lambda·c⁻¹·R⁻¹ or lambda²·c⁻²·R⁻¹... — see note: for the random walk we
+/// keep R in units of events/time, so the constraint is lambda²·c⁻²·R⁻¹.
+inline void AddRecomputeBound(DataDynamicsModel ddm, double lambda, int c_var,
+                              int r_var, gp::Posynomial* constraint) {
+  const double l = std::max(lambda, kMinRate);
+  if (ddm == DataDynamicsModel::kMonotonic) {
+    constraint->AddTerm(l, {{c_var, -1.0}, {r_var, -1.0}});
+  } else {
+    constraint->AddTerm(l * l, {{c_var, -2.0}, {r_var, -1.0}});
+  }
+}
+
+}  // namespace polydab::core
+
+#endif  // POLYDAB_CORE_DDM_H_

@@ -1,0 +1,95 @@
+#include "core/heuristics.h"
+
+#include <algorithm>
+
+namespace polydab::core {
+
+namespace {
+
+/// Merge two sub-assignments over possibly overlapping variable sets,
+/// taking the tighter bound wherever both assign one (HH's rule for shared
+/// items). Safe because both validity conditions are monotone in (b, c).
+QueryDabs MergeMin(const QueryDabs& a, const QueryDabs& b) {
+  QueryDabs out;
+  std::set_union(a.vars.begin(), a.vars.end(), b.vars.begin(), b.vars.end(),
+                 std::back_inserter(out.vars));
+  out.primary.resize(out.vars.size());
+  out.secondary.resize(out.vars.size());
+  for (size_t i = 0; i < out.vars.size(); ++i) {
+    const int ia = a.IndexOf(out.vars[i]);
+    const int ib = b.IndexOf(out.vars[i]);
+    if (ia >= 0 && ib >= 0) {
+      out.primary[i] = std::min(a.primary[static_cast<size_t>(ia)],
+                                b.primary[static_cast<size_t>(ib)]);
+      out.secondary[i] = std::min(a.secondary[static_cast<size_t>(ia)],
+                                  b.secondary[static_cast<size_t>(ib)]);
+    } else if (ia >= 0) {
+      out.primary[i] = a.primary[static_cast<size_t>(ia)];
+      out.secondary[i] = a.secondary[static_cast<size_t>(ia)];
+    } else {
+      out.primary[i] = b.primary[static_cast<size_t>(ib)];
+      out.secondary[i] = b.secondary[static_cast<size_t>(ib)];
+    }
+  }
+  // Either validity range escaping forces a recomputation, so the modeled
+  // event rates add.
+  out.recompute_rate = a.recompute_rate + b.recompute_rate;
+  return out;
+}
+
+}  // namespace
+
+Result<QueryDabs> SolveGeneralPq(const PolynomialQuery& query,
+                                 GeneralPqHeuristic heuristic,
+                                 const PpqSolver& solve_ppq,
+                                 const QueryDabs* warm) {
+  Polynomial p1, p2;
+  query.p.SplitSigns(&p1, &p2);
+  if (p1.IsZero() && p2.IsZero()) {
+    return Status::InvalidArgument("query polynomial is zero");
+  }
+  if (p2.IsZero() || p2.Degree() == 0) {
+    // Pure PPQ (a constant negative term shifts the value but not the
+    // drift): solve directly.
+    PolynomialQuery q = query;
+    q.p = p1;
+    return solve_ppq(q, warm);
+  }
+  if (p1.IsZero() || p1.Degree() == 0) {
+    // Entirely negative: -P2 drifts exactly as P2 does.
+    PolynomialQuery q = query;
+    q.p = p2;
+    return solve_ppq(q, warm);
+  }
+
+  switch (heuristic) {
+    case GeneralPqHeuristic::kHalfAndHalf: {
+      PolynomialQuery q1{query.id, p1, query.qab / 2.0};
+      PolynomialQuery q2{query.id, p2, query.qab / 2.0};
+      POLYDAB_ASSIGN_OR_RETURN(QueryDabs d1, solve_ppq(q1, nullptr));
+      POLYDAB_ASSIGN_OR_RETURN(QueryDabs d2, solve_ppq(q2, nullptr));
+      return MergeMin(d1, d2);
+    }
+    case GeneralPqHeuristic::kDifferentSum: {
+      // P1 + P2 has exactly the union variable set, so a warm start from a
+      // previous DS solution stays index-compatible.
+      PolynomialQuery sum{query.id, p1 + p2, query.qab};
+      return solve_ppq(sum, warm);
+    }
+  }
+  return Status::Internal("unknown heuristic");
+}
+
+Result<QueryDabs> SolveGeneralPq(const PolynomialQuery& query,
+                                 const Vector& values, const Vector& rates,
+                                 GeneralPqHeuristic heuristic,
+                                 const DualDabParams& params,
+                                 const QueryDabs* warm) {
+  PpqSolver dual = [&values, &rates, &params](const PolynomialQuery& q,
+                                              const QueryDabs* w) {
+    return SolveDualDab(q, values, rates, params, w);
+  };
+  return SolveGeneralPq(query, heuristic, dual, warm);
+}
+
+}  // namespace polydab::core

@@ -1,0 +1,60 @@
+#ifndef POLYDAB_CORE_HEURISTICS_H_
+#define POLYDAB_CORE_HEURISTICS_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "core/dual_dab.h"
+#include "core/query.h"
+
+/// \file heuristics.h
+/// §III-B: DAB assignment for *general* polynomial queries (mixed-sign
+/// coefficients), where no efficient optimal technique is known. Both
+/// heuristics rest on the key observation that P = P1 − P2 with P1, P2
+/// positive-coefficient (poly/Polynomial::SplitSigns):
+///
+/// * Half and Half (HH): solve P1 : B/2 and P2 : B/2 independently; a data
+///   item appearing in both takes the smaller bound. Correct because the
+///   query can only drift past B if one sub-polynomial drifted past B/2.
+///
+/// * Different Sum (DS): solve the single PPQ  P1 + P2 : B  and use its
+///   bounds. Correct because the dual-DAB condition for P1+P2 dominates
+///   the one for P1−P2 term-by-term (Claim 1), and provably near-optimal
+///   for independent sub-polynomials with small DABs (Claim 2, factor
+///   1/(1−α)^d under the monotonic ddm).
+
+namespace polydab::core {
+
+enum class GeneralPqHeuristic {
+  kHalfAndHalf,
+  kDifferentSum,
+};
+
+/// Sub-solver for positive-coefficient queries, e.g. a bound SolveDualDab
+/// or SolveOptimalRefresh. The warm pointer may be null.
+using PpqSolver = std::function<Result<QueryDabs>(const PolynomialQuery&,
+                                                  const QueryDabs* warm)>;
+
+/// \brief Assign DABs to general query \p query using \p heuristic with an
+/// arbitrary PPQ sub-solver (dual- or single-DAB).
+///
+/// Works for PPQs too (the negative part is empty and the query is solved
+/// directly). The returned QueryDabs covers the union of variables; under
+/// HH the modeled recompute rate is the sum of the two sub-assignments'
+/// rates, since a violation of either validity range forces recomputation.
+Result<QueryDabs> SolveGeneralPq(const PolynomialQuery& query,
+                                 GeneralPqHeuristic heuristic,
+                                 const PpqSolver& solve_ppq,
+                                 const QueryDabs* warm = nullptr);
+
+/// Convenience overload using the Dual-DAB sub-solver (§III-B as evaluated
+/// in the paper's Figure 8).
+Result<QueryDabs> SolveGeneralPq(const PolynomialQuery& query,
+                                 const Vector& values, const Vector& rates,
+                                 GeneralPqHeuristic heuristic,
+                                 const DualDabParams& params = DualDabParams(),
+                                 const QueryDabs* warm = nullptr);
+
+}  // namespace polydab::core
+
+#endif  // POLYDAB_CORE_HEURISTICS_H_

@@ -1,0 +1,115 @@
+#include "core/laq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gp/gp_solver.h"
+
+namespace polydab::core {
+
+Result<QueryDabs> SolveLaq(const PolynomialQuery& query, const Vector& rates,
+                           DataDynamicsModel ddm) {
+  if (query.qab <= 0.0) {
+    return Status::InvalidArgument("QAB must be positive");
+  }
+  if (query.p.Degree() > 1) {
+    return Status::InvalidArgument(
+        "SolveLaq requires a degree-1 query; use the PQ solvers otherwise");
+  }
+  QueryDabs out;
+  out.vars = query.p.Variables();
+  const size_t k = out.vars.size();
+  if (k == 0) {
+    return Status::InvalidArgument("query has no variables");
+  }
+
+  // Collect |w_i| per variable (canonical form has one term per variable).
+  Vector weights(k, 0.0);
+  for (const Monomial& t : query.p.terms()) {
+    if (t.powers().empty()) continue;  // constant offset: no drift
+    for (size_t i = 0; i < k; ++i) {
+      if (t.powers()[0].first == out.vars[i]) {
+        weights[i] = std::fabs(t.coef());
+        break;
+      }
+    }
+  }
+
+  out.primary.resize(k);
+  double denom = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double lambda =
+        std::max(rates[static_cast<size_t>(out.vars[i])], kMinRate);
+    const double shape =
+        ddm == DataDynamicsModel::kMonotonic
+            ? std::sqrt(lambda / weights[i])
+            : std::cbrt(lambda * lambda / weights[i]);
+    out.primary[i] = shape;
+    denom += weights[i] * shape;
+  }
+  const double scale = query.qab / denom;
+  for (double& b : out.primary) b *= scale;
+
+  out.secondary = out.primary;
+  out.recompute_rate = 0.0;
+  out.never_stale = true;  // the linear condition is value-independent
+  return out;
+}
+
+
+Result<MultiLaqSolution> SolveMultiLaq(
+    const std::vector<PolynomialQuery>& queries, const Vector& rates,
+    DataDynamicsModel ddm) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("need at least one query");
+  }
+  std::set<VarId> var_set;
+  for (const PolynomialQuery& q : queries) {
+    if (q.qab <= 0.0) {
+      return Status::InvalidArgument("QAB must be positive");
+    }
+    if (q.p.Degree() > 1) {
+      return Status::InvalidArgument("SolveMultiLaq requires degree-1 queries");
+    }
+    for (VarId v : q.p.Variables()) var_set.insert(v);
+  }
+  MultiLaqSolution out;
+  out.vars.assign(var_set.begin(), var_set.end());
+  if (out.vars.empty()) {
+    return Status::InvalidArgument("queries reference no variables");
+  }
+  auto index_of = [&out](VarId v) {
+    return static_cast<int>(
+        std::lower_bound(out.vars.begin(), out.vars.end(), v) -
+        out.vars.begin());
+  };
+
+  gp::GpProblem gp_problem;
+  gp_problem.num_vars = static_cast<int>(out.vars.size());
+  for (size_t i = 0; i < out.vars.size(); ++i) {
+    AddRateTerm(ddm, rates[static_cast<size_t>(out.vars[i])],
+                static_cast<int>(i), &gp_problem.objective);
+  }
+  // One linear constraint per query: sum |w_j| b_j / B <= 1.
+  for (const PolynomialQuery& q : queries) {
+    gp::Posynomial cond;
+    for (const Monomial& t : q.p.terms()) {
+      if (t.powers().empty()) continue;  // constant offset: no drift
+      cond.AddTerm(std::fabs(t.coef()) / q.qab,
+                   {{index_of(t.powers()[0].first), 1.0}});
+    }
+    if (!cond.empty()) gp_problem.constraints.push_back(std::move(cond));
+  }
+
+  POLYDAB_ASSIGN_OR_RETURN(gp::GpSolution sol, SolveGp(gp_problem));
+  out.dabs = sol.x;
+  out.total_rate = 0.0;
+  for (size_t i = 0; i < out.vars.size(); ++i) {
+    out.total_rate += MessageRate(
+        ddm, rates[static_cast<size_t>(out.vars[i])], out.dabs[i]);
+  }
+  return out;
+}
+
+}  // namespace polydab::core

@@ -1,0 +1,49 @@
+#ifndef POLYDAB_CORE_LAQ_H_
+#define POLYDAB_CORE_LAQ_H_
+
+#include "common/status.h"
+#include "core/ddm.h"
+#include "core/query.h"
+
+/// \file laq.h
+/// Linear aggregate queries Σ w_i x_i : B (degree 1). The paper treats
+/// them separately (§I-A; full treatment in its companion technical report
+/// [1]) because the correctness condition Σ |w_i| b_i ≤ B does not depend
+/// on current data values — a valid assignment never goes stale, so no
+/// recomputations are needed and the refresh-optimal assignment has a
+/// closed form by Lagrange multipliers:
+///
+///   monotonic ddm  (min Σ λ_i/b_i):    b_i ∝ sqrt(λ_i / |w_i|)
+///   random walk    (min Σ λ_i²/b_i²):  b_i ∝ (λ_i² / |w_i|)^(1/3)
+///
+/// scaled so that Σ |w_i| b_i = B exactly.
+
+namespace polydab::core {
+
+/// \brief Closed-form refresh-optimal DABs for LAQ \p query. Negative
+/// weights are allowed (the drift bound uses |w_i|). The result has
+/// secondary == primary and recompute_rate == 0: the assignment never
+/// needs recomputation.
+Result<QueryDabs> SolveLaq(const PolynomialQuery& query, const Vector& rates,
+                           DataDynamicsModel ddm = DataDynamicsModel::kMonotonic);
+
+/// \brief Jointly optimal DABs for *multiple* LAQs sharing data items:
+///   minimize   Σ_i rate(λ_i, b_i)
+///   subject to Σ_j |w_qj| b_j ≤ B_q  for every query q.
+/// With shared items the per-query closed form no longer applies (the
+/// EQI-style min-merge of per-query solutions is feasible but
+/// sub-optimal); the joint program is still a GP and is solved exactly.
+/// Returns the per-item DAB aligned with the union of query variables.
+struct MultiLaqSolution {
+  std::vector<VarId> vars;  ///< union of query variables, sorted
+  Vector dabs;              ///< jointly optimal per-item filter widths
+  double total_rate = 0.0;  ///< modeled refresh load Σ rate(λ_i, b_i)
+};
+
+Result<MultiLaqSolution> SolveMultiLaq(
+    const std::vector<PolynomialQuery>& queries, const Vector& rates,
+    DataDynamicsModel ddm = DataDynamicsModel::kMonotonic);
+
+}  // namespace polydab::core
+
+#endif  // POLYDAB_CORE_LAQ_H_

@@ -1,0 +1,54 @@
+#ifndef POLYDAB_CORE_MULTI_QUERY_H_
+#define POLYDAB_CORE_MULTI_QUERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/dual_dab.h"
+#include "core/query.h"
+
+/// \file multi_query.h
+/// §IV: handling many PQs at one coordinator.
+///
+/// * EQI ("Each Query Independently") solves each query on its own and the
+///   coordinator installs, per data item, the *minimum* primary DAB across
+///   queries. Each query keeps its own secondary DABs for validity
+///   checking. Tightening a primary below a query's solved value preserves
+///   that query's correctness (the condition is monotone in b), so EQI is
+///   safe, merely sub-optimal.
+///
+/// * AAO ("All At Once") solves one joint geometric program: a single
+///   primary DAB per item shared by all queries, one secondary DAB per
+///   <query, item> pair, and one recompute rate R_q per query. Optimal,
+///   but the variable count grows with the number of queries, which is why
+///   the paper (and this library) uses it only for small query sets.
+
+namespace polydab::core {
+
+/// Joint AAO solution.
+struct AaoSolution {
+  std::vector<VarId> vars;   ///< union of all query variables, sorted
+  Vector item_primary;       ///< shared per-item primary DABs (b), by vars
+  std::vector<QueryDabs> per_query;  ///< per-query view: shared b, own c, R
+};
+
+/// \brief Per-item minimum primary DAB across independently solved queries
+/// (the EQI merge). Items not referenced by any query get +infinity (no
+/// filter installed).
+Vector MergeMinPrimary(const std::vector<QueryDabs>& assignments,
+                       size_t num_items);
+
+/// \brief Solve the joint AAO geometric program for positive-coefficient
+/// queries \p queries (§IV). All queries must be PPQs with ≥1 variable.
+///
+/// \p warm optionally supplies a previous joint solution for the same
+/// query set (e.g. the last periodic AAO-T solve, Figure 7); it is used
+/// to warm-start the GP when its shape matches.
+Result<AaoSolution> SolveAao(const std::vector<PolynomialQuery>& queries,
+                             const Vector& values, const Vector& rates,
+                             const DualDabParams& params = DualDabParams(),
+                             const AaoSolution* warm = nullptr);
+
+}  // namespace polydab::core
+
+#endif  // POLYDAB_CORE_MULTI_QUERY_H_

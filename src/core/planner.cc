@@ -1,0 +1,111 @@
+#include "core/planner.h"
+
+namespace polydab::core {
+
+namespace {
+
+/// PPQ sub-solver for the configured assignment method.
+PpqSolver MakeSubSolver(const Vector& values, const Vector& rates,
+                        const PlannerConfig& config) {
+  switch (config.method) {
+    case AssignmentMethod::kOptimalRefresh:
+      return [&values, &rates, &config](const PolynomialQuery& q,
+                                        const QueryDabs* w) {
+        return SolveOptimalRefresh(q, values, rates, config.dual.ddm,
+                                   config.dual.solver, w);
+      };
+    case AssignmentMethod::kDualDab:
+      return [&values, &rates, &config](const PolynomialQuery& q,
+                                        const QueryDabs* w) {
+        return SolveDualDab(q, values, rates, config.dual, w);
+      };
+    case AssignmentMethod::kWsDab:
+      return [&values](const PolynomialQuery& q, const QueryDabs*) {
+        return SolveWsDab(q, values);
+      };
+  }
+  return nullptr;
+}
+
+/// Decompose a general query into the sub-queries its heuristic solves:
+/// HH -> {P1 : B/2, P2 : B/2}; DS -> {P1+P2 : B}; pure-sign queries and
+/// PPQs -> themselves.
+Result<std::vector<PolynomialQuery>> SplitSubqueries(
+    const PolynomialQuery& query, GeneralPqHeuristic heuristic) {
+  Polynomial p1, p2;
+  query.p.SplitSigns(&p1, &p2);
+  if (p1.IsZero() && p2.IsZero()) {
+    return Status::InvalidArgument("query polynomial is zero");
+  }
+  if (p2.IsZero() || p2.Degree() == 0) {
+    PolynomialQuery q = query;
+    q.p = p1;
+    return std::vector<PolynomialQuery>{q};
+  }
+  if (p1.IsZero() || p1.Degree() == 0) {
+    PolynomialQuery q = query;
+    q.p = p2;  // -P2 drifts exactly as P2
+    return std::vector<PolynomialQuery>{q};
+  }
+  switch (heuristic) {
+    case GeneralPqHeuristic::kHalfAndHalf:
+      return std::vector<PolynomialQuery>{
+          {query.id, p1, query.qab / 2.0},
+          {query.id, p2, query.qab / 2.0}};
+    case GeneralPqHeuristic::kDifferentSum:
+      return std::vector<PolynomialQuery>{{query.id, p1 + p2, query.qab}};
+  }
+  return Status::Internal("unknown heuristic");
+}
+
+}  // namespace
+
+Result<QueryDabs> PlanQuery(const PolynomialQuery& query,
+                            const Vector& values, const Vector& rates,
+                            const PlannerConfig& config,
+                            const QueryDabs* warm) {
+  if (query.p.IsZero()) {
+    return Status::InvalidArgument("query polynomial is zero");
+  }
+  // Linear aggregate queries have a value-independent optimal closed form
+  // that never goes stale (laq.h); every method uses it.
+  if (query.IsLinearAggregate()) {
+    return SolveLaq(query, rates, config.dual.ddm);
+  }
+  return SolveGeneralPq(query, config.heuristic,
+                        MakeSubSolver(values, rates, config), warm);
+}
+
+Result<QueryPlan> PlanQueryParts(const PolynomialQuery& query,
+                                 const Vector& values, const Vector& rates,
+                                 const PlannerConfig& config) {
+  if (query.p.IsZero()) {
+    return Status::InvalidArgument("query polynomial is zero");
+  }
+  QueryPlan plan;
+  if (query.IsLinearAggregate()) {
+    POLYDAB_ASSIGN_OR_RETURN(QueryDabs d,
+                             SolveLaq(query, rates, config.dual.ddm));
+    plan.parts.push_back(PlanPart{query, std::move(d)});
+    return plan;
+  }
+  POLYDAB_ASSIGN_OR_RETURN(std::vector<PolynomialQuery> subs,
+                           SplitSubqueries(query, config.heuristic));
+  PpqSolver solve = MakeSubSolver(values, rates, config);
+  for (PolynomialQuery& sub : subs) {
+    POLYDAB_ASSIGN_OR_RETURN(QueryDabs d, solve(sub, nullptr));
+    plan.parts.push_back(PlanPart{std::move(sub), std::move(d)});
+  }
+  return plan;
+}
+
+Result<QueryDabs> ReplanPart(const PlanPart& part, const Vector& values,
+                             const Vector& rates,
+                             const PlannerConfig& config) {
+  if (part.subquery.IsLinearAggregate()) {
+    return SolveLaq(part.subquery, rates, config.dual.ddm);
+  }
+  return MakeSubSolver(values, rates, config)(part.subquery, &part.dabs);
+}
+
+}  // namespace polydab::core

@@ -1,0 +1,79 @@
+#ifndef POLYDAB_CORE_PLANNER_H_
+#define POLYDAB_CORE_PLANNER_H_
+
+#include "common/status.h"
+#include "core/baseline.h"
+#include "core/dual_dab.h"
+#include "core/heuristics.h"
+#include "core/laq.h"
+#include "core/optimal_refresh.h"
+#include "core/query.h"
+
+/// \file planner.h
+/// Unified per-query DAB planning front-end: dispatches on the chosen
+/// algorithm and, for general (mixed-sign) queries, on the chosen
+/// heuristic. This is the single entry point the simulator's coordinator
+/// calls on every (re)computation, so all of the paper's schemes can be
+/// compared under identical protocol mechanics.
+
+namespace polydab::core {
+
+/// Which assignment algorithm drives the coordinator.
+enum class AssignmentMethod {
+  kOptimalRefresh,  ///< §III-A.1 single-DAB refresh-optimal
+  kDualDab,         ///< §III-A.2 dual-DAB (primary + secondary)
+  kWsDab,           ///< [5]-style per-item sufficient-condition baseline
+};
+
+/// Full planner configuration.
+struct PlannerConfig {
+  AssignmentMethod method = AssignmentMethod::kDualDab;
+  /// Heuristic for general PQs (queries with negative coefficients).
+  GeneralPqHeuristic heuristic = GeneralPqHeuristic::kDifferentSum;
+  /// Dual-DAB parameters (mu, ddm, solver tunables). The ddm also applies
+  /// to Optimal Refresh.
+  DualDabParams dual;
+};
+
+/// \brief Plan DABs for one query at the current values.
+///
+/// LAQs (degree ≤ 1) take the closed form regardless of method. General
+/// queries are routed through `config.heuristic`; for single-DAB methods
+/// the heuristic runs with the equivalent single-DAB sub-solver.
+Result<QueryDabs> PlanQuery(const PolynomialQuery& query,
+                            const Vector& values, const Vector& rates,
+                            const PlannerConfig& config,
+                            const QueryDabs* warm = nullptr);
+
+/// One independently maintained piece of a query's plan. Under Half and
+/// Half a general query has two parts (P1 : B/2 and P2 : B/2), each with
+/// its own validity anchors and its own recomputations — the coordinator
+/// tracks and repairs them separately (§III-B.2). Every other scheme
+/// produces a single part (for DS the part's subquery is P1+P2 : B).
+struct PlanPart {
+  PolynomialQuery subquery;  ///< the PPQ/LAQ actually solved for this part
+  QueryDabs dabs;
+};
+
+/// A query's full plan: one or two parts.
+struct QueryPlan {
+  std::vector<PlanPart> parts;
+};
+
+/// \brief Plan a query as independently maintained parts. This is the
+/// form the simulator consumes; PlanQuery is the merged convenience view.
+Result<QueryPlan> PlanQueryParts(const PolynomialQuery& query,
+                                 const Vector& values, const Vector& rates,
+                                 const PlannerConfig& config);
+
+/// \brief Re-solve one part after its validity range was violated,
+/// warm-starting from the part's previous assignment. The part's subquery
+/// is fixed at PlanQueryParts time (the sign split does not depend on
+/// data values).
+Result<QueryDabs> ReplanPart(const PlanPart& part, const Vector& values,
+                             const Vector& rates,
+                             const PlannerConfig& config);
+
+}  // namespace polydab::core
+
+#endif  // POLYDAB_CORE_PLANNER_H_

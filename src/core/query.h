@@ -1,0 +1,66 @@
+#ifndef POLYDAB_CORE_QUERY_H_
+#define POLYDAB_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "poly/polynomial.h"
+
+/// \file query.h
+/// Continuous polynomial queries "P : B" (§I-A): a user wants the value of
+/// the polynomial P tracked with tolerable imprecision (QAB) B.
+
+namespace polydab {
+
+/// \brief A continuous query: polynomial + query accuracy bound.
+struct PolynomialQuery {
+  int id = 0;            ///< caller-assigned identity (stable across runs)
+  Polynomial p;          ///< the tracked polynomial
+  double qab = 0.0;      ///< query accuracy bound B > 0
+
+  /// True when the query is a PPQ (all coefficients positive, §III-A).
+  bool IsPositiveCoefficient() const { return p.IsPositiveCoefficient(); }
+
+  /// True when the query is a linear aggregate query (degree 1).
+  bool IsLinearAggregate() const { return p.Degree() <= 1; }
+
+  std::string ToString(const VariableRegistry& reg) const {
+    return p.ToString(reg) + " : " + std::to_string(qab);
+  }
+};
+
+/// \brief Per-query DAB assignment: the output of every algorithm in this
+/// module (§III). Bounds are aligned with `vars` (the query's data items).
+///
+/// The primary DAB `b` is shipped to sources and guarantees the QAB; the
+/// secondary DAB `c >= b` stays at the coordinator and bounds the range of
+/// item values for which the primary assignment remains valid (§III-A.2).
+/// Single-DAB algorithms (Optimal Refresh, the WSDAB baseline) report
+/// secondary == primary: any refresh escapes the validity range, so every
+/// refresh triggers a recomputation, exactly the behaviour §I-B describes.
+struct QueryDabs {
+  std::vector<VarId> vars;   ///< sorted data items of the query
+  Vector primary;            ///< b, aligned with vars
+  Vector secondary;          ///< c, aligned with vars, c >= b
+  double recompute_rate = 0.0;  ///< modeled R = max_i rate(lambda_i, c_i)
+  /// True for single-DAB schemes: the primaries are only guaranteed at
+  /// the exact anchor values (validity range of width zero), even though
+  /// secondary mirrors primary for uniform bookkeeping.
+  bool single_dab = false;
+  /// True when the assignment's correctness condition does not depend on
+  /// data values at all (LAQs: sum |w_i| b_i <= B), so it never goes
+  /// stale and never needs recomputation — whatever the scheme.
+  bool never_stale = false;
+
+  /// Index of \p v in vars, or -1.
+  int IndexOf(VarId v) const {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace polydab
+
+#endif  // POLYDAB_CORE_QUERY_H_

@@ -1,0 +1,75 @@
+#include "core/query_index.h"
+
+#include "common/logging.h"
+
+namespace polydab::core {
+
+QueryIndex::QueryIndex(const std::vector<PolynomialQuery>& queries,
+                       size_t num_items)
+    : item_queries_(num_items) {
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (VarId v : queries[qi].p.Variables()) {
+      POLYDAB_CHECK(static_cast<size_t>(v) < num_items);
+      item_queries_[static_cast<size_t>(v)].push_back(static_cast<int>(qi));
+    }
+  }
+}
+
+double QueryIndex::MeanFanout() const {
+  if (item_queries_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& qs : item_queries_) total += qs.size();
+  return static_cast<double>(total) /
+         static_cast<double>(item_queries_.size());
+}
+
+IncrementalEvaluator::IncrementalEvaluator(
+    std::vector<PolynomialQuery> queries, Vector initial_values)
+    : queries_(std::move(queries)),
+      index_(queries_, initial_values.size()),
+      values_(std::move(initial_values)) {
+  query_values_.resize(queries_.size());
+  Rebase();
+}
+
+void IncrementalEvaluator::Update(VarId item, double value) {
+  POLYDAB_CHECK(static_cast<size_t>(item) < values_.size());
+  const double old_value = values_[static_cast<size_t>(item)];
+  if (old_value == value) return;
+  // Patch each affected query by the change in the terms containing the
+  // item: evaluate those terms at the new value minus at the old value
+  // (all other items unchanged).
+  for (int qi : index_.QueriesWithItem(item)) {
+    double delta = 0.0;
+    for (const Monomial& t : queries_[static_cast<size_t>(qi)].p.terms()) {
+      const int e = t.ExponentOf(item);
+      if (e == 0) continue;
+      // term(new)/term(old) differ only in the item's power.
+      double rest = t.coef();
+      for (const auto& [var, exp] : t.powers()) {
+        if (var == item) continue;
+        double p = 1.0;
+        for (int k = 0; k < exp; ++k) p *= values_[static_cast<size_t>(var)];
+        rest *= p;
+      }
+      double old_pow = 1.0, new_pow = 1.0;
+      for (int k = 0; k < e; ++k) {
+        old_pow *= old_value;
+        new_pow *= value;
+      }
+      delta += rest * (new_pow - old_pow);
+    }
+    query_values_[static_cast<size_t>(qi)] += delta;
+  }
+  values_[static_cast<size_t>(item)] = value;
+  if (++updates_since_rebase_ >= kAutoRebaseUpdates) Rebase();
+}
+
+void IncrementalEvaluator::Rebase() {
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    query_values_[qi] = queries_[qi].p.Evaluate(values_);
+  }
+  updates_since_rebase_ = 0;
+}
+
+}  // namespace polydab::core

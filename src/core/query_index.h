@@ -1,0 +1,78 @@
+#ifndef POLYDAB_CORE_QUERY_INDEX_H_
+#define POLYDAB_CORE_QUERY_INDEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+
+/// \file query_index.h
+/// Coordinator-side evaluation machinery. A coordinator hosting hundreds
+/// of polynomial queries re-evaluates, on every refresh, each query that
+/// references the refreshed item (to decide user notifications and check
+/// QABs). Doing that from scratch costs O(total terms); the structures
+/// here make it O(terms containing the item).
+
+namespace polydab::core {
+
+/// \brief Immutable inverted index: data item -> queries referencing it.
+class QueryIndex {
+ public:
+  QueryIndex(const std::vector<PolynomialQuery>& queries, size_t num_items);
+
+  /// Queries whose polynomial references \p item (indices into the
+  /// original vector).
+  const std::vector<int>& QueriesWithItem(VarId item) const {
+    return item_queries_[static_cast<size_t>(item)];
+  }
+
+  size_t num_items() const { return item_queries_.size(); }
+
+  /// Mean number of queries a single item update touches (load metric).
+  double MeanFanout() const;
+
+ private:
+  std::vector<std::vector<int>> item_queries_;
+};
+
+/// \brief Maintains the value of every query under single-item updates.
+///
+/// On Update(item, v), only the terms that contain the item are
+/// re-evaluated (against the current values of the other items), and the
+/// affected query values are adjusted by the difference. Floating-point
+/// drift from long delta chains is bounded by calling Rebase()
+/// periodically (the evaluator does so automatically every
+/// kAutoRebaseUpdates updates).
+class IncrementalEvaluator {
+ public:
+  IncrementalEvaluator(std::vector<PolynomialQuery> queries,
+                       Vector initial_values);
+
+  /// Install a new value for \p item and patch affected query values.
+  void Update(VarId item, double value);
+
+  /// Current value of query \p qi under all updates so far.
+  double QueryValue(size_t qi) const { return query_values_[qi]; }
+
+  /// Current item values as seen by the evaluator.
+  const Vector& values() const { return values_; }
+
+  /// Exactly recompute every query value from the current item values.
+  void Rebase();
+
+  size_t num_queries() const { return queries_.size(); }
+
+  /// Updates processed between automatic exact recomputations.
+  static constexpr int64_t kAutoRebaseUpdates = 1 << 16;
+
+ private:
+  std::vector<PolynomialQuery> queries_;
+  QueryIndex index_;
+  Vector values_;
+  Vector query_values_;
+  int64_t updates_since_rebase_ = 0;
+};
+
+}  // namespace polydab::core
+
+#endif  // POLYDAB_CORE_QUERY_INDEX_H_

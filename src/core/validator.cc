@@ -1,0 +1,89 @@
+#include "core/validator.h"
+
+#include <cmath>
+#include <string>
+
+namespace polydab::core {
+
+double PpqWorstDrift(const Polynomial& p, const Vector& values,
+                     const QueryDabs& d) {
+  // Single-DAB assignments guarantee the QAB only at the exact anchor
+  // values (zero-width validity range, hence the recompute-per-refresh
+  // behaviour of §I-B); dual assignments across the whole +-c range.
+  Vector top = values, mid = values;
+  for (size_t i = 0; i < d.vars.size(); ++i) {
+    const size_t v = static_cast<size_t>(d.vars[i]);
+    const double range = d.single_dab ? 0.0 : d.secondary[i];
+    mid[v] += range;
+    top[v] += range + d.primary[i];
+  }
+  return p.Evaluate(top) - p.Evaluate(mid);
+}
+
+double GeneralWorstDriftBound(const Polynomial& p, const Vector& values,
+                              const QueryDabs& d) {
+  Polynomial p1, p2;
+  p.SplitSigns(&p1, &p2);
+  double bound = 0.0;
+  if (!p1.IsZero()) bound += PpqWorstDrift(p1, values, d);
+  if (!p2.IsZero()) bound += PpqWorstDrift(p2, values, d);
+  return bound;
+}
+
+Status ValidatePart(const PlanPart& part, const Vector& values,
+                    double tol) {
+  const double qab = part.subquery.qab;
+  if (qab <= 0.0) {
+    return Status::InvalidArgument("part has non-positive QAB");
+  }
+  for (size_t i = 0; i < part.dabs.vars.size(); ++i) {
+    if (!(part.dabs.primary[i] > 0.0)) {
+      return Status::Internal("part has non-positive primary DAB");
+    }
+    if (part.dabs.secondary[i] < part.dabs.primary[i]) {
+      return Status::Internal("part has secondary < primary");
+    }
+  }
+  // LAQ parts have a value-independent linear condition.
+  if (part.subquery.IsLinearAggregate()) {
+    double lhs = 0.0;
+    for (const Monomial& t : part.subquery.p.terms()) {
+      if (t.powers().empty()) continue;
+      const int idx = part.dabs.IndexOf(t.powers()[0].first);
+      if (idx < 0) {
+        return Status::Internal("LAQ part missing a variable bound");
+      }
+      lhs += std::fabs(t.coef()) *
+             part.dabs.primary[static_cast<size_t>(idx)];
+    }
+    if (lhs > qab * (1.0 + tol)) {
+      return Status::Internal("LAQ part drift " + std::to_string(lhs) +
+                              " exceeds QAB " + std::to_string(qab));
+    }
+    return Status::OK();
+  }
+  const double drift =
+      GeneralWorstDriftBound(part.subquery.p, values, part.dabs);
+  if (drift > qab * (1.0 + tol)) {
+    return Status::Internal("part worst drift " + std::to_string(drift) +
+                            " exceeds QAB " + std::to_string(qab));
+  }
+  return Status::OK();
+}
+
+Status ValidatePlan(const QueryPlan& plan, const Vector& values,
+                    double tol) {
+  if (plan.parts.empty()) {
+    return Status::InvalidArgument("plan has no parts");
+  }
+  for (size_t pi = 0; pi < plan.parts.size(); ++pi) {
+    Status st = ValidatePart(plan.parts[pi], values, tol);
+    if (!st.ok()) {
+      return Status::Internal("part " + std::to_string(pi) + ": " +
+                              st.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace polydab::core

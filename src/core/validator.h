@@ -1,0 +1,51 @@
+#ifndef POLYDAB_CORE_VALIDATOR_H_
+#define POLYDAB_CORE_VALIDATOR_H_
+
+#include "common/status.h"
+#include "core/planner.h"
+#include "core/query.h"
+
+/// \file validator.h
+/// Independent verification of Condition 1 (§I-B): given an assignment,
+/// compute the worst query drift it permits and compare against the QAB.
+/// The checks are deliberately implemented without the condition builders
+/// of condition.h (they evaluate the polynomial at worst-case corners
+/// directly), so they can catch bugs in the optimization pipeline — the
+/// simulator runs them after every recomputation in paranoid mode, and the
+/// property tests lean on them.
+
+namespace polydab::core {
+
+/// \brief Worst-case drift a positive-coefficient polynomial \p p can
+/// exhibit while its dual-DAB assignment \p d is honoured: the coordinator
+/// sits anywhere within ±c of \p values and the source up to ±b further.
+/// For positive data and positive coefficients the maximum is at the top
+/// corner: P(V+c+b) − P(V+c).
+double PpqWorstDrift(const Polynomial& p, const Vector& values,
+                     const QueryDabs& d);
+
+/// \brief Upper bound on the worst |drift| of a *general* query under
+/// assignment \p d: split P = P1 − P2 and add the parts' worst drifts
+/// (exact when the parts are independent; safe upper bound otherwise).
+double GeneralWorstDriftBound(const Polynomial& p, const Vector& values,
+                              const QueryDabs& d);
+
+/// \brief Check Condition 1 for one plan part *at the values it was
+/// planned against*: its assignment must keep the part's sub-query within
+/// its sub-QAB at the worst corner of the validity range.
+///
+/// \param tol relative slack for solver tolerance (the optimum sits on
+///        the constraint boundary).
+Status ValidatePart(const PlanPart& part, const Vector& values,
+                    double tol = 1e-4);
+
+/// \brief Check Condition 1 for a full plan whose parts were all planned
+/// at \p values (e.g. right after PlanQueryParts). Because the planner's
+/// decompositions (HH, DS) are drift-sound by construction, part-wise
+/// validity implies query-wise validity.
+Status ValidatePlan(const QueryPlan& plan, const Vector& values,
+                    double tol = 1e-4);
+
+}  // namespace polydab::core
+
+#endif  // POLYDAB_CORE_VALIDATOR_H_

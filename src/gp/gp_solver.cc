@@ -1,0 +1,363 @@
+#include "gp/gp_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace polydab::gp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Largest allowed Newton step, per coordinate, in log space (= a factor of
+/// e^5 ≈ 148 on the underlying positive variable). Near-singular Newton
+/// systems (e.g. a phase-I subproblem that is flat along a diagonal
+/// direction when every constraint term has the same total degree) can
+/// otherwise produce astronomically long steps that strand the iterate.
+constexpr double kMaxStepInf = 5.0;
+
+/// Scale \p d so its infinity norm is at most kMaxStepInf. Returns the
+/// scaling factor applied (1.0 when no clamping was needed).
+double ClampStep(Vector* d) {
+  double mx = 0.0;
+  for (double di : *d) mx = std::max(mx, std::fabs(di));
+  if (mx <= kMaxStepInf) return 1.0;
+  const double scale = kMaxStepInf / mx;
+  for (double& di : *d) di *= scale;
+  return scale;
+}
+
+/// One posynomial in log space: F(y) = log Σ_k exp(logc_k + a_k·y).
+struct LogPosy {
+  struct Term {
+    double logc;
+    std::vector<std::pair<int, double>> exps;
+  };
+  std::vector<Term> terms;
+
+  static LogPosy From(const Posynomial& p) {
+    LogPosy lp;
+    lp.terms.reserve(p.terms().size());
+    for (const GpTerm& t : p.terms()) {
+      lp.terms.push_back({std::log(t.coef), t.exponents});
+    }
+    return lp;
+  }
+
+  double Value(const Vector& y) const {
+    std::vector<double> z(terms.size());
+    for (size_t k = 0; k < terms.size(); ++k) {
+      double s = terms[k].logc;
+      for (const auto& [var, exp] : terms[k].exps) s += exp * y[var];
+      z[k] = s;
+    }
+    return LogSumExp(z);
+  }
+
+  /// Value, gradient, and (optionally) Hessian accumulated into the given
+  /// outputs with weight `w_grad` for the gradient and `w_hess`,
+  /// `w_outer` for the two Hessian pieces:
+  ///   grad += w_grad * g
+  ///   hess += w_hess * (Σ w_k a_k a_kᵀ − g gᵀ) + w_outer * g gᵀ
+  /// where g = Σ w_k a_k and w_k are the softmax weights.
+  double Accumulate(const Vector& y, double w_grad, double w_hess,
+                    double w_outer, Vector* grad, Matrix* hess,
+                    Vector* g_out) const {
+    const size_t n = y.size();
+    std::vector<double> z(terms.size());
+    for (size_t k = 0; k < terms.size(); ++k) {
+      double s = terms[k].logc;
+      for (const auto& [var, exp] : terms[k].exps) s += exp * y[var];
+      z[k] = s;
+    }
+    const double f = LogSumExp(z);
+    Vector g(n, 0.0);
+    std::vector<double> w(terms.size());
+    for (size_t k = 0; k < terms.size(); ++k) {
+      w[k] = std::exp(z[k] - f);
+      for (const auto& [var, exp] : terms[k].exps) g[var] += w[k] * exp;
+    }
+    if (grad != nullptr && w_grad != 0.0) {
+      for (size_t j = 0; j < n; ++j) (*grad)[j] += w_grad * g[j];
+    }
+    if (hess != nullptr) {
+      // Σ w_k a_k a_kᵀ piece (sparse outer products per term).
+      if (w_hess != 0.0) {
+        for (size_t k = 0; k < terms.size(); ++k) {
+          const auto& ex = terms[k].exps;
+          const double wk = w[k] * w_hess;
+          for (const auto& [vi, ei] : ex) {
+            for (const auto& [vj, ej] : ex) {
+              (*hess)(vi, vj) += wk * ei * ej;
+            }
+          }
+        }
+      }
+      // (w_outer - w_hess) * g gᵀ piece (dense but only over support).
+      const double wo = w_outer - w_hess;
+      if (wo != 0.0) {
+        for (size_t i = 0; i < n; ++i) {
+          if (g[i] == 0.0) continue;
+          for (size_t j = 0; j < n; ++j) {
+            if (g[j] == 0.0) continue;
+            (*hess)(i, j) += wo * g[i] * g[j];
+          }
+        }
+      }
+    }
+    if (g_out != nullptr) *g_out = std::move(g);
+    return f;
+  }
+};
+
+struct ConvexGp {
+  LogPosy objective;
+  std::vector<LogPosy> constraints;
+  int num_vars = 0;
+};
+
+/// Barrier value phi(y) = t*F0(y) - Σ log(-Fi(y)); +inf when infeasible.
+double BarrierValue(const ConvexGp& cg, const Vector& y, double t) {
+  double phi = t * cg.objective.Value(y);
+  for (const LogPosy& c : cg.constraints) {
+    const double fi = c.Value(y);
+    if (fi >= 0.0) return kInf;
+    phi -= std::log(-fi);
+  }
+  return phi;
+}
+
+/// Damped-Newton minimization of the barrier objective at fixed t.
+/// Returns the number of Newton iterations, or an error.
+Result<int> CenterStep(const ConvexGp& cg, double t,
+                       const SolverOptions& opt, Vector* y) {
+  const size_t n = y->size();
+  for (int iter = 0; iter < opt.max_newton_per_stage; ++iter) {
+    Vector grad(n, 0.0);
+    Matrix hess(n, n);
+    cg.objective.Accumulate(*y, t, t, 0.0, &grad, &hess, nullptr);
+    for (const LogPosy& c : cg.constraints) {
+      // First pass for the value only (cheap); needed for the weights.
+      const double fi = c.Value(*y);
+      if (fi >= 0.0) {
+        return Status::Internal("barrier stage entered infeasible point");
+      }
+      const double inv = 1.0 / (-fi);
+      // d/dy [-log(-Fi)] = grad Fi / (-Fi);
+      // d2    = Hess Fi/(-Fi) + grad grad^T / Fi^2.
+      c.Accumulate(*y, inv, inv, 1.0 / (fi * fi), &grad, &hess, nullptr);
+    }
+
+    auto step = SolveCholesky(hess, grad);
+    if (!step.ok()) return step.status();
+    Vector d = std::move(step).value();
+    for (double& di : d) di = -di;
+
+    double lambda2 = -Dot(grad, d);
+    // The barrier objective scales with t, and the suboptimality implied by
+    // a Newton decrement lambda is ~lambda^2/t, so the stopping threshold
+    // must scale with t as well or centering stalls at machine precision.
+    if (lambda2 / 2.0 < opt.inner_tol * std::max(1.0, t)) return iter;
+    lambda2 *= ClampStep(&d);
+
+    // Backtracking line search on the true barrier value.
+    const double phi0 = BarrierValue(cg, *y, t);
+    double alpha = 1.0;
+    Vector y_new(n);
+    for (int ls = 0; ls < 60; ++ls) {
+      for (size_t j = 0; j < n; ++j) y_new[j] = (*y)[j] + alpha * d[j];
+      const double phi1 = BarrierValue(cg, y_new, t);
+      if (phi1 <= phi0 - 0.25 * alpha * lambda2) break;
+      alpha *= 0.5;
+      if (alpha < 1e-14) {
+        // No descent possible: already at numerical optimum for this t.
+        return iter;
+      }
+    }
+    *y = y_new;
+  }
+  return Status::NotConverged("Newton centering exceeded iteration limit");
+}
+
+/// Phase I: find strictly feasible y, minimizing the max constraint value.
+/// Works on the augmented variable vector (y, s) with constraints
+/// Fi(y) - s <= 0, driving s below zero.
+Result<Vector> PhaseOne(const ConvexGp& cg, const SolverOptions& opt,
+                        const Vector& y0) {
+  const size_t n = static_cast<size_t>(cg.num_vars);
+  Vector y = y0;
+  double s = 0.0;
+  for (const LogPosy& c : cg.constraints) s = std::max(s, c.Value(y));
+  if (s < -1e-6) return y;  // already strictly feasible
+  s += 1.0;
+
+  double t = 1.0;
+  const double m = static_cast<double>(cg.constraints.size());
+  for (int outer = 0; outer < opt.max_outer; ++outer) {
+    // Damped Newton on  t*s - Σ log(s - Fi(y)).
+    for (int iter = 0; iter < opt.max_newton_per_stage; ++iter) {
+      Vector grad(n + 1, 0.0);
+      Matrix hess(n + 1, n + 1);
+      grad[n] = t;
+      bool bail = false;
+      for (const LogPosy& c : cg.constraints) {
+        Vector gi;
+        const double fi = c.Accumulate(y, 0.0, 0.0, 0.0, nullptr, nullptr,
+                                       &gi);
+        const double gap = s - fi;
+        if (gap <= 0.0) {
+          bail = true;
+          break;
+        }
+        const double inv = 1.0 / gap;
+        // Accumulate again with Hessian weights for the y-block:
+        // H_i/gap + g_i g_iᵀ/gap².
+        Matrix hblock(n, n);
+        c.Accumulate(y, 0.0, inv, inv * inv, nullptr, &hblock, nullptr);
+        for (size_t i = 0; i < n; ++i) {
+          grad[i] += inv * gi[i];
+          for (size_t j = 0; j < n; ++j) hess(i, j) += hblock(i, j);
+          hess(i, n) += -inv * inv * gi[i];
+          hess(n, i) += -inv * inv * gi[i];
+        }
+        grad[n] += -inv;
+        hess(n, n) += inv * inv;
+      }
+      if (bail) break;
+
+      auto step = SolveCholesky(hess, grad);
+      if (!step.ok()) return step.status();
+      Vector d = std::move(step).value();
+      for (double& di : d) di = -di;
+      double lambda2 = -Dot(grad, d);
+      if (lambda2 / 2.0 < opt.inner_tol) break;
+      lambda2 *= ClampStep(&d);
+
+      // Line search maintaining s - Fi(y) > 0. Phase I only needs *a*
+      // strictly feasible point, so accept any trial that achieves one.
+      double val0 = t * s;
+      for (const LogPosy& c : cg.constraints) val0 -= std::log(s - c.Value(y));
+      double alpha = 1.0;
+      Vector y_try(n);
+      for (int ls = 0; ls < 60; ++ls) {
+        for (size_t j = 0; j < n; ++j) y_try[j] = y[j] + alpha * d[j];
+        const double s_try = s + alpha * d[n];
+        bool feas = true;
+        double max_f = -kInf;
+        double val = t * s_try;
+        for (const LogPosy& c : cg.constraints) {
+          const double fi = c.Value(y_try);
+          max_f = std::max(max_f, fi);
+          const double gap = s_try - fi;
+          if (gap <= 0.0) {
+            feas = false;
+            break;
+          }
+          val -= std::log(gap);
+        }
+        if (feas && max_f < -1e-3) return y_try;  // strictly feasible
+        if (feas && val <= val0 - 0.25 * alpha * lambda2) break;
+        alpha *= 0.5;
+        if (alpha < 1e-14) break;
+      }
+      if (alpha < 1e-14) break;
+      for (size_t j = 0; j < n; ++j) y[j] += alpha * d[j];
+      s += alpha * d[n];
+      if (s < -1e-3) return y;  // strictly feasible, done early
+    }
+    if (s < -1e-6) return y;
+    if (m / t < opt.duality_tol) break;
+    t *= opt.barrier_mu;
+  }
+  if (s < 0.0) return y;
+  return Status::Infeasible("phase I ended with max constraint value " +
+                            std::to_string(s));
+}
+
+}  // namespace
+
+Result<GpSolution> SolveGp(const GpProblem& problem,
+                           const SolverOptions& options,
+                           const Vector* warm_start) {
+  if (problem.num_vars <= 0) {
+    return Status::InvalidArgument("GP has no variables");
+  }
+  if (problem.objective.empty()) {
+    return Status::InvalidArgument("GP has an empty objective");
+  }
+  {
+    int mx = problem.objective.MaxVarIndex();
+    for (const Posynomial& c : problem.constraints) {
+      mx = std::max(mx, c.MaxVarIndex());
+    }
+    if (mx >= problem.num_vars) {
+      return Status::InvalidArgument(
+          "posynomial references variable index beyond num_vars");
+    }
+  }
+
+  ConvexGp cg;
+  cg.num_vars = problem.num_vars;
+  cg.objective = LogPosy::From(problem.objective);
+  cg.constraints.reserve(problem.constraints.size());
+  for (const Posynomial& c : problem.constraints) {
+    if (c.empty()) continue;  // vacuous "0 <= 1"
+    cg.constraints.push_back(LogPosy::From(c));
+  }
+
+  const size_t n = static_cast<size_t>(problem.num_vars);
+  Vector y(n, 0.0);
+  if (warm_start != nullptr) {
+    POLYDAB_CHECK(warm_start->size() == n);
+    for (size_t j = 0; j < n; ++j) {
+      POLYDAB_CHECK((*warm_start)[j] > 0.0);
+      y[j] = std::log((*warm_start)[j]);
+    }
+  }
+
+  const double m = std::max<size_t>(cg.constraints.size(), 1);
+  double t = options.t0;
+  if (!cg.constraints.empty()) {
+    // Any strictly interior point works for the barrier, even one hugging
+    // the boundary (as a previous solve's optimum does): the log barrier is
+    // finite there and its gradient pushes inward.
+    bool warm_feasible = warm_start != nullptr;
+    if (warm_feasible) {
+      for (const LogPosy& c : cg.constraints) {
+        if (c.Value(y) >= 0.0) {
+          warm_feasible = false;
+          break;
+        }
+      }
+    }
+    if (warm_feasible) {
+      // A strictly feasible warm start (typically last solve's optimum for
+      // slightly moved data) is near the end of the central path already;
+      // start the barrier schedule much closer to its final value.
+      t = std::max(options.t0, m / options.duality_tol * 1e-4);
+    } else {
+      POLYDAB_ASSIGN_OR_RETURN(y, PhaseOne(cg, options, y));
+    }
+  }
+
+  int newton_total = 0;
+  for (int outer = 0; outer < options.max_outer; ++outer) {
+    POLYDAB_ASSIGN_OR_RETURN(int iters, CenterStep(cg, t, options, &y));
+    newton_total += iters;
+    if (m / t < options.duality_tol) break;
+    t *= options.barrier_mu;
+  }
+
+  GpSolution sol;
+  sol.x.resize(n);
+  for (size_t j = 0; j < n; ++j) sol.x[j] = std::exp(y[j]);
+  sol.objective = problem.objective.Evaluate(sol.x);
+  sol.newton_iterations = newton_total;
+  return sol;
+}
+
+}  // namespace polydab::gp

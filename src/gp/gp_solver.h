@@ -1,0 +1,55 @@
+#ifndef POLYDAB_GP_GP_SOLVER_H_
+#define POLYDAB_GP_GP_SOLVER_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "gp/posynomial.h"
+
+/// \file gp_solver.h
+/// A from-scratch geometric-program solver (the paper used CVXOPT; see
+/// DESIGN.md §2). The GP is convexified by the standard log transform
+/// y = log v, turning every posynomial f into the convex log-sum-exp
+/// function F(y) = log f(e^y). The convex program
+///     minimize F0(y)  subject to  Fi(y) <= 0
+/// is then solved with a primal barrier interior-point method (damped
+/// Newton inner iterations, geometric barrier schedule), preceded by a
+/// phase-I feasibility solve when the starting point violates a constraint.
+
+namespace polydab::gp {
+
+/// Tunables for the barrier method. Defaults solve every program in this
+/// codebase to ~1e-7 relative accuracy in well under a millisecond per
+/// hundred variables.
+struct SolverOptions {
+  double duality_tol = 1e-7;   ///< stop when m / t < duality_tol
+  double inner_tol = 1e-9;     ///< Newton decrement^2 / 2 threshold
+  double t0 = 1.0;             ///< initial barrier weight
+  double barrier_mu = 20.0;    ///< barrier growth factor per outer step
+  int max_newton_per_stage = 200;
+  int max_outer = 60;
+};
+
+/// Result of a successful solve.
+struct GpSolution {
+  Vector x;                ///< optimal variable values (positive)
+  double objective = 0.0;  ///< f0(x) at the returned point
+  int newton_iterations = 0;
+};
+
+/// \brief Solve \p problem to optimality.
+///
+/// \param problem   GP in standard form; every constraint is fi(v) <= 1.
+/// \param options   barrier tunables.
+/// \param warm_start optional strictly positive starting point (need not be
+///        feasible; phase I will repair it). Passing the previous solution
+///        of a slightly perturbed program typically saves most of the work,
+///        which is how the coordinator amortizes DAB recomputations.
+Result<GpSolution> SolveGp(const GpProblem& problem,
+                           const SolverOptions& options = SolverOptions(),
+                           const Vector* warm_start = nullptr);
+
+}  // namespace polydab::gp
+
+#endif  // POLYDAB_GP_GP_SOLVER_H_

@@ -1,0 +1,51 @@
+#include "gp/posynomial.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace polydab::gp {
+
+void Posynomial::AddTerm(double coef,
+                         std::vector<std::pair<int, double>> exponents) {
+  POLYDAB_CHECK(coef > 0.0);
+  GpTerm t;
+  t.coef = coef;
+  t.exponents = std::move(exponents);
+  terms_.push_back(std::move(t));
+}
+
+void Posynomial::Add(const Posynomial& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+}
+
+void Posynomial::Scale(double s) {
+  POLYDAB_CHECK(s > 0.0);
+  for (GpTerm& t : terms_) t.coef *= s;
+}
+
+double Posynomial::Evaluate(const Vector& v) const {
+  double sum = 0.0;
+  for (const GpTerm& t : terms_) {
+    double prod = t.coef;
+    for (const auto& [var, exp] : t.exponents) {
+      POLYDAB_DCHECK(static_cast<size_t>(var) < v.size());
+      prod *= std::pow(v[static_cast<size_t>(var)], exp);
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+int Posynomial::MaxVarIndex() const {
+  int mx = -1;
+  for (const GpTerm& t : terms_) {
+    for (const auto& [var, exp] : t.exponents) {
+      (void)exp;
+      if (var > mx) mx = var;
+    }
+  }
+  return mx;
+}
+
+}  // namespace polydab::gp

@@ -1,0 +1,69 @@
+#ifndef POLYDAB_GP_POSYNOMIAL_H_
+#define POLYDAB_GP_POSYNOMIAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.h"
+
+/// \file posynomial.h
+/// Posynomials over positive optimization variables — the modeling language
+/// of geometric programming (Boyd et al., "A tutorial on geometric
+/// programming", which the paper cites as [12]). Exponents are arbitrary
+/// reals; coefficients must be positive.
+///
+/// Note: these are *optimization* variables (DABs b, c and the recompute
+/// rate R), a different space from the data-item VarIds in src/poly.
+
+namespace polydab::gp {
+
+/// \brief c · Π v_j^{a_j}: one monomial term of a posynomial. coef > 0.
+struct GpTerm {
+  double coef = 1.0;
+  /// (variable index, real exponent); variable indices need not be sorted.
+  std::vector<std::pair<int, double>> exponents;
+};
+
+/// \brief A sum of positive monomial terms f(v) = Σ_k c_k Π_j v_j^{a_kj}.
+class Posynomial {
+ public:
+  Posynomial() = default;
+
+  /// Append the term coef · Π v_j^{a_j}. coef must be > 0.
+  void AddTerm(double coef, std::vector<std::pair<int, double>> exponents);
+
+  /// Add the terms of another posynomial.
+  void Add(const Posynomial& other);
+
+  /// Multiply every coefficient by s > 0.
+  void Scale(double s);
+
+  const std::vector<GpTerm>& terms() const { return terms_; }
+  bool empty() const { return terms_.empty(); }
+
+  /// Evaluate at strictly positive \p v.
+  double Evaluate(const Vector& v) const;
+
+  /// Largest variable index referenced, or -1 when constant/empty.
+  int MaxVarIndex() const;
+
+ private:
+  std::vector<GpTerm> terms_;
+};
+
+/// \brief A geometric program in standard form:
+///   minimize    f0(v)
+///   subject to  fi(v) <= 1,  i = 1..m
+/// over strictly positive variables v in R^num_vars.
+struct GpProblem {
+  int num_vars = 0;
+  Posynomial objective;
+  std::vector<Posynomial> constraints;
+  /// Optional variable names for diagnostics; empty or size num_vars.
+  std::vector<std::string> var_names;
+};
+
+}  // namespace polydab::gp
+
+#endif  // POLYDAB_GP_POSYNOMIAL_H_

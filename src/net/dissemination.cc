@@ -1,0 +1,69 @@
+#include "net/dissemination.h"
+
+#include <cmath>
+
+namespace polydab::net {
+
+namespace {
+
+/// Depth of node \p k (0-based, breadth-first order) in a complete tree
+/// with the given fanout; the root has depth 0.
+int TreeDepth(int k, int fanout) {
+  int depth = 0;
+  int level_start = 0;
+  int level_size = 1;
+  while (k >= level_start + level_size) {
+    level_start += level_size;
+    level_size *= fanout;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace
+
+Result<DisseminationMetrics> RunDissemination(
+    const std::vector<PolynomialQuery>& queries,
+    const workload::TraceSet& traces, const Vector& rates,
+    const DisseminationConfig& config) {
+  if (config.num_coordinators <= 0) {
+    return Status::InvalidArgument("need at least one coordinator");
+  }
+  if (config.fanout < 1) {
+    return Status::InvalidArgument("fanout must be >= 1");
+  }
+
+  DisseminationMetrics out;
+  out.per_coordinator.resize(static_cast<size_t>(config.num_coordinators));
+
+  for (int c = 0; c < config.num_coordinators; ++c) {
+    // Round-robin query placement.
+    std::vector<PolynomialQuery> mine;
+    for (size_t qi = static_cast<size_t>(c); qi < queries.size();
+         qi += static_cast<size_t>(config.num_coordinators)) {
+      mine.push_back(queries[qi]);
+    }
+    if (mine.empty()) continue;
+
+    sim::SimConfig sc = config.sim;
+    sc.seed = config.sim.seed * 1000003 + static_cast<uint64_t>(c);
+    // Every refresh traverses depth+1 overlay hops to reach coordinator c.
+    const int hops = TreeDepth(c, config.fanout) + 1;
+    sc.delays.node_node_mean *= static_cast<double>(hops);
+
+    POLYDAB_ASSIGN_OR_RETURN(sim::SimMetrics m,
+                             sim::RunSimulation(mine, traces, rates, sc));
+    out.per_coordinator[static_cast<size_t>(c)] = m;
+    out.total.refreshes += m.refreshes;
+    out.total.recomputations += m.recomputations;
+    out.total.dab_change_messages += m.dab_change_messages;
+    out.total.solver_failures += m.solver_failures;
+    out.total.mean_fidelity_loss_pct +=
+        m.mean_fidelity_loss_pct * static_cast<double>(mine.size());
+  }
+  out.total.mean_fidelity_loss_pct /=
+      static_cast<double>(queries.empty() ? 1 : queries.size());
+  return out;
+}
+
+}  // namespace polydab::net

@@ -1,0 +1,277 @@
+#include "net/relay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace polydab::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Arrival {
+  double time;
+  int node;
+  int item;
+  double value;
+  bool operator>(const Arrival& other) const { return time > other.time; }
+};
+
+struct HostedQuery {
+  int query_index;          // into the caller's vector
+  core::QueryPlan plan;
+  std::vector<Vector> anchors;  // per part
+};
+
+struct Node {
+  int parent = -1;
+  std::vector<int> children;
+  Vector view;
+  std::vector<HostedQuery> hosted;
+  std::vector<std::vector<int>> item_hosted;  // item -> hosted indices
+  /// Filter requirement per item: min over own plans and children's reqs.
+  Vector req;
+  /// Per child: last value forwarded for each item.
+  std::vector<Vector> last_fwd;
+};
+
+}  // namespace
+
+Result<RelayMetrics> RunRelayOverlay(
+    const std::vector<PolynomialQuery>& queries,
+    const workload::TraceSet& traces, const Vector& rates,
+    const RelayConfig& config) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("no queries");
+  }
+  if (config.num_coordinators <= 0 || config.fanout < 1) {
+    return Status::InvalidArgument("bad overlay shape");
+  }
+  const size_t n_items = traces.num_items();
+  const int n_nodes = config.num_coordinators;
+
+  Rng master(config.seed);
+  sim::DelayModel delays(config.delays, master.Fork());
+  RelayMetrics metrics;
+
+  // Build the complete tree in breadth-first order.
+  std::vector<Node> nodes(static_cast<size_t>(n_nodes));
+  for (int k = 1; k < n_nodes; ++k) {
+    const int parent = (k - 1) / config.fanout;
+    nodes[static_cast<size_t>(k)].parent = parent;
+    nodes[static_cast<size_t>(parent)].children.push_back(k);
+  }
+  const Vector initial = traces.Snapshot(0);
+  for (Node& node : nodes) {
+    node.view = initial;
+    node.req.assign(n_items, kInf);
+    node.item_hosted.resize(n_items);
+    node.last_fwd.assign(node.children.size(), initial);
+  }
+
+  // Place queries round-robin and plan them.
+  std::vector<double> violated_time(queries.size(), 0.0);
+  std::vector<int> host_of(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const int host = static_cast<int>(qi) % n_nodes;
+    host_of[qi] = host;
+    Node& node = nodes[static_cast<size_t>(host)];
+    auto plan = core::PlanQueryParts(queries[qi], node.view, rates,
+                                     config.planner);
+    if (!plan.ok()) {
+      return Status::Internal("initial planning failed: " +
+                              plan.status().ToString());
+    }
+    HostedQuery hq;
+    hq.query_index = static_cast<int>(qi);
+    hq.plan = std::move(plan).value();
+    hq.anchors.resize(hq.plan.parts.size());
+    for (size_t pi = 0; pi < hq.plan.parts.size(); ++pi) {
+      const auto& vars = hq.plan.parts[pi].dabs.vars;
+      hq.anchors[pi].resize(vars.size());
+      for (size_t i = 0; i < vars.size(); ++i) {
+        hq.anchors[pi][i] = node.view[static_cast<size_t>(vars[i])];
+      }
+    }
+    const int hosted_index = static_cast<int>(node.hosted.size());
+    for (VarId v : queries[qi].p.Variables()) {
+      if (static_cast<size_t>(v) >= n_items) {
+        return Status::InvalidArgument("query var beyond trace set");
+      }
+      node.item_hosted[static_cast<size_t>(v)].push_back(hosted_index);
+    }
+    node.hosted.push_back(std::move(hq));
+  }
+
+  // Depth of each node (root = 0); used to split coherency budgets.
+  std::vector<int> depth(static_cast<size_t>(n_nodes), 0);
+  for (int k = 1; k < n_nodes; ++k) {
+    depth[static_cast<size_t>(k)] =
+        depth[static_cast<size_t>(nodes[static_cast<size_t>(k)].parent)] + 1;
+  }
+
+  // Requirement of node n for an item: min over its own plan parts and its
+  // children's requirements. Filter errors accumulate along the
+  // source -> root -> ... -> host path (depth(n)+1 hops), so a host's
+  // primary DAB is split equally across those hops — the
+  // coherency-preserving discipline of [6]. Without the split, a depth-d
+  // host could lag the source by d times its bound and silently violate
+  // its QAB.
+  auto own_min = [&](const Node& node, int item, int node_depth) {
+    double m = kInf;
+    for (int hi : node.item_hosted[static_cast<size_t>(item)]) {
+      for (const core::PlanPart& part :
+           node.hosted[static_cast<size_t>(hi)].plan.parts) {
+        const int idx = part.dabs.IndexOf(static_cast<VarId>(item));
+        if (idx >= 0) {
+          m = std::min(m, part.dabs.primary[static_cast<size_t>(idx)] /
+                              static_cast<double>(node_depth + 1));
+        }
+      }
+    }
+    return m;
+  };
+  auto refresh_req = [&](int n, int item) {
+    Node& node = nodes[static_cast<size_t>(n)];
+    double m = own_min(node, item, depth[static_cast<size_t>(n)]);
+    for (int c : node.children) {
+      m = std::min(m, nodes[static_cast<size_t>(c)].req[
+                          static_cast<size_t>(item)]);
+    }
+    return m;
+  };
+  // Initialize requirements bottom-up (children have larger indices in
+  // breadth-first order, so a reverse sweep sees children first).
+  for (int n = n_nodes - 1; n >= 0; --n) {
+    Node& node = nodes[static_cast<size_t>(n)];
+    for (size_t item = 0; item < n_items; ++item) {
+      node.req[item] = refresh_req(n, static_cast<int>(item));
+    }
+  }
+
+  // Propagate a requirement change for one item from node n toward the
+  // root. Each hop whose requirement actually changes costs one
+  // DAB-change message (node -> parent, or root -> sources).
+  auto propagate_req = [&](int n, int item) {
+    int cur = n;
+    while (cur >= 0) {
+      Node& node = nodes[static_cast<size_t>(cur)];
+      const double fresh = refresh_req(cur, item);
+      if (std::fabs(fresh - node.req[static_cast<size_t>(item)]) <=
+          1e-9 * std::max(1.0, fresh)) {
+        break;
+      }
+      node.req[static_cast<size_t>(item)] = fresh;
+      ++metrics.dab_change_messages;
+      cur = node.parent;
+    }
+  };
+
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>>
+      events;
+  Vector source_value = initial;
+  Vector last_pushed = initial;
+
+  const bool recompute_every_refresh =
+      config.planner.method != core::AssignmentMethod::kDualDab;
+
+  auto deliver_until = [&](double now) {
+    while (!events.empty() && events.top().time <= now) {
+      const Arrival ev = events.top();
+      events.pop();
+      Node& node = nodes[static_cast<size_t>(ev.node)];
+      ++metrics.refreshes;
+      node.view[static_cast<size_t>(ev.item)] = ev.value;
+
+      // Local query maintenance, identical rules to sim/simulation.cc.
+      for (int hi : node.item_hosted[static_cast<size_t>(ev.item)]) {
+        HostedQuery& hq = node.hosted[static_cast<size_t>(hi)];
+        for (size_t pi = 0; pi < hq.plan.parts.size(); ++pi) {
+          core::PlanPart& part = hq.plan.parts[pi];
+          const int idx = part.dabs.IndexOf(static_cast<VarId>(ev.item));
+          if (idx < 0) continue;
+          // Value-independent assignments (LAQs) never go stale.
+          if (part.dabs.never_stale) continue;
+          if (!recompute_every_refresh) {
+            const double drift = std::fabs(
+                ev.value - hq.anchors[pi][static_cast<size_t>(idx)]);
+            if (drift <= part.dabs.secondary[static_cast<size_t>(idx)] *
+                             (1.0 + 1e-9)) {
+              continue;
+            }
+          }
+          ++metrics.recomputations;
+          auto fresh = core::ReplanPart(part, node.view, rates,
+                                        config.planner);
+          if (!fresh.ok()) {
+            ++metrics.solver_failures;
+            continue;
+          }
+          part.dabs = std::move(fresh).value();
+          hq.anchors[pi].resize(part.dabs.vars.size());
+          for (size_t i = 0; i < part.dabs.vars.size(); ++i) {
+            hq.anchors[pi][i] =
+                node.view[static_cast<size_t>(part.dabs.vars[i])];
+          }
+          for (VarId v : part.dabs.vars) {
+            propagate_req(ev.node, static_cast<int>(v));
+          }
+        }
+      }
+
+      // Coherency-preserving forwarding: each child receives the change
+      // only if it escapes the child's subtree requirement.
+      for (size_t ci = 0; ci < node.children.size(); ++ci) {
+        const int child = node.children[ci];
+        const double need = nodes[static_cast<size_t>(child)].req[
+                                static_cast<size_t>(ev.item)];
+        if (std::isinf(need)) continue;
+        if (std::fabs(ev.value - node.last_fwd[ci][
+                                     static_cast<size_t>(ev.item)]) > need) {
+          node.last_fwd[ci][static_cast<size_t>(ev.item)] = ev.value;
+          events.push(Arrival{ev.time + delays.Network(), child, ev.item,
+                              ev.value});
+        }
+      }
+    }
+  };
+
+  for (int tick = 1; tick < traces.num_ticks; ++tick) {
+    const double now = static_cast<double>(tick);
+    deliver_until(now);
+
+    // Sources feed the root through its aggregate requirement.
+    for (size_t item = 0; item < n_items; ++item) {
+      source_value[item] = traces.ValueAt(item, tick);
+      const double need = nodes[0].req[item];
+      if (std::isinf(need)) continue;
+      if (std::fabs(source_value[item] - last_pushed[item]) > need) {
+        last_pushed[item] = source_value[item];
+        events.push(Arrival{now + delays.Push() + delays.Network(), 0,
+                            static_cast<int>(item), source_value[item]});
+      }
+    }
+    deliver_until(now);  // zero-delay semantics, as in sim/simulation.cc
+
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const Node& host = nodes[static_cast<size_t>(host_of[qi])];
+      const double at_host = queries[qi].p.Evaluate(host.view);
+      const double truth = queries[qi].p.Evaluate(source_value);
+      if (std::fabs(truth - at_host) > queries[qi].qab * (1.0 + 1e-9)) {
+        violated_time[qi] += 1.0;
+      }
+    }
+  }
+
+  double loss = 0.0;
+  for (double v : violated_time) {
+    loss += 100.0 * v / static_cast<double>(traces.num_ticks - 1);
+  }
+  metrics.mean_fidelity_loss_pct =
+      loss / static_cast<double>(queries.size());
+  return metrics;
+}
+
+}  // namespace polydab::net

@@ -1,0 +1,84 @@
+#include "poly/monomial.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sstream>
+
+namespace polydab {
+
+Monomial::Monomial(double coef, std::vector<std::pair<VarId, int>> powers)
+    : coef_(coef) {
+  std::sort(powers.begin(), powers.end());
+  for (const auto& [var, exp] : powers) {
+    POLYDAB_CHECK(exp >= 0);
+    if (exp == 0) continue;
+    if (!powers_.empty() && powers_.back().first == var) {
+      powers_.back().second += exp;
+    } else {
+      powers_.emplace_back(var, exp);
+    }
+  }
+}
+
+int Monomial::Degree() const {
+  int d = 0;
+  for (const auto& [var, exp] : powers_) d += exp;
+  return d;
+}
+
+int Monomial::ExponentOf(VarId v) const {
+  for (const auto& [var, exp] : powers_) {
+    if (var == v) return exp;
+    if (var > v) break;
+  }
+  return 0;
+}
+
+double Monomial::Evaluate(const Vector& values) const {
+  double prod = coef_;
+  for (const auto& [var, exp] : powers_) {
+    POLYDAB_DCHECK(static_cast<size_t>(var) < values.size());
+    const double v = values[static_cast<size_t>(var)];
+    // Integer exponents are small (query degree is typically 2-4), so an
+    // explicit multiply loop beats std::pow and is exact for small powers.
+    double p = 1.0;
+    for (int k = 0; k < exp; ++k) p *= v;
+    prod *= p;
+  }
+  return prod;
+}
+
+Monomial Monomial::operator*(const Monomial& other) const {
+  std::vector<std::pair<VarId, int>> merged = powers_;
+  merged.insert(merged.end(), other.powers_.begin(), other.powers_.end());
+  return Monomial(coef_ * other.coef_, std::move(merged));
+}
+
+namespace {
+
+// Shortest decimal form that parses back to exactly the same double, so
+// Polynomial::ToString round-trips through Polynomial::Parse.
+std::string FormatDouble(double v) {
+  char buf[64];
+  for (int precision : {6, 9, 12, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Monomial::ToString(const VariableRegistry& reg) const {
+  std::ostringstream os;
+  os << FormatDouble(coef_);
+  for (const auto& [var, exp] : powers_) {
+    os << "*" << reg.Name(var);
+    if (exp != 1) os << "^" << exp;
+  }
+  return os.str();
+}
+
+}  // namespace polydab

@@ -1,0 +1,65 @@
+#ifndef POLYDAB_POLY_MONOMIAL_H_
+#define POLYDAB_POLY_MONOMIAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.h"
+#include "poly/variable.h"
+
+/// \file monomial.h
+/// A single weighted power-product term of a polynomial query, e.g.
+/// 3·x·y² in the arbitrage query 3·x·y² − u·v (§I-A of the paper).
+/// Exponents are non-negative integers: that is the class of queries for
+/// which the paper's necessary-and-sufficient DAB conditions expand to
+/// posynomials (see core/condition.h).
+
+namespace polydab {
+
+/// \brief coefficient · Π x_i^{e_i} with integer exponents e_i ≥ 1,
+/// factors sorted by variable id with no duplicates (canonical form).
+class Monomial {
+ public:
+  Monomial() : coef_(0.0) {}
+  explicit Monomial(double coef) : coef_(coef) {}
+
+  /// Construct from (possibly unsorted / duplicated) factors; duplicates
+  /// are merged by adding exponents, zero exponents dropped.
+  Monomial(double coef, std::vector<std::pair<VarId, int>> powers);
+
+  double coef() const { return coef_; }
+  void set_coef(double c) { coef_ = c; }
+
+  /// Canonical sorted factor list (variable id, exponent ≥ 1).
+  const std::vector<std::pair<VarId, int>>& powers() const { return powers_; }
+
+  /// Sum of exponents; 0 for a constant term.
+  int Degree() const;
+
+  /// Exponent of \p v in this monomial (0 when absent).
+  int ExponentOf(VarId v) const;
+
+  /// Value of the power product times the coefficient, with item values
+  /// taken from the dense array \p values (indexed by VarId).
+  double Evaluate(const Vector& values) const;
+
+  /// Product of two monomials.
+  Monomial operator*(const Monomial& other) const;
+
+  /// True when the factor lists are identical (coefficients may differ).
+  bool SamePowers(const Monomial& other) const {
+    return powers_ == other.powers_;
+  }
+
+  /// Render like "3*x*y^2" using \p reg for names.
+  std::string ToString(const VariableRegistry& reg) const;
+
+ private:
+  double coef_;
+  std::vector<std::pair<VarId, int>> powers_;
+};
+
+}  // namespace polydab
+
+#endif  // POLYDAB_POLY_MONOMIAL_H_

@@ -1,0 +1,131 @@
+#include <cctype>
+#include <cstdlib>
+
+#include "poly/polynomial.h"
+
+/// \file parser.cc
+/// Recursive-descent parser for the small polynomial expression language
+/// used by tests and examples ("3*x*y^2 - u*v + 0.5*z").
+
+namespace polydab {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, VariableRegistry* reg)
+      : text_(text), reg_(reg) {}
+
+  Result<Polynomial> Run() {
+    std::vector<Monomial> terms;
+    SkipSpace();
+    bool first = true;
+    while (pos_ < text_.size()) {
+      double sign = 1.0;
+      if (Peek() == '+' || Peek() == '-') {
+        sign = (Peek() == '-') ? -1.0 : 1.0;
+        ++pos_;
+        SkipSpace();
+      } else if (!first) {
+        return Status::InvalidArgument("expected '+' or '-' at position " +
+                                       std::to_string(pos_));
+      }
+      POLYDAB_ASSIGN_OR_RETURN(Monomial term, ParseTerm());
+      term.set_coef(sign * term.coef());
+      terms.push_back(std::move(term));
+      first = false;
+      SkipSpace();
+    }
+    if (terms.empty()) {
+      return Status::InvalidArgument("empty polynomial expression");
+    }
+    return Polynomial(std::move(terms));
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<Monomial> ParseTerm() {
+    double coef = 1.0;
+    bool saw_factor = false;
+    std::vector<std::pair<VarId, int>> powers;
+
+    if (std::isdigit(static_cast<unsigned char>(Peek())) || Peek() == '.') {
+      coef = ParseNumber();
+      saw_factor = true;
+      SkipSpace();
+      if (Peek() == '*') {
+        ++pos_;
+        SkipSpace();
+      }
+    }
+    while (std::isalpha(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      std::string name = ParseIdentifier();
+      int exp = 1;
+      SkipSpace();
+      if (Peek() == '^') {
+        ++pos_;
+        SkipSpace();
+        if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+          return Status::InvalidArgument("expected integer exponent after '^'");
+        }
+        exp = static_cast<int>(ParseNumber());
+      }
+      powers.emplace_back(reg_->Intern(name), exp);
+      saw_factor = true;
+      SkipSpace();
+      if (Peek() == '*') {
+        ++pos_;
+        SkipSpace();
+      } else {
+        break;
+      }
+    }
+    if (!saw_factor) {
+      return Status::InvalidArgument("expected a term at position " +
+                                     std::to_string(pos_));
+    }
+    return Monomial(coef, std::move(powers));
+  }
+
+  double ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    return std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+  }
+
+  std::string ParseIdentifier() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  const std::string& text_;
+  VariableRegistry* reg_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Polynomial> Polynomial::Parse(const std::string& text,
+                                     VariableRegistry* reg) {
+  return Parser(text, reg).Run();
+}
+
+}  // namespace polydab

@@ -1,0 +1,93 @@
+#ifndef POLYDAB_POLY_POLYNOMIAL_H_
+#define POLYDAB_POLY_POLYNOMIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "poly/monomial.h"
+
+/// \file polynomial.h
+/// Multivariate polynomials over data items — the query language of the
+/// paper (§I-A). A PQ is a Polynomial plus a query accuracy bound; a PPQ
+/// is a Polynomial whose coefficients are all positive.
+
+namespace polydab {
+
+/// \brief Canonical sum of monomials: sorted by power product, like terms
+/// merged, zero terms dropped.
+class Polynomial {
+ public:
+  Polynomial() = default;
+
+  /// Canonicalize an arbitrary term list.
+  explicit Polynomial(std::vector<Monomial> terms);
+
+  /// The polynomial consisting of a single term.
+  static Polynomial FromMonomial(Monomial m) {
+    return Polynomial(std::vector<Monomial>{std::move(m)});
+  }
+
+  /// Constant polynomial.
+  static Polynomial Constant(double c) {
+    return FromMonomial(Monomial(c));
+  }
+
+  /// The bare variable x_v.
+  static Polynomial Variable(VarId v) {
+    return FromMonomial(Monomial(1.0, {{v, 1}}));
+  }
+
+  const std::vector<Monomial>& terms() const { return terms_; }
+  bool IsZero() const { return terms_.empty(); }
+
+  /// Maximum term degree; 0 for constants and the zero polynomial.
+  int Degree() const;
+
+  /// Sorted unique variable ids appearing with exponent ≥ 1.
+  std::vector<VarId> Variables() const;
+
+  /// True when every coefficient is > 0 (the PPQ class of §III-A).
+  bool IsPositiveCoefficient() const;
+
+  /// True when no variable of *this appears in \p other (the paper's
+  /// definition of independent sub-polynomials, §III-B.1).
+  bool IsIndependentOf(const Polynomial& other) const;
+
+  /// \brief Split into positive and negative parts: *this = P1 − P2 with
+  /// P1, P2 positive-coefficient (§III-B.1, "Key Observation").
+  /// Constant terms follow their sign.
+  void SplitSigns(Polynomial* positive, Polynomial* negative) const;
+
+  /// Value with item values taken from the dense array \p values.
+  double Evaluate(const Vector& values) const;
+
+  /// Partial derivative with respect to \p v.
+  Polynomial PartialDerivative(VarId v) const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator*(double scalar) const;
+
+  bool operator==(const Polynomial& other) const;
+
+  /// Render like "3*x*y^2 - 1*u*v".
+  std::string ToString(const VariableRegistry& reg) const;
+
+  /// \brief Parse expressions like "3*x*y^2 - u*v + 0.5*z", interning
+  /// variable names into \p reg. Supported grammar: signed terms joined by
+  /// +/-, each term an optional decimal coefficient and '*'-separated
+  /// variables with optional integer '^' exponents.
+  static Result<Polynomial> Parse(const std::string& text,
+                                  VariableRegistry* reg);
+
+ private:
+  void Canonicalize();
+
+  std::vector<Monomial> terms_;
+};
+
+}  // namespace polydab
+
+#endif  // POLYDAB_POLY_POLYNOMIAL_H_

@@ -1,0 +1,58 @@
+#ifndef POLYDAB_POLY_VARIABLE_H_
+#define POLYDAB_POLY_VARIABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+/// \file variable.h
+/// Data items are identified by dense integer ids so that coordinator-side
+/// value snapshots, rates of change and DAB vectors can live in flat arrays.
+/// A VariableRegistry provides the name <-> id mapping used when queries are
+/// authored or printed.
+
+namespace polydab {
+
+/// Dense identifier of a data item (e.g. one stock price at one source).
+using VarId = int32_t;
+
+/// \brief Bidirectional name <-> id registry for data items.
+///
+/// Ids are assigned consecutively from zero, so registry.size() is also the
+/// length of every per-item array in the system.
+class VariableRegistry {
+ public:
+  /// Return the id for \p name, registering it if new.
+  VarId Intern(const std::string& name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    VarId id = static_cast<VarId>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  /// Return the id for \p name or -1 when absent.
+  VarId Find(const std::string& name) const {
+    auto it = ids_.find(name);
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  const std::string& Name(VarId id) const {
+    POLYDAB_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size());
+    return names_[static_cast<size_t>(id)];
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VarId> ids_;
+};
+
+}  // namespace polydab
+
+#endif  // POLYDAB_POLY_VARIABLE_H_

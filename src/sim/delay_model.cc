@@ -1,0 +1,4 @@
+#include "sim/delay_model.h"
+
+// DelayModel is header-only today; this translation unit anchors the
+// library target and keeps a stable home for future out-of-line logic.

@@ -1,0 +1,353 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/multi_query.h"
+#include "core/query_index.h"
+#include "core/validator.h"
+
+#include "common/logging.h"
+
+namespace polydab::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class EventType { kRefresh, kDabChange };
+
+struct Event {
+  double time;
+  EventType type;
+  int item;
+  double value;  // refresh: item value; dab-change: new filter width
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+/// Whole simulation state; method-free aggregation kept local to this TU.
+struct State {
+  std::vector<std::vector<int>> item_queries;  // item -> query indices
+
+  // Source side.
+  Vector source_value;    // true current value per item
+  Vector last_pushed;     // value at last push per item
+  Vector installed_dab;   // filter width currently active at the source
+
+  // Coordinator side. Each query's plan consists of one or two
+  // independently maintained parts (two under Half and Half, §III-B.2);
+  // anchors[q][p] holds the item values the part's DABs were computed at.
+  Vector view;  // C's item values
+  std::vector<core::QueryPlan> plans;
+  std::vector<std::vector<Vector>> anchors;
+  Vector min_primary;  // EQI merge target per item
+
+  // Bookkeeping.
+  std::vector<double> violated_time;  // per query: fidelity loss
+  double coord_free_at = 0.0;         // coordinator busy-until time
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+};
+
+/// Minimum primary DAB for one item across every part of every plan that
+/// references it (the EQI merge of §IV).
+double ItemMinPrimary(const State& st, int item) {
+  double m = kInf;
+  for (int qi : st.item_queries[static_cast<size_t>(item)]) {
+    for (const core::PlanPart& part : st.plans[static_cast<size_t>(qi)].parts) {
+      const int idx = part.dabs.IndexOf(static_cast<VarId>(item));
+      if (idx >= 0) {
+        m = std::min(m, part.dabs.primary[static_cast<size_t>(idx)]);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
+                                 const workload::TraceSet& traces,
+                                 const Vector& rates,
+                                 const SimConfig& config) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("no queries to simulate");
+  }
+  if (traces.num_ticks < 2) {
+    return Status::InvalidArgument("trace too short");
+  }
+  const size_t n_items = traces.num_items();
+  if (rates.size() < n_items) {
+    return Status::InvalidArgument("rates vector smaller than item count");
+  }
+  const bool aao_mode = config.aao_period_s > 0.0;
+  if (aao_mode) {
+    for (const PolynomialQuery& q : queries) {
+      if (!q.IsPositiveCoefficient()) {
+        return Status::InvalidArgument(
+            "AAO-periodic mode requires positive-coefficient queries");
+      }
+    }
+  }
+
+  Rng master(config.seed);
+  DelayModel delays(config.delays, master.Fork());
+
+  State st;
+  st.item_queries.resize(n_items);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (VarId v : queries[qi].p.Variables()) {
+      if (static_cast<size_t>(v) >= n_items) {
+        return Status::InvalidArgument(
+            "query references item beyond trace set");
+      }
+      st.item_queries[static_cast<size_t>(v)].push_back(
+          static_cast<int>(qi));
+    }
+  }
+
+  st.source_value = traces.Snapshot(0);
+  st.last_pushed = st.source_value;
+  st.view = st.source_value;
+  st.plans.resize(queries.size());
+  st.anchors.resize(queries.size());
+  st.violated_time.assign(queries.size(), 0.0);
+
+  SimMetrics metrics;
+
+  auto anchor_part = [&](size_t qi, size_t pi) {
+    const core::PlanPart& part = st.plans[qi].parts[pi];
+    Vector& anchor = st.anchors[qi][pi];
+    anchor.resize(part.dabs.vars.size());
+    for (size_t i = 0; i < part.dabs.vars.size(); ++i) {
+      anchor[i] = st.view[static_cast<size_t>(part.dabs.vars[i])];
+    }
+  };
+
+  // Initial planning (time zero; not counted as recomputation, and the
+  // initial filters are installed synchronously).
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto plan = core::PlanQueryParts(queries[qi], st.view, rates,
+                                     config.planner);
+    if (!plan.ok()) {
+      return Status::Internal("initial planning failed for query " +
+                              std::to_string(queries[qi].id) + ": " +
+                              plan.status().ToString());
+    }
+    st.plans[qi] = std::move(plan).value();
+    st.anchors[qi].resize(st.plans[qi].parts.size());
+    for (size_t pi = 0; pi < st.plans[qi].parts.size(); ++pi) {
+      anchor_part(qi, pi);
+    }
+    if (config.paranoid_validation) {
+      Status valid = core::ValidatePlan(st.plans[qi], st.view);
+      if (!valid.ok()) {
+        return Status::Internal("plan validation failed for query " +
+                                std::to_string(queries[qi].id) + ": " +
+                                valid.ToString());
+      }
+    }
+  }
+  st.min_primary.resize(n_items);
+  st.installed_dab.resize(n_items);
+  for (size_t i = 0; i < n_items; ++i) {
+    st.min_primary[i] = ItemMinPrimary(st, static_cast<int>(i));
+    st.installed_dab[i] = st.min_primary[i];
+  }
+
+  // After part (qi, pi) was replanned at time `now`, refresh the EQI merge
+  // over its items and ship changed filters to the sources.
+  auto ship_dab_changes = [&](size_t qi, size_t pi, double now) {
+    for (VarId v : st.plans[qi].parts[pi].dabs.vars) {
+      const size_t item = static_cast<size_t>(v);
+      const double fresh = ItemMinPrimary(st, static_cast<int>(item));
+      if (std::fabs(fresh - st.min_primary[item]) >
+          1e-9 * std::max(1.0, st.min_primary[item])) {
+        st.min_primary[item] = fresh;
+        ++metrics.dab_change_messages;
+        st.events.push(Event{now + delays.Check() + delays.Network(),
+                             EventType::kDabChange, static_cast<int>(item),
+                             fresh});
+      }
+    }
+  };
+
+  // Incremental view-side query evaluation: the coordinator's values only
+  // change on refresh arrivals, so the per-tick fidelity check patches
+  // affected queries instead of re-evaluating everything.
+  core::IncrementalEvaluator view_eval(queries, st.view);
+
+  // §I-B: for each refresh, the coordinator checks which QABs would be
+  // violated relative to the value last sent to the user, and pushes those
+  // query results. last_user_value tracks what each user last saw.
+  Vector last_user_value(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    last_user_value[qi] = view_eval.QueryValue(qi);
+  }
+
+  const int total_ticks = traces.num_ticks;
+  int aao_next_tick =
+      aao_mode ? static_cast<int>(config.aao_period_s) : total_ticks + 1;
+  core::AaoSolution last_aao;
+  bool have_aao = false;
+
+  // Single-DAB schemes (Optimal Refresh, WSDAB) recompute on *every*
+  // refresh: their correctness condition covers drift from the exact
+  // anchor values only, so any view change stales the assignment (§I-B,
+  // Figure 2). The Dual-DAB scheme recomputes only when a value escapes
+  // its secondary range (§III-A.2).
+  const bool recompute_every_refresh =
+      config.planner.method != core::AssignmentMethod::kDualDab;
+
+  // Deliver all messages with arrival time <= now. DAB-change events that
+  // a recomputation emits at `now` (e.g. under zero delays) are picked up
+  // within the same call.
+  auto deliver_until = [&](double now) {
+    while (!st.events.empty() && st.events.top().time <= now) {
+      const Event ev = st.events.top();
+      st.events.pop();
+      if (ev.type == EventType::kDabChange) {
+        st.installed_dab[static_cast<size_t>(ev.item)] = ev.value;
+        continue;
+      }
+      // The coordinator is a serial resource: a refresh that arrives while
+      // it is still busy (checking earlier refreshes, recomputing DABs)
+      // waits in its queue. This queueing is what turns recomputation
+      // volume into fidelity loss (§V-B.1).
+      if (ev.time < st.coord_free_at) {
+        Event deferred = ev;
+        deferred.time = st.coord_free_at;
+        st.events.push(deferred);
+        continue;
+      }
+      // Refresh processing begins.
+      ++metrics.refreshes;
+      double busy = delays.Check();
+      st.view[static_cast<size_t>(ev.item)] = ev.value;
+      view_eval.Update(static_cast<VarId>(ev.item), ev.value);
+      for (int qi : st.item_queries[static_cast<size_t>(ev.item)]) {
+        // Push the fresh result to the user when it drifted past the QAB
+        // since the last notification.
+        const double qv = view_eval.QueryValue(static_cast<size_t>(qi));
+        if (std::fabs(qv - last_user_value[static_cast<size_t>(qi)]) >
+            queries[static_cast<size_t>(qi)].qab) {
+          last_user_value[static_cast<size_t>(qi)] = qv;
+          ++metrics.user_notifications;
+          busy += delays.Push();
+        }
+        core::QueryPlan& plan = st.plans[static_cast<size_t>(qi)];
+        for (size_t pi = 0; pi < plan.parts.size(); ++pi) {
+          core::PlanPart& part = plan.parts[pi];
+          const int idx = part.dabs.IndexOf(static_cast<VarId>(ev.item));
+          if (idx < 0) continue;
+          // Value-independent assignments (LAQs) never go stale.
+          if (part.dabs.never_stale) continue;
+          if (!recompute_every_refresh) {
+            const double drift = std::fabs(
+                ev.value - st.anchors[static_cast<size_t>(qi)][pi]
+                                     [static_cast<size_t>(idx)]);
+            const double limit = part.dabs.secondary[static_cast<size_t>(idx)] *
+                                 (1.0 + config.violation_tol);
+            if (drift <= limit) continue;
+          }
+          // This part's assignment is stale (§I-B): recompute it.
+          // Warm-starting from the previous assignment keeps each
+          // re-solve cheap even when every refresh triggers one.
+          ++metrics.recomputations;
+          busy += delays.RecomputeCpu();
+          auto fresh = core::ReplanPart(part, st.view, rates,
+                                        config.planner);
+          if (!fresh.ok()) {
+            ++metrics.solver_failures;
+            continue;  // keep the stale plan; better than none
+          }
+          part.dabs = std::move(fresh).value();
+          if (config.paranoid_validation) {
+            // Only the freshly replanned part is anchored at the current
+            // view; sibling parts keep their own (older) anchors.
+            Status valid = core::ValidatePart(part, st.view);
+            POLYDAB_CHECK(valid.ok());
+          }
+          anchor_part(static_cast<size_t>(qi), pi);
+          ship_dab_changes(static_cast<size_t>(qi), pi, ev.time);
+        }
+      }
+      st.coord_free_at = ev.time + busy;
+    }
+  };
+
+  for (int tick = 1; tick < total_ticks; ++tick) {
+    const double now = static_cast<double>(tick);
+
+    // 1. Deliver everything that arrived since the last tick.
+    deliver_until(now);
+
+    // 2. Figure-7 mode: periodic joint AAO recomputation.
+    if (aao_mode && tick >= aao_next_tick) {
+      aao_next_tick += std::max(1, static_cast<int>(config.aao_period_s));
+      auto joint = core::SolveAao(queries, st.view, rates,
+                                  config.planner.dual,
+                                  have_aao ? &last_aao : nullptr);
+      if (!joint.ok()) {
+        ++metrics.solver_failures;
+      } else {
+        last_aao = *joint;
+        have_aao = true;
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          ++metrics.recomputations;  // each query's DABs were recomputed
+          st.plans[qi].parts.assign(
+              1, core::PlanPart{queries[qi], joint->per_query[qi]});
+          st.anchors[qi].resize(1);
+          anchor_part(qi, 0);
+        }
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          ship_dab_changes(qi, 0, now);
+        }
+      }
+    }
+
+    // 3. Sources advance to this tick's trace values and push filtered
+    //    changes.
+    for (size_t item = 0; item < n_items; ++item) {
+      st.source_value[item] = traces.ValueAt(item, tick);
+      const double dab = st.installed_dab[item];
+      if (std::isinf(dab)) continue;  // item unused by any query
+      if (std::fabs(st.source_value[item] - st.last_pushed[item]) > dab) {
+        st.last_pushed[item] = st.source_value[item];
+        st.events.push(Event{now + delays.Push() + delays.Network(),
+                             EventType::kRefresh, static_cast<int>(item),
+                             st.source_value[item]});
+      }
+    }
+
+    // 3b. Zero-delay messages generated this tick arrive "instantly":
+    //     deliver them before sampling fidelity so that a zero-delay
+    //     network preserves Condition 1 exactly.
+    deliver_until(now);
+
+    // 4. Fidelity sample: is each query's QAB currently met at C?
+    if (tick % config.fidelity_stride == 0) {
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const double at_source = queries[qi].p.Evaluate(st.source_value);
+        const double at_coord = view_eval.QueryValue(qi);
+        if (std::fabs(at_source - at_coord) >
+            queries[qi].qab * (1.0 + config.violation_tol)) {
+          st.violated_time[qi] += config.fidelity_stride;
+        }
+      }
+    }
+  }
+
+  double loss_sum = 0.0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    loss_sum += 100.0 * st.violated_time[qi] /
+                static_cast<double>(total_ticks - 1);
+  }
+  metrics.mean_fidelity_loss_pct =
+      loss_sum / static_cast<double>(queries.size());
+  return metrics;
+}
+
+}  // namespace polydab::sim

@@ -1,0 +1,84 @@
+#ifndef POLYDAB_SIM_SIMULATION_H_
+#define POLYDAB_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/planner.h"
+#include "sim/delay_model.h"
+#include "workload/trace.h"
+
+/// \file simulation.h
+/// Event-driven source/coordinator simulation reproducing the paper's
+/// evaluation methodology (§V-A):
+///
+/// * Sources replay per-item traces (1 tick = 1 s) and push a refresh when
+///   an item drifts beyond its installed primary DAB since the last push.
+/// * The coordinator maintains a view of item values; each arriving
+///   refresh is checked against every affected query's *secondary* DAB
+///   range. A violation triggers a DAB recomputation for that query
+///   (PlanQuery, warm-started), updates the per-item minimum primary DABs
+///   (the EQI merge of §IV) and sends DAB-change messages to sources.
+/// * Message and computation delays are heavy-tailed Pareto (delay_model.h).
+/// * Metrics: refreshes, recomputations, DAB-change messages, fidelity
+///   loss (time-fraction a query's QAB is violated, sampled per tick), and
+///   total cost = refreshes + mu * recomputations — the paper's four
+///   metrics.
+///
+/// Single-DAB methods (Optimal Refresh, WSDAB) fall out naturally: their
+/// secondary equals their primary, so essentially every refresh that
+/// escapes a query's own bound forces a recomputation — the §I-B behaviour
+/// the Dual-DAB approach is designed to avoid.
+
+namespace polydab::sim {
+
+struct SimConfig {
+  core::PlannerConfig planner;
+  DelayConfig delays;
+  int num_sources = 20;
+  uint64_t seed = 1;
+  /// Figure 7's AAO-T mode: when > 0 (seconds) and the planner method is
+  /// kDualDab, all queries' DABs are recomputed jointly (SolveAao) every
+  /// aao_period_s; between periods, per-query secondary violations are
+  /// repaired with individual Dual-DAB solves. Each query refreshed by a
+  /// joint solve counts as one recomputation.
+  double aao_period_s = 0.0;
+  /// Evaluate fidelity every N ticks (1 = every second).
+  int fidelity_stride = 1;
+  /// Relative slack when testing secondary-range violations, guarding
+  /// against pure round-off retriggering.
+  double violation_tol = 1e-9;
+  /// Validate every plan against core/validator.h after each
+  /// (re)computation; a failed validation aborts the run with an error.
+  /// Used by tests and debugging, off by default for speed.
+  bool paranoid_validation = false;
+};
+
+struct SimMetrics {
+  int64_t refreshes = 0;          ///< refresh messages arriving at C
+  int64_t recomputations = 0;     ///< per-query DAB recomputation events
+  int64_t dab_change_messages = 0;///< C -> source filter updates sent
+  int64_t user_notifications = 0; ///< query results pushed to users
+  int64_t solver_failures = 0;    ///< plans kept stale due to solve errors
+  double mean_fidelity_loss_pct = 0.0;  ///< mean over queries, in percent
+
+  /// The paper's total cost metric: refreshes + mu * recomputations.
+  double TotalCost(double mu) const {
+    return static_cast<double>(refreshes) +
+           mu * static_cast<double>(recomputations);
+  }
+};
+
+/// \brief Run the full push-based simulation of \p queries over \p traces.
+///
+/// \p rates are the per-item λ estimates fed to the planner (see
+/// workload/rate_estimator.h). Deterministic given config.seed.
+Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
+                                 const workload::TraceSet& traces,
+                                 const Vector& rates,
+                                 const SimConfig& config);
+
+}  // namespace polydab::sim
+
+#endif  // POLYDAB_SIM_SIMULATION_H_

@@ -1,0 +1,108 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+namespace polydab::workload {
+
+namespace {
+
+/// Draw one item id under the 80-20 model from [lo, hi).
+VarId DrawItem(const QueryGenConfig& config, int lo, int hi, Rng* rng) {
+  const int span = hi - lo;
+  const int hot = std::max(1, static_cast<int>(span * config.group1_fraction));
+  if (rng->Bernoulli(config.group1_prob)) {
+    return static_cast<VarId>(lo + rng->UniformInt(0, hot - 1));
+  }
+  if (hot >= span) {
+    return static_cast<VarId>(lo + rng->UniformInt(0, span - 1));
+  }
+  return static_cast<VarId>(lo + rng->UniformInt(hot, span - 1));
+}
+
+/// Build Σ w · x_a · x_b with `pairs` product terms over item ids [lo, hi).
+Polynomial RandomProductSum(const QueryGenConfig& config, int lo, int hi,
+                            int pairs, Rng* rng) {
+  std::vector<Monomial> terms;
+  terms.reserve(static_cast<size_t>(pairs));
+  for (int k = 0; k < pairs; ++k) {
+    VarId a = DrawItem(config, lo, hi, rng);
+    VarId b = DrawItem(config, lo, hi, rng);
+    // Avoid a == b so terms stay bilinear like the paper's portfolio
+    // queries (price * exchange rate).
+    for (int tries = 0; tries < 8 && b == a; ++tries) {
+      b = DrawItem(config, lo, hi, rng);
+    }
+    terms.emplace_back(rng->Uniform(config.weight_lo, config.weight_hi),
+                       std::vector<std::pair<VarId, int>>{{a, 1}, {b, 1}});
+  }
+  return Polynomial(std::move(terms));
+}
+
+Status ValidateConfig(const QueryGenConfig& config, const Vector& initial) {
+  if (config.num_items < 4) {
+    return Status::InvalidArgument("need at least 4 items");
+  }
+  if (initial.size() < static_cast<size_t>(config.num_items)) {
+    return Status::InvalidArgument("initial snapshot smaller than universe");
+  }
+  if (config.min_pairs < 1 || config.max_pairs < config.min_pairs) {
+    return Status::InvalidArgument("bad pair-count range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<PolynomialQuery>> GeneratePortfolioQueries(
+    int count, const QueryGenConfig& config, const Vector& initial,
+    Rng* rng) {
+  POLYDAB_RETURN_NOT_OK(ValidateConfig(config, initial));
+  std::vector<PolynomialQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int pairs =
+        static_cast<int>(rng->UniformInt(config.min_pairs, config.max_pairs));
+    PolynomialQuery q;
+    q.id = i;
+    q.p = RandomProductSum(config, 0, config.num_items, pairs, rng);
+    q.qab = config.qab_fraction_ppq * q.p.Evaluate(initial);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<std::vector<PolynomialQuery>> GenerateArbitrageQueries(
+    int count, const QueryGenConfig& config, const Vector& initial,
+    bool dependent, Rng* rng) {
+  POLYDAB_RETURN_NOT_OK(ValidateConfig(config, initial));
+  std::vector<PolynomialQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int pairs = std::max(
+        1, static_cast<int>(
+               rng->UniformInt(config.min_pairs, config.max_pairs)) /
+               2);
+    Polynomial p1, p2;
+    if (dependent) {
+      p1 = RandomProductSum(config, 0, config.num_items, pairs, rng);
+      p2 = RandomProductSum(config, 0, config.num_items, pairs, rng);
+    } else {
+      const int half = config.num_items / 2;
+      p1 = RandomProductSum(config, 0, half, pairs, rng);
+      p2 = RandomProductSum(config, half, config.num_items, pairs, rng);
+    }
+    PolynomialQuery q;
+    q.id = i;
+    q.p = p1 - p2;
+    if (q.p.IsZero()) {
+      --i;  // astronomically unlikely, but regenerate rather than emit 0
+      continue;
+    }
+    q.qab = config.qab_fraction_pq *
+            (p1.Evaluate(initial) + p2.Evaluate(initial));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace polydab::workload

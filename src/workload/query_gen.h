@@ -1,0 +1,52 @@
+#ifndef POLYDAB_WORKLOAD_QUERY_GEN_H_
+#define POLYDAB_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/query.h"
+
+/// \file query_gen.h
+/// §V-A "Queries": workload generators matching the paper's methodology.
+/// Items are split 20/80 into a hot group (group 1) and a cold group; each
+/// item slot of a query draws from group 1 with probability 0.8. Queries
+/// average 12–14 distinct items; weights are uniform in [1, 100]; the QAB
+/// is a percentage of the query's initial value (1 % for PPQs, 2 % for
+/// general PQs).
+
+namespace polydab::workload {
+
+/// Knobs shared by both generators.
+struct QueryGenConfig {
+  int num_items = 100;          ///< size of the data-item universe
+  double group1_fraction = 0.2; ///< hot-group share of the universe
+  double group1_prob = 0.8;     ///< probability an item slot is hot
+  int min_pairs = 6;            ///< product terms per query (6–7 pairs
+  int max_pairs = 7;            ///<   ≈ 12–14 items on average)
+  double weight_lo = 1.0;
+  double weight_hi = 100.0;
+  double qab_fraction_ppq = 0.01;
+  double qab_fraction_pq = 0.02;
+};
+
+/// \brief Global-portfolio PPQs (Query 1(a)):  Σ w_k · x_a · x_b : B.
+/// The QAB is qab_fraction_ppq times the query's value at \p initial
+/// (dense per-item snapshot).
+Result<std::vector<PolynomialQuery>> GeneratePortfolioQueries(
+    int count, const QueryGenConfig& config, const Vector& initial,
+    Rng* rng);
+
+/// \brief Arbitrage general PQs (Query 1(b)):  P1 − P2 : B, with P1 and P2
+/// sums of weighted products. When \p dependent is false the two parts
+/// draw items from disjoint halves of the universe (the independent case
+/// of Figure 8(a)); when true they share the full universe and typically
+/// overlap (Figure 8(b)). The QAB is qab_fraction_pq times
+/// P1(initial) + P2(initial) — the query value itself can be near zero.
+Result<std::vector<PolynomialQuery>> GenerateArbitrageQueries(
+    int count, const QueryGenConfig& config, const Vector& initial,
+    bool dependent, Rng* rng);
+
+}  // namespace polydab::workload
+
+#endif  // POLYDAB_WORKLOAD_QUERY_GEN_H_

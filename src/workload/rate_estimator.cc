@@ -1,0 +1,106 @@
+#include "workload/rate_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace polydab::workload {
+
+Result<Vector> EstimateRates(const TraceSet& traces, int interval_ticks) {
+  if (interval_ticks <= 0) {
+    return Status::InvalidArgument("sampling interval must be positive");
+  }
+  if (traces.num_ticks <= interval_ticks) {
+    return Status::InvalidArgument("trace shorter than sampling interval");
+  }
+  Vector rates(traces.num_items(), 0.0);
+  for (size_t i = 0; i < traces.num_items(); ++i) {
+    double sum = 0.0;
+    int samples = 0;
+    for (int t = interval_ticks; t < traces.num_ticks; t += interval_ticks) {
+      sum += std::fabs(traces.ValueAt(i, t) -
+                       traces.ValueAt(i, t - interval_ticks)) /
+             interval_ticks;
+      ++samples;
+    }
+    rates[i] = samples > 0 ? sum / samples : 0.0;
+  }
+  return rates;
+}
+
+Vector UnitRates(size_t num_items) { return Vector(num_items, 1.0); }
+
+namespace {
+
+Status CheckSampling(const TraceSet& traces, int interval_ticks) {
+  if (interval_ticks <= 0) {
+    return Status::InvalidArgument("sampling interval must be positive");
+  }
+  if (traces.num_ticks <= interval_ticks) {
+    return Status::InvalidArgument("trace shorter than sampling interval");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Vector> EstimateRatesEwma(const TraceSet& traces, int interval_ticks,
+                                 double alpha) {
+  POLYDAB_RETURN_NOT_OK(CheckSampling(traces, interval_ticks));
+  if (alpha <= 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  Vector rates(traces.num_items(), 0.0);
+  for (size_t i = 0; i < traces.num_items(); ++i) {
+    double ewma = 0.0;
+    bool first = true;
+    for (int t = interval_ticks; t < traces.num_ticks; t += interval_ticks) {
+      const double r = std::fabs(traces.ValueAt(i, t) -
+                                 traces.ValueAt(i, t - interval_ticks)) /
+                       interval_ticks;
+      if (first) {
+        ewma = r;
+        first = false;
+      } else {
+        ewma = alpha * r + (1.0 - alpha) * ewma;
+      }
+    }
+    rates[i] = ewma;
+  }
+  return rates;
+}
+
+Result<Vector> EstimateRatesQuantile(const TraceSet& traces,
+                                     int interval_ticks, double quantile) {
+  POLYDAB_RETURN_NOT_OK(CheckSampling(traces, interval_ticks));
+  if (quantile < 0.0 || quantile > 1.0) {
+    return Status::InvalidArgument("quantile must be in [0, 1]");
+  }
+  Vector rates(traces.num_items(), 0.0);
+  std::vector<double> samples;
+  for (size_t i = 0; i < traces.num_items(); ++i) {
+    samples.clear();
+    for (int t = interval_ticks; t < traces.num_ticks; t += interval_ticks) {
+      samples.push_back(std::fabs(traces.ValueAt(i, t) -
+                                  traces.ValueAt(i, t - interval_ticks)) /
+                        interval_ticks);
+    }
+    if (samples.empty()) continue;
+    std::sort(samples.begin(), samples.end());
+    const size_t idx = std::min(
+        samples.size() - 1,
+        static_cast<size_t>(quantile * static_cast<double>(samples.size())));
+    rates[i] = samples[idx];
+  }
+  return rates;
+}
+
+void OnlineRateTracker::Observe(double value) {
+  if (count_ > 0) {
+    const double r = std::fabs(value - last_value_) / interval_;
+    rate_ = (count_ == 1) ? r : alpha_ * r + (1.0 - alpha_) * rate_;
+  }
+  last_value_ = value;
+  ++count_;
+}
+
+}  // namespace polydab::workload

@@ -1,0 +1,64 @@
+#ifndef POLYDAB_WORKLOAD_RATE_ESTIMATOR_H_
+#define POLYDAB_WORKLOAD_RATE_ESTIMATOR_H_
+
+#include "common/status.h"
+#include "workload/trace.h"
+
+/// \file rate_estimator.h
+/// §V-A "Model of Data Dynamics": the rate of change λ_i of item i is
+/// estimated by sampling its trace at fixed intervals (1 minute in the
+/// paper) and averaging |ΔV| / interval over the whole trace. The paper's
+/// "L1" configuration ignores rates entirely (λ_i = 1 for all items) and
+/// is reproduced by UnitRates().
+
+namespace polydab::workload {
+
+/// \brief Average absolute rate of change per item, sampled every
+/// \p interval_ticks ticks (default 60 = 1 minute at 1 Hz traces).
+Result<Vector> EstimateRates(const TraceSet& traces, int interval_ticks = 60);
+
+/// λ_i = 1 for every item (the paper's rate-agnostic "L1" variant).
+Vector UnitRates(size_t num_items);
+
+/// \brief Exponentially weighted rate estimate: the same 1-minute samples
+/// as EstimateRates, folded with weight \p alpha so recent movement
+/// dominates (one of the alternative λ calculations the paper's companion
+/// report explores). alpha in (0, 1]; larger = more reactive.
+Result<Vector> EstimateRatesEwma(const TraceSet& traces,
+                                 int interval_ticks = 60,
+                                 double alpha = 0.1);
+
+/// \brief Conservative rate estimate: the \p quantile (default p95) of the
+/// per-interval rates instead of their mean. Over-estimating λ biases the
+/// optimizer toward wider filters on the jumpiest items.
+Result<Vector> EstimateRatesQuantile(const TraceSet& traces,
+                                     int interval_ticks = 60,
+                                     double quantile = 0.95);
+
+/// \brief Online single-item rate tracker: what a deployed source would
+/// run instead of the offline whole-trace averages above. Feed values at
+/// a fixed cadence; Rate() returns the current EWMA of |ΔV| / interval.
+class OnlineRateTracker {
+ public:
+  OnlineRateTracker(double interval_seconds, double alpha)
+      : interval_(interval_seconds), alpha_(alpha) {}
+
+  /// Record the item's value at the next sampling instant.
+  void Observe(double value);
+
+  /// Current rate estimate; 0 until two observations have arrived.
+  double Rate() const { return rate_; }
+
+  int64_t num_observations() const { return count_; }
+
+ private:
+  double interval_;
+  double alpha_;
+  double last_value_ = 0.0;
+  double rate_ = 0.0;
+  int64_t count_ = 0;
+};
+
+}  // namespace polydab::workload
+
+#endif  // POLYDAB_WORKLOAD_RATE_ESTIMATOR_H_

@@ -1,0 +1,93 @@
+#include "workload/trace.h"
+
+#include <cmath>
+
+namespace polydab::workload {
+
+Vector TraceSet::Snapshot(int tick) const {
+  Vector out(traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    out[i] = traces[i][static_cast<size_t>(tick)];
+  }
+  return out;
+}
+
+Result<Trace> GenerateTrace(const TraceConfig& config, Rng* rng) {
+  if (config.num_ticks <= 0) {
+    return Status::InvalidArgument("trace needs at least one tick");
+  }
+  if (config.initial <= 0.0) {
+    return Status::InvalidArgument("initial trace value must be positive");
+  }
+  Trace out(static_cast<size_t>(config.num_ticks));
+  double v = config.initial;
+  out[0] = v;
+  // AR(1) stochastic drift for the stock model; eta is chosen so the
+  // stationary std-dev of the drift is trend_scale * volatility.
+  double trend = 0.0;
+  const double rho = config.trend_rho;
+  const double eta = (config.trend_scale > 0.0 && rho > 0.0 && rho < 1.0)
+                         ? config.trend_scale * config.volatility *
+                               std::sqrt(1.0 - rho * rho)
+                         : 0.0;
+  for (int t = 1; t < config.num_ticks; ++t) {
+    switch (config.kind) {
+      case TraceKind::kGbmStock: {
+        if (eta > 0.0) trend = rho * trend + eta * rng->Gaussian();
+        const double z = rng->Gaussian();
+        v *= std::exp(config.drift + trend -
+                      0.5 * config.volatility * config.volatility +
+                      config.volatility * z);
+        if (config.jump_prob > 0.0 && rng->Bernoulli(config.jump_prob)) {
+          const double mag = config.jump_scale * rng->Uniform(0.5, 1.5);
+          v *= std::exp(rng->Bernoulli(0.5) ? mag : -mag);
+        }
+        break;
+      }
+      case TraceKind::kRandomWalk:
+        v += config.volatility * rng->Gaussian();
+        break;
+      case TraceKind::kMonotonic:
+        v += config.drift + config.volatility * rng->Gaussian();
+        break;
+    }
+    if (v < config.floor) v = config.floor;
+    out[static_cast<size_t>(t)] = v;
+  }
+  return out;
+}
+
+Result<TraceSet> GenerateTraceSet(const TraceSetConfig& config, Rng* rng) {
+  if (config.num_items <= 0) {
+    return Status::InvalidArgument("need at least one item");
+  }
+  TraceSet out;
+  out.num_ticks = config.num_ticks;
+  out.traces.reserve(static_cast<size_t>(config.num_items));
+  for (int i = 0; i < config.num_items; ++i) {
+    TraceConfig tc;
+    tc.kind = config.kind;
+    tc.num_ticks = config.num_ticks;
+    tc.initial = rng->Uniform(config.initial_lo, config.initial_hi);
+    tc.volatility = rng->Uniform(config.vol_lo, config.vol_hi);
+    tc.jump_prob = config.jump_prob;
+    tc.jump_scale = config.jump_scale;
+    if (config.kind == TraceKind::kRandomWalk) {
+      // Interpret volatility as an absolute per-tick step scaled to the
+      // item's magnitude so items stay heterogeneous but positive.
+      tc.volatility *= tc.initial;
+    }
+    if (config.kind == TraceKind::kMonotonic) {
+      // Per-tick drift proportional to the item's value; direction random.
+      tc.drift = (rng->Bernoulli(0.5) ? 1.0 : -1.0) *
+                 rng->Uniform(config.vol_lo, config.vol_hi) * tc.initial;
+      tc.volatility = 0.0;
+    }
+    tc.drift += config.drift;
+    POLYDAB_ASSIGN_OR_RETURN(Trace trace, GenerateTrace(tc, rng));
+    out.traces.push_back(std::move(trace));
+  }
+  return out;
+}
+
+}  // namespace polydab::workload

@@ -1,0 +1,101 @@
+#ifndef POLYDAB_WORKLOAD_TRACE_H_
+#define POLYDAB_WORKLOAD_TRACE_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+/// \file trace.h
+/// Per-item value traces driving the simulation. The paper replayed ~3 h
+/// (10 000 s) of real intraday stock quotes from Yahoo! Finance for 100
+/// items (§V-A); that data set is not redistributable, so we synthesize
+/// traces with the same structure (see DESIGN.md §2): geometric Brownian
+/// motion for "stock-like" items, plus pure random walks and monotonic
+/// drifts matching the paper's two data-dynamics models. One tick = 1 s.
+
+namespace polydab::workload {
+
+/// Shape of a synthetic trace.
+enum class TraceKind {
+  kGbmStock,    ///< geometric Brownian motion around an initial price
+  kRandomWalk,  ///< additive Gaussian random walk (positive-clamped)
+  kMonotonic,   ///< deterministic linear drift with tiny jitter
+};
+
+/// Parameters for one trace.
+struct TraceConfig {
+  TraceKind kind = TraceKind::kGbmStock;
+  int num_ticks = 10000;    ///< trace length in seconds
+  double initial = 100.0;   ///< starting value (positive)
+  /// GBM: annualized-style drift per tick (typically ~0). Monotonic: the
+  /// per-tick slope. Unused for random walks.
+  double drift = 0.0;
+  /// GBM: per-tick relative volatility. RandomWalk: per-tick absolute step
+  /// std-dev. Monotonic: jitter std-dev (kept tiny).
+  double volatility = 1e-3;
+  /// Values are clamped to at least this floor to keep the positive-data
+  /// requirement of the DAB conditions.
+  double floor = 1e-3;
+  /// Probability per tick of a price jump (GBM only). Real intraday quote
+  /// streams are not diffusive at 1 s resolution — occasional multi-sigma
+  /// jumps are what make in-flight coordinator staleness observable as
+  /// fidelity loss, so the synthetic substitute needs them too.
+  double jump_prob = 0.0;
+  /// Relative magnitude of a jump; the realized jump is uniform in
+  /// [0.5, 1.5] x jump_scale with a random sign.
+  double jump_scale = 0.02;
+  /// Momentum of the stock model (GBM only): the per-tick log-return
+  /// carries an AR(1) stochastic drift d_t = rho d_{t-1} + eta N(0,1) on
+  /// top of the diffusive noise. Real intraday quotes trend locally
+  /// (order-flow momentum); a memoryless GBM does not, and local trends
+  /// are what the paper's monotonic data-dynamics model captures. 0
+  /// disables the drift component.
+  double trend_rho = 0.99;
+  /// Scale of the stochastic drift relative to `volatility`; the
+  /// stationary std-dev of d_t is trend_scale * volatility.
+  double trend_scale = 1.0;
+};
+
+/// One item's value per tick.
+using Trace = Vector;
+
+/// All items' traces, trace[i][t] = value of item i at tick t.
+struct TraceSet {
+  std::vector<Trace> traces;
+  int num_ticks = 0;
+
+  size_t num_items() const { return traces.size(); }
+  double ValueAt(size_t item, int tick) const {
+    return traces[item][static_cast<size_t>(tick)];
+  }
+  /// Dense snapshot of all items at \p tick.
+  Vector Snapshot(int tick) const;
+};
+
+/// Generate a single trace.
+Result<Trace> GenerateTrace(const TraceConfig& config, Rng* rng);
+
+/// \brief Generate a TraceSet of \p num_items traces with per-item
+/// randomized initial values in [initial_lo, initial_hi] and volatilities
+/// in [vol_lo, vol_hi], mimicking the heterogeneity of real quote data.
+struct TraceSetConfig {
+  TraceKind kind = TraceKind::kGbmStock;
+  int num_items = 100;
+  int num_ticks = 10000;
+  double initial_lo = 20.0;
+  double initial_hi = 200.0;
+  double vol_lo = 2e-4;
+  double vol_hi = 2e-3;
+  double drift = 0.0;
+  /// Per-tick jump probability for GBM items (see TraceConfig::jump_prob).
+  double jump_prob = 0.002;
+  double jump_scale = 0.02;
+};
+
+Result<TraceSet> GenerateTraceSet(const TraceSetConfig& config, Rng* rng);
+
+}  // namespace polydab::workload
+
+#endif  // POLYDAB_WORKLOAD_TRACE_H_

@@ -1,0 +1,37 @@
+#ifndef POLYDAB_WORKLOAD_TRACE_IO_H_
+#define POLYDAB_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/trace.h"
+
+/// \file trace_io.h
+/// CSV import/export for trace sets, so the synthetic generators can be
+/// swapped for real quote data (the paper replayed Yahoo! Finance
+/// intraday traces; anyone holding such data can feed it straight into
+/// the simulator and benches).
+///
+/// Format: one row per tick, one column per item, comma-separated, an
+/// optional header row of item names (detected automatically on load).
+/// All values must be positive finite numbers (the DAB conditions
+/// require positive data).
+
+namespace polydab::workload {
+
+/// Parse a CSV string into a TraceSet. Rows of differing width, empty
+/// input, or non-positive/non-numeric cells are rejected.
+Result<TraceSet> ParseTraceSetCsv(const std::string& csv);
+
+/// Render a TraceSet as CSV (no header row).
+std::string TraceSetToCsv(const TraceSet& traces);
+
+/// Load a TraceSet from a CSV file on disk.
+Result<TraceSet> LoadTraceSetCsv(const std::string& path);
+
+/// Write a TraceSet to a CSV file on disk.
+Status SaveTraceSetCsv(const TraceSet& traces, const std::string& path);
+
+}  // namespace polydab::workload
+
+#endif  // POLYDAB_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/optimal_refresh.h"
+
+namespace polydab::core {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  VariableRegistry reg_;
+  VarId x_ = reg_.Intern("x");
+  VarId y_ = reg_.Intern("y");
+
+  PolynomialQuery Q(const std::string& s, double qab) {
+    auto r = Polynomial::Parse(s, &reg_);
+    EXPECT_TRUE(r.ok());
+    return PolynomialQuery{0, *r, qab};
+  }
+};
+
+TEST_F(BaselineTest, AssignmentIsFeasible) {
+  PolynomialQuery q = Q("x*y", 5.0);
+  Vector values = {2.0, 2.0};
+  auto d = SolveWsDab(q, values);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  Vector shifted = values;
+  shifted[0] += d->primary[0];
+  shifted[1] += d->primary[1];
+  EXPECT_LE(shifted[0] * shifted[1] - 4.0, 5.0 * (1.0 + 1e-6));
+  EXPECT_EQ(d->primary, d->secondary);  // single-DAB scheme
+}
+
+TEST_F(BaselineTest, MoreStringentThanOptimalRefresh) {
+  // §V-A: the [5]-style per-item sufficient conditions produce more
+  // stringent DABs than the single necessary-and-sufficient condition, so
+  // the baseline's modeled refresh load is strictly higher.
+  PolynomialQuery q = Q("x*y", 50.0);
+  Vector values = {40.0, 20.0};
+  Vector rates = {1.0, 1.0};
+  auto base = SolveWsDab(q, values);
+  ASSERT_TRUE(base.ok());
+  auto opt = SolveOptimalRefresh(q, values, rates);
+  ASSERT_TRUE(opt.ok());
+  const double base_load = 1.0 / base->primary[0] + 1.0 / base->primary[1];
+  const double opt_load = 1.0 / opt->primary[0] + 1.0 / opt->primary[1];
+  EXPECT_GT(base_load, opt_load);
+}
+
+TEST_F(BaselineTest, HigherDegreeQuery) {
+  // The comparison function family of §V-A uses higher powers (x*y^4).
+  PolynomialQuery q = Q("x*y^4", 50.0);
+  Vector values = {40.0, 20.0};
+  auto d = SolveWsDab(q, values);
+  ASSERT_TRUE(d.ok());
+  Vector shifted = values;
+  shifted[0] += d->primary[0];
+  shifted[1] += d->primary[1];
+  EXPECT_LE(q.p.Evaluate(shifted) - q.p.Evaluate(values),
+            50.0 * (1.0 + 1e-6));
+  EXPECT_GT(d->primary[0], 0.0);
+  EXPECT_GT(d->primary[1], 0.0);
+}
+
+TEST_F(BaselineTest, IgnoresRatesByDesign) {
+  // WSDAB has no rate input at all; the same values give the same bounds.
+  PolynomialQuery q = Q("x*y + y^2", 3.0);
+  Vector values = {7.0, 9.0};
+  auto a = SolveWsDab(q, values);
+  auto b = SolveWsDab(q, values);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->primary, b->primary);
+}
+
+TEST_F(BaselineTest, RejectsBadInputs) {
+  EXPECT_FALSE(SolveWsDab(Q("x - y", 1.0), {1.0, 1.0}).ok());
+  EXPECT_FALSE(SolveWsDab(Q("x*y", -1.0), {1.0, 1.0}).ok());
+  EXPECT_FALSE(SolveWsDab(Q("x*y", 1.0), {0.0, 1.0}).ok());
+}
+
+}  // namespace
+}  // namespace polydab::core

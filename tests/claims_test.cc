@@ -1,0 +1,166 @@
+// Numerical verification of the paper's two formal claims about the
+// Different Sum heuristic (§III-B.2).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dual_dab.h"
+
+namespace polydab::core {
+namespace {
+
+/// Exact worst-case drift of Q = P1 - P2 (independent parts) under dual
+/// DABs (b, c): P1's items end high while P2's items end low, both from
+/// the worst anchors inside the secondary range.
+double ExactWorstDrift(const Polynomial& p1, const Polynomial& p2,
+                       const Vector& values, const QueryDabs& d) {
+  Vector anchor_hi = values, top = values;     // P1 side: up from +c
+  Vector anchor_lo = values, bottom = values;  // P2 side: down from +c
+  auto apply = [&](const Polynomial& p, bool up) {
+    for (VarId v : p.Variables()) {
+      const int i = d.IndexOf(v);
+      if (i < 0) continue;
+      const size_t vi = static_cast<size_t>(v);
+      const size_t ii = static_cast<size_t>(i);
+      if (up) {
+        anchor_hi[vi] = values[vi] + d.secondary[ii];
+        top[vi] = values[vi] + d.secondary[ii] + d.primary[ii];
+      } else {
+        anchor_lo[vi] = values[vi] + d.secondary[ii];
+        bottom[vi] = values[vi] + d.secondary[ii] - d.primary[ii];
+      }
+    }
+  };
+  apply(p1, /*up=*/true);
+  apply(p2, /*up=*/false);
+  return (p1.Evaluate(top) - p1.Evaluate(anchor_hi)) +
+         (p2.Evaluate(anchor_lo) - p2.Evaluate(bottom));
+}
+
+class ClaimsTest : public ::testing::Test {
+ protected:
+  VariableRegistry reg_;
+  VarId x_ = reg_.Intern("x");
+  VarId y_ = reg_.Intern("y");
+  VarId u_ = reg_.Intern("u");
+  VarId v_ = reg_.Intern("v");
+
+  Polynomial P(const std::string& s) {
+    auto r = Polynomial::Parse(s, &reg_);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+};
+
+TEST_F(ClaimsTest, Claim1DsAssignmentSatisfiesExactDifferenceCondition) {
+  // Claim 1: DABs feasible for P1 + P2 : B are feasible for P1 - P2 : B.
+  // Check against the *exact* worst-case drift of the difference query,
+  // not just sampled excursions.
+  Polynomial p1 = P("2*x*y");
+  Polynomial p2 = P("u*v");
+  const Vector values = {10.0, 8.0, 6.0, 5.0};
+  const Vector rates = {1.0, 0.5, 2.0, 1.5};
+  for (double mu : {1.0, 5.0, 20.0}) {
+    DualDabParams params;
+    params.mu = mu;
+    PolynomialQuery sum{0, p1 + p2, 4.0};
+    auto d = SolveDualDab(sum, values, rates, params);
+    ASSERT_TRUE(d.ok());
+    EXPECT_LE(ExactWorstDrift(p1, p2, values, *d), 4.0 * (1.0 + 1e-4));
+  }
+}
+
+TEST_F(ClaimsTest, Claim2DsWithinFactorOfTrueOptimum) {
+  // Claim 2(B): for independent parts with alpha = max_i c_i / V_i, the
+  // DS solution's total cost is within 1/(1-alpha)^d of the optimum of
+  // the true difference problem (monotonic ddm, d = degree).
+  //
+  // Tiny instance (P1 = x*y, P2 = u*v) so the true optimum is found by
+  // brute force over a symmetric-reduced grid: by symmetry of values and
+  // rates within each part, the optimum has equal b (and c) inside each
+  // part, leaving a 4-dimensional search (b1, c1, b2, c2).
+  Polynomial p1 = P("x*y");
+  Polynomial p2 = P("u*v");
+  const Vector values = {50.0, 50.0, 40.0, 40.0};
+  const Vector rates = {1.0, 1.0, 1.0, 1.0};
+  const double qab = 5.0;
+  const double mu = 5.0;
+
+  DualDabParams params;
+  params.mu = mu;
+  PolynomialQuery sum{0, p1 + p2, qab};
+  auto ds = SolveDualDab(sum, values, rates, params);
+  ASSERT_TRUE(ds.ok());
+
+  auto cost = [&](const QueryDabs& d) {
+    double s = 0.0;
+    for (size_t i = 0; i < d.vars.size(); ++i) {
+      s += rates[static_cast<size_t>(d.vars[i])] / d.primary[i];
+    }
+    return s + mu * d.recompute_rate;
+  };
+  const double ds_cost = cost(*ds);
+
+  // Brute force the exact difference problem.
+  double best = 1e300;
+  const int kGrid = 60;
+  auto scan = [&](double lo, double hi, int steps, auto f) {
+    for (int i = 1; i <= steps; ++i) f(lo + (hi - lo) * i / steps);
+  };
+  scan(0.005, 1.0, kGrid, [&](double c1) {
+    scan(0.005, 1.0, kGrid, [&](double c2) {
+      // On the exact-condition boundary, solve b1 given b2 share: use an
+      // inner 1-D scan over the split of the drift budget.
+      scan(0.05, 0.95, 20, [&](double share) {
+        // Part 1 drift allowance share*B: (V+c1+b1)^2-ish... For the
+        // product of two items at equal values Vp: drift1 =
+        // (Vp+c1+b1)^2 - (Vp+c1)^2 with Vp = 50, and part 2 decreasing:
+        // (Vq+c2)^2 - (Vq+c2-b2)^2 with Vq = 40.
+        const double budget1 = share * qab;
+        const double budget2 = (1.0 - share) * qab;
+        const double s1 = 50.0 + c1;
+        // (s1+b1)^2 - s1^2 = budget1 -> b1 = sqrt(s1^2+budget1) - s1.
+        const double b1 = std::sqrt(s1 * s1 + budget1) - s1;
+        const double s2 = 40.0 + c2;
+        // s2^2 - (s2-b2)^2 = budget2 -> b2 = s2 - sqrt(s2^2 - budget2).
+        if (s2 * s2 <= budget2) return;
+        const double b2 = s2 - std::sqrt(s2 * s2 - budget2);
+        if (b1 <= 0 || b2 <= 0 || b1 > c1 || b2 > c2) return;
+        const double r = std::max(1.0 / c1, 1.0 / c2);  // lambda = 1
+        best = std::min(best, 2.0 / b1 + 2.0 / b2 + mu * r);
+      });
+    });
+  });
+  ASSERT_LT(best, 1e300);
+
+  double alpha = 0.0;
+  for (size_t i = 0; i < ds->vars.size(); ++i) {
+    alpha = std::max(alpha, ds->secondary[i] /
+                                values[static_cast<size_t>(ds->vars[i])]);
+  }
+  const int degree = 2;
+  const double claim_factor = 1.0 / std::pow(1.0 - alpha, degree);
+  // DS is never better than the exact optimum...
+  EXPECT_GE(ds_cost, best * (1.0 - 2e-2));
+  // ...and Claim 2 bounds how much worse it can be.
+  EXPECT_LE(ds_cost, best * claim_factor * (1.0 + 1e-2));
+  // In this regime alpha is tiny, so DS is essentially optimal.
+  EXPECT_LT(alpha, 0.05);
+  EXPECT_LE(ds_cost, best * 1.05);
+}
+
+TEST_F(ClaimsTest, Claim2FactorDegradesGracefullyWithAlpha) {
+  // Sanity on the bound's shape: bigger QAB -> bigger relative DABs
+  // (alpha) -> looser guarantee. The claim factor must stay finite and
+  // monotone in alpha for alpha < 1.
+  double prev = 1.0;
+  for (double alpha : {0.01, 0.1, 0.3, 0.6}) {
+    const double f = 1.0 / std::pow(1.0 - alpha, 2);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace polydab::core

@@ -1,0 +1,168 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/laq.h"
+
+namespace polydab::core {
+namespace {
+
+class LaqTest : public ::testing::Test {
+ protected:
+  VariableRegistry reg_;
+  VarId x_ = reg_.Intern("x");
+  VarId y_ = reg_.Intern("y");
+  VarId z_ = reg_.Intern("z");
+
+  PolynomialQuery Q(const std::string& s, double qab) {
+    auto r = Polynomial::Parse(s, &reg_);
+    EXPECT_TRUE(r.ok());
+    return PolynomialQuery{0, *r, qab};
+  }
+};
+
+TEST_F(LaqTest, UniformCaseSplitsEvenly) {
+  // w = (1,1), lambda = (1,1): b_i = B/2 each.
+  auto d = SolveLaq(Q("x + y", 4.0), {1.0, 1.0, 0.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->primary[0], 2.0, 1e-12);
+  EXPECT_NEAR(d->primary[1], 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d->recompute_rate, 0.0);  // never goes stale
+}
+
+TEST_F(LaqTest, ConditionIsTight) {
+  auto q = Q("2*x + 3*y - z", 6.0);
+  Vector rates = {1.0, 0.5, 2.0};
+  auto d = SolveLaq(q, rates);
+  ASSERT_TRUE(d.ok());
+  double lhs = 0.0;
+  const Vector weights = {2.0, 3.0, 1.0};
+  for (size_t i = 0; i < d->vars.size(); ++i) lhs += weights[i] * d->primary[i];
+  EXPECT_NEAR(lhs, 6.0, 1e-9);
+}
+
+TEST_F(LaqTest, MonotonicClosedFormIsOptimal) {
+  // Compare against a fine grid on the constraint surface for two items:
+  // minimize l1/b1 + l2/b2 s.t. w1 b1 + w2 b2 = B.
+  const double w1 = 2.0, w2 = 5.0, l1 = 3.0, l2 = 0.4, B = 10.0;
+  auto d = SolveLaq(Q("2*x + 5*y", B), {l1, l2, 0.0});
+  ASSERT_TRUE(d.ok());
+  const double opt = l1 / d->primary[0] + l2 / d->primary[1];
+  double best = 1e300;
+  for (int i = 1; i < 5000; ++i) {
+    const double b1 = (B / w1) * i / 5000.0;
+    const double b2 = (B - w1 * b1) / w2;
+    if (b2 <= 0) continue;
+    best = std::min(best, l1 / b1 + l2 / b2);
+  }
+  EXPECT_NEAR(opt, best, best * 1e-4);
+}
+
+TEST_F(LaqTest, RandomWalkClosedFormIsOptimal) {
+  const double w1 = 1.0, w2 = 4.0, l1 = 2.0, l2 = 1.0, B = 8.0;
+  auto d = SolveLaq(Q("x + 4*y", B), {l1, l2, 0.0},
+                    DataDynamicsModel::kRandomWalk);
+  ASSERT_TRUE(d.ok());
+  const double opt = l1 * l1 / (d->primary[0] * d->primary[0]) +
+                     l2 * l2 / (d->primary[1] * d->primary[1]);
+  double best = 1e300;
+  for (int i = 1; i < 5000; ++i) {
+    const double b1 = (B / w1) * i / 5000.0;
+    const double b2 = (B - w1 * b1) / w2;
+    if (b2 <= 0) continue;
+    best = std::min(best, l1 * l1 / (b1 * b1) + l2 * l2 / (b2 * b2));
+  }
+  EXPECT_NEAR(opt, best, best * 1e-4);
+}
+
+TEST_F(LaqTest, NegativeWeightsUseMagnitude) {
+  auto pos = SolveLaq(Q("2*x + 3*y", 6.0), {1.0, 1.0, 0.0});
+  auto mix = SolveLaq(Q("2*x - 3*y", 6.0), {1.0, 1.0, 0.0});
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(mix.ok());
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(pos->primary[i], mix->primary[i], 1e-12);
+  }
+}
+
+TEST_F(LaqTest, ConstantOffsetIgnored) {
+  auto d = SolveLaq(Q("x + y + 100", 4.0), {1.0, 1.0, 0.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->vars.size(), 2u);
+  EXPECT_NEAR(d->primary[0], 2.0, 1e-12);
+}
+
+TEST_F(LaqTest, RejectsNonLinearAndBadQab) {
+  EXPECT_FALSE(SolveLaq(Q("x*y", 1.0), {1, 1, 1}).ok());
+  EXPECT_FALSE(SolveLaq(Q("x + y", 0.0), {1, 1, 1}).ok());
+  EXPECT_FALSE(SolveLaq(Q("5", 1.0), {1, 1, 1}).ok());
+}
+
+TEST_F(LaqTest, ZeroRateItemStillGetsPositiveBound) {
+  auto d = SolveLaq(Q("x + y", 4.0), {1.0, 0.0, 0.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d->primary[1], 0.0);
+  EXPECT_LT(d->primary[1], d->primary[0]);  // static item needs less width
+}
+
+
+TEST_F(LaqTest, MultiLaqSingleQueryMatchesClosedForm) {
+  auto joint = SolveMultiLaq({Q("2*x + 3*y", 6.0)}, {1.0, 0.5, 0.0});
+  auto single = SolveLaq(Q("2*x + 3*y", 6.0), {1.0, 0.5, 0.0});
+  ASSERT_TRUE(joint.ok()) << joint.status().ToString();
+  ASSERT_TRUE(single.ok());
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(joint->dabs[i], single->primary[i],
+                1e-4 * single->primary[i]);
+  }
+}
+
+TEST_F(LaqTest, MultiLaqBeatsMinMergeOnSharedItems) {
+  // Two LAQs share item y; the joint GP optimum must be at least as good
+  // as solving each separately and taking per-item minima (which is a
+  // feasible point of the joint program).
+  std::vector<PolynomialQuery> queries = {Q("x + 2*y", 4.0),
+                                          Q("3*y + z", 6.0)};
+  Vector rates = {1.0, 2.0, 0.3};
+  auto joint = SolveMultiLaq(queries, rates);
+  ASSERT_TRUE(joint.ok()) << joint.status().ToString();
+
+  auto a = SolveLaq(queries[0], rates);
+  auto b = SolveLaq(queries[1], rates);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Vector merged = {a->primary[0],
+                   std::min(a->primary[1], b->primary[0]), b->primary[1]};
+  const double merged_rate =
+      rates[0] / merged[0] + rates[1] / merged[1] + rates[2] / merged[2];
+  EXPECT_LE(joint->total_rate, merged_rate * (1.0 + 1e-4));
+
+  // And the joint solution satisfies every query constraint.
+  EXPECT_LE(1.0 * joint->dabs[0] + 2.0 * joint->dabs[1],
+            4.0 * (1.0 + 1e-6));
+  EXPECT_LE(3.0 * joint->dabs[1] + 1.0 * joint->dabs[2],
+            6.0 * (1.0 + 1e-6));
+}
+
+TEST_F(LaqTest, MultiLaqDisjointDecomposes) {
+  // Disjoint queries: the joint optimum equals per-query closed forms.
+  std::vector<PolynomialQuery> queries = {Q("x", 2.0), Q("y + z", 3.0)};
+  Vector rates = {1.0, 1.0, 4.0};
+  auto joint = SolveMultiLaq(queries, rates);
+  ASSERT_TRUE(joint.ok());
+  auto q1 = SolveLaq(queries[0], rates);
+  auto q2 = SolveLaq(queries[1], rates);
+  EXPECT_NEAR(joint->dabs[0], q1->primary[0], 1e-4 * q1->primary[0]);
+  EXPECT_NEAR(joint->dabs[1], q2->primary[0], 1e-4 * q2->primary[0]);
+  EXPECT_NEAR(joint->dabs[2], q2->primary[1], 1e-4 * q2->primary[1]);
+}
+
+TEST_F(LaqTest, MultiLaqRejectsBadInput) {
+  EXPECT_FALSE(SolveMultiLaq({}, {1.0}).ok());
+  EXPECT_FALSE(SolveMultiLaq({Q("x*y", 1.0)}, {1.0, 1.0, 1.0}).ok());
+  EXPECT_FALSE(SolveMultiLaq({Q("x", -1.0)}, {1.0, 1.0, 1.0}).ok());
+}
+
+}  // namespace
+}  // namespace polydab::core

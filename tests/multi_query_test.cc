@@ -1,0 +1,229 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/multi_query.h"
+
+namespace polydab::core {
+namespace {
+
+class MultiQueryTest : public ::testing::Test {
+ protected:
+  VariableRegistry reg_;
+  VarId x_ = reg_.Intern("x");
+  VarId y_ = reg_.Intern("y");
+  VarId z_ = reg_.Intern("z");
+
+  PolynomialQuery Q(int id, const std::string& s, double qab) {
+    auto r = Polynomial::Parse(s, &reg_);
+    EXPECT_TRUE(r.ok());
+    return PolynomialQuery{id, *r, qab};
+  }
+
+  Vector Values() { return {4.0, 6.0, 8.0}; }
+  Vector Rates() { return {1.0, 2.0, 0.5}; }
+};
+
+TEST_F(MultiQueryTest, MergeMinPrimaryTakesMinimum) {
+  QueryDabs a;
+  a.vars = {0, 1};
+  a.primary = {0.5, 2.0};
+  QueryDabs b;
+  b.vars = {1, 2};
+  b.primary = {1.0, 3.0};
+  Vector merged = MergeMinPrimary({a, b}, 4);
+  EXPECT_DOUBLE_EQ(merged[0], 0.5);
+  EXPECT_DOUBLE_EQ(merged[1], 1.0);  // min(2.0, 1.0)
+  EXPECT_DOUBLE_EQ(merged[2], 3.0);
+  EXPECT_TRUE(std::isinf(merged[3]));  // unreferenced item: no filter
+}
+
+TEST_F(MultiQueryTest, MergeMinPrimaryEmptyInput) {
+  Vector merged = MergeMinPrimary({}, 2);
+  EXPECT_TRUE(std::isinf(merged[0]));
+  EXPECT_TRUE(std::isinf(merged[1]));
+}
+
+TEST_F(MultiQueryTest, AaoRejectsEmptyAndGeneralQueries) {
+  EXPECT_FALSE(SolveAao({}, Values(), Rates()).ok());
+  EXPECT_FALSE(
+      SolveAao({Q(0, "x*y - z", 1.0)}, Values(), Rates()).ok());
+}
+
+TEST_F(MultiQueryTest, AaoSingleQueryMatchesDualDab) {
+  // With one query, AAO degenerates to the Dual-DAB program.
+  PolynomialQuery q = Q(0, "x*y", 2.0);
+  DualDabParams params;
+  params.mu = 5.0;
+  auto joint = SolveAao({q}, Values(), Rates(), params);
+  ASSERT_TRUE(joint.ok()) << joint.status().ToString();
+  auto single = SolveDualDab(q, Values(), Rates(), params);
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ(joint->per_query.size(), 1u);
+  for (size_t i = 0; i < single->vars.size(); ++i) {
+    EXPECT_NEAR(joint->per_query[0].primary[i], single->primary[i],
+                1e-3 * single->primary[i]);
+    EXPECT_NEAR(joint->per_query[0].secondary[i], single->secondary[i],
+                1e-3 * single->secondary[i]);
+  }
+}
+
+TEST_F(MultiQueryTest, AaoSharedPrimaryIsConsistent) {
+  std::vector<PolynomialQuery> queries = {Q(0, "x*y", 2.0),
+                                          Q(1, "y*z", 3.0)};
+  auto joint = SolveAao(queries, Values(), Rates());
+  ASSERT_TRUE(joint.ok());
+  // y appears in both queries; its primary DAB must be identical in both
+  // per-query views (that is the point of AAO).
+  const QueryDabs& q0 = joint->per_query[0];
+  const QueryDabs& q1 = joint->per_query[1];
+  const int iy0 = q0.IndexOf(y_);
+  const int iy1 = q1.IndexOf(y_);
+  ASSERT_GE(iy0, 0);
+  ASSERT_GE(iy1, 0);
+  EXPECT_DOUBLE_EQ(q0.primary[static_cast<size_t>(iy0)],
+                   q1.primary[static_cast<size_t>(iy1)]);
+  // Secondary DABs are per <query, item> and may differ.
+  for (const QueryDabs& qd : joint->per_query) {
+    for (size_t i = 0; i < qd.vars.size(); ++i) {
+      EXPECT_GE(qd.secondary[i], qd.primary[i]);
+    }
+  }
+}
+
+TEST_F(MultiQueryTest, AaoEachQueryConditionHolds) {
+  std::vector<PolynomialQuery> queries = {
+      Q(0, "x*y", 2.0), Q(1, "y*z", 3.0), Q(2, "2*x*z + y^2", 4.0)};
+  auto joint = SolveAao(queries, Values(), Rates());
+  ASSERT_TRUE(joint.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const QueryDabs& d = joint->per_query[qi];
+    Vector top = Values(), mid = Values();
+    for (size_t i = 0; i < d.vars.size(); ++i) {
+      const size_t v = static_cast<size_t>(d.vars[i]);
+      mid[v] += d.secondary[i];
+      top[v] += d.secondary[i] + d.primary[i];
+    }
+    EXPECT_LE(queries[qi].p.Evaluate(top) - queries[qi].p.Evaluate(mid),
+              queries[qi].qab * (1.0 + 1e-4))
+        << "query " << qi;
+  }
+}
+
+TEST_F(MultiQueryTest, AaoBeatsEqiOnTotalModeledCost) {
+  // AAO optimizes the shared objective exactly; EQI (independent solves +
+  // min-merge) is feasible for the same program, so AAO's modeled cost can
+  // only be lower or equal.
+  std::vector<PolynomialQuery> queries = {Q(0, "x*y", 2.0),
+                                          Q(1, "x*z", 3.0)};
+  DualDabParams params;
+  params.mu = 5.0;
+  auto joint = SolveAao(queries, Values(), Rates(), params);
+  ASSERT_TRUE(joint.ok());
+
+  std::vector<QueryDabs> independent;
+  for (const auto& q : queries) {
+    auto d = SolveDualDab(q, Values(), Rates(), params);
+    ASSERT_TRUE(d.ok());
+    independent.push_back(*d);
+  }
+  Vector eqi_primary = MergeMinPrimary(independent, reg_.size());
+
+  auto modeled_cost = [&](const Vector& item_primary,
+                          const std::vector<QueryDabs>& per_query) {
+    double cost = 0.0;
+    for (size_t v = 0; v < item_primary.size(); ++v) {
+      if (std::isinf(item_primary[v])) continue;
+      cost += Rates()[v] / item_primary[v];
+    }
+    for (const QueryDabs& qd : per_query) cost += params.mu * qd.recompute_rate;
+    return cost;
+  };
+  Vector joint_primary = MergeMinPrimary(joint->per_query, reg_.size());
+  EXPECT_LE(modeled_cost(joint_primary, joint->per_query),
+            modeled_cost(eqi_primary, independent) * (1.0 + 1e-3));
+}
+
+TEST_F(MultiQueryTest, AaoScalesToTenQueries) {
+  // The paper's Figure 7 uses 10 PPQs; make sure the joint program at that
+  // scale solves reliably.
+  Rng rng(99);
+  VariableRegistry reg;
+  std::vector<VarId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(reg.Intern("s" + std::to_string(i)));
+  Vector values(reg.size()), rates(reg.size());
+  for (size_t i = 0; i < reg.size(); ++i) {
+    values[i] = rng.Uniform(10.0, 100.0);
+    rates[i] = rng.Uniform(0.1, 1.0);
+  }
+  std::vector<PolynomialQuery> queries;
+  for (int qi = 0; qi < 10; ++qi) {
+    std::vector<Monomial> terms;
+    for (int t = 0; t < 4; ++t) {
+      VarId a = ids[static_cast<size_t>(rng.UniformInt(0, 19))];
+      VarId b = ids[static_cast<size_t>(rng.UniformInt(0, 19))];
+      terms.emplace_back(rng.Uniform(1.0, 100.0),
+                         std::vector<std::pair<VarId, int>>{{a, 1}, {b, 1}});
+    }
+    PolynomialQuery q{qi, Polynomial(std::move(terms)), 0.0};
+    q.qab = 0.01 * q.p.Evaluate(values);
+    queries.push_back(std::move(q));
+  }
+  auto joint = SolveAao(queries, values, rates);
+  ASSERT_TRUE(joint.ok()) << joint.status().ToString();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const QueryDabs& d = joint->per_query[qi];
+    Vector top = values, mid = values;
+    for (size_t i = 0; i < d.vars.size(); ++i) {
+      const size_t v = static_cast<size_t>(d.vars[i]);
+      mid[v] += d.secondary[i];
+      top[v] += d.secondary[i] + d.primary[i];
+    }
+    EXPECT_LE(queries[qi].p.Evaluate(top) - queries[qi].p.Evaluate(mid),
+              queries[qi].qab * (1.0 + 1e-3));
+  }
+}
+
+
+TEST_F(MultiQueryTest, AaoWarmStartMatchesCold) {
+  std::vector<PolynomialQuery> queries = {Q(0, "x*y", 2.0),
+                                          Q(1, "y*z", 3.0)};
+  DualDabParams params;
+  params.mu = 5.0;
+  auto cold = SolveAao(queries, Values(), Rates(), params);
+  ASSERT_TRUE(cold.ok());
+  // Values move slightly, as between two periodic AAO-T solves.
+  Vector moved = Values();
+  for (double& v : moved) v *= 1.01;
+  auto warm = SolveAao(queries, moved, Rates(), params, &*cold);
+  ASSERT_TRUE(warm.ok());
+  auto fresh = SolveAao(queries, moved, Rates(), params);
+  ASSERT_TRUE(fresh.ok());
+  for (size_t i = 0; i < warm->item_primary.size(); ++i) {
+    EXPECT_NEAR(warm->item_primary[i], fresh->item_primary[i],
+                1e-3 * fresh->item_primary[i]);
+  }
+}
+
+TEST_F(MultiQueryTest, AaoWarmStartWithWrongShapeIsIgnored) {
+  std::vector<PolynomialQuery> queries = {Q(0, "x*y", 2.0)};
+  auto cold = SolveAao(queries, Values(), Rates());
+  ASSERT_TRUE(cold.ok());
+  // A warm solution for a *different* query set must not break the solve.
+  std::vector<PolynomialQuery> other = {Q(0, "x*z", 2.0)};
+  auto solved = SolveAao(other, Values(), Rates(), DualDabParams(), &*cold);
+  ASSERT_TRUE(solved.ok());
+  const QueryDabs& d = solved->per_query[0];
+  Vector top = Values(), mid = Values();
+  for (size_t i = 0; i < d.vars.size(); ++i) {
+    const size_t v = static_cast<size_t>(d.vars[i]);
+    mid[v] += d.secondary[i];
+    top[v] += d.secondary[i] + d.primary[i];
+  }
+  EXPECT_LE(other[0].p.Evaluate(top) - other[0].p.Evaluate(mid),
+            other[0].qab * (1.0 + 1e-4));
+}
+
+}  // namespace
+}  // namespace polydab::core

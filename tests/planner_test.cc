@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+
+namespace polydab::core {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  VariableRegistry reg_;
+  VarId x_ = reg_.Intern("x");
+  VarId y_ = reg_.Intern("y");
+  VarId u_ = reg_.Intern("u");
+  VarId v_ = reg_.Intern("v");
+
+  PolynomialQuery Q(const std::string& s, double qab) {
+    auto r = Polynomial::Parse(s, &reg_);
+    EXPECT_TRUE(r.ok());
+    return PolynomialQuery{0, *r, qab};
+  }
+
+  Vector Values() { return {10.0, 8.0, 6.0, 5.0}; }
+  Vector Rates() { return {1.0, 0.5, 2.0, 1.5}; }
+};
+
+TEST_F(PlannerTest, RoutesLaqToClosedForm) {
+  PlannerConfig config;
+  config.method = AssignmentMethod::kDualDab;
+  auto d = PlanQuery(Q("x + y", 4.0), Values(), Rates(), config);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->recompute_rate, 0.0);  // LAQ: never recomputed
+}
+
+TEST_F(PlannerTest, DualMethodGivesWiderSecondary) {
+  PlannerConfig config;
+  config.method = AssignmentMethod::kDualDab;
+  config.dual.mu = 10.0;
+  auto d = PlanQuery(Q("x*y", 2.0), Values(), Rates(), config);
+  ASSERT_TRUE(d.ok());
+  for (size_t i = 0; i < d->vars.size(); ++i) {
+    EXPECT_GT(d->secondary[i], d->primary[i]);
+  }
+}
+
+TEST_F(PlannerTest, SingleDabMethodsReportSecondaryEqualPrimary) {
+  for (AssignmentMethod m :
+       {AssignmentMethod::kOptimalRefresh, AssignmentMethod::kWsDab}) {
+    PlannerConfig config;
+    config.method = m;
+    auto d = PlanQuery(Q("x*y", 2.0), Values(), Rates(), config);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->primary, d->secondary);
+  }
+}
+
+TEST_F(PlannerTest, GeneralQueryThroughHeuristics) {
+  for (GeneralPqHeuristic h : {GeneralPqHeuristic::kHalfAndHalf,
+                               GeneralPqHeuristic::kDifferentSum}) {
+    PlannerConfig config;
+    config.heuristic = h;
+    auto d = PlanQuery(Q("x*y - u*v", 4.0), Values(), Rates(), config);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    EXPECT_EQ(d->vars.size(), 4u);
+  }
+}
+
+TEST_F(PlannerTest, GeneralQueryWithSingleDabMethod) {
+  // WSDAB routed through the DS heuristic handles mixed-sign queries too.
+  PlannerConfig config;
+  config.method = AssignmentMethod::kWsDab;
+  config.heuristic = GeneralPqHeuristic::kDifferentSum;
+  auto d = PlanQuery(Q("x*y - u*v", 4.0), Values(), Rates(), config);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->primary, d->secondary);
+}
+
+TEST_F(PlannerTest, RejectsZeroPolynomial) {
+  PlannerConfig config;
+  auto r = Polynomial::Parse("x - x", &reg_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(
+      PlanQuery({0, *r, 1.0}, Values(), Rates(), config).ok());
+}
+
+}  // namespace
+}  // namespace polydab::core

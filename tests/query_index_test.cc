@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/query_index.h"
+
+namespace polydab::core {
+namespace {
+
+class QueryIndexTest : public ::testing::Test {
+ protected:
+  VariableRegistry reg_;
+  VarId x_ = reg_.Intern("x");
+  VarId y_ = reg_.Intern("y");
+  VarId z_ = reg_.Intern("z");
+
+  PolynomialQuery Q(int id, const std::string& s, double qab = 1.0) {
+    auto r = Polynomial::Parse(s, &reg_);
+    EXPECT_TRUE(r.ok());
+    return PolynomialQuery{id, *r, qab};
+  }
+};
+
+TEST_F(QueryIndexTest, InvertedIndexIsCorrect) {
+  std::vector<PolynomialQuery> queries = {Q(0, "x*y"), Q(1, "y*z"),
+                                          Q(2, "x^2")};
+  QueryIndex index(queries, reg_.size());
+  EXPECT_EQ(index.QueriesWithItem(x_), (std::vector<int>{0, 2}));
+  EXPECT_EQ(index.QueriesWithItem(y_), (std::vector<int>{0, 1}));
+  EXPECT_EQ(index.QueriesWithItem(z_), (std::vector<int>{1}));
+}
+
+TEST_F(QueryIndexTest, MeanFanout) {
+  std::vector<PolynomialQuery> queries = {Q(0, "x*y"), Q(1, "y*z")};
+  QueryIndex index(queries, reg_.size());
+  // 4 references over 3 items.
+  EXPECT_DOUBLE_EQ(index.MeanFanout(), 4.0 / 3.0);
+}
+
+TEST_F(QueryIndexTest, EvaluatorTracksSingleUpdate) {
+  std::vector<PolynomialQuery> queries = {Q(0, "2*x*y + y^2")};
+  IncrementalEvaluator eval(queries, {3.0, 4.0, 0.0});
+  EXPECT_DOUBLE_EQ(eval.QueryValue(0), 2 * 3 * 4 + 16);
+  eval.Update(x_, 5.0);
+  EXPECT_DOUBLE_EQ(eval.QueryValue(0), 2 * 5 * 4 + 16);
+  eval.Update(y_, 2.0);
+  EXPECT_DOUBLE_EQ(eval.QueryValue(0), 2 * 5 * 2 + 4);
+}
+
+TEST_F(QueryIndexTest, EvaluatorHandlesHigherPowers) {
+  std::vector<PolynomialQuery> queries = {Q(0, "x^3*y")};
+  IncrementalEvaluator eval(queries, {2.0, 5.0, 0.0});
+  EXPECT_DOUBLE_EQ(eval.QueryValue(0), 8 * 5);
+  eval.Update(x_, 3.0);
+  EXPECT_DOUBLE_EQ(eval.QueryValue(0), 27 * 5);
+}
+
+TEST_F(QueryIndexTest, NoOpUpdateLeavesValue) {
+  std::vector<PolynomialQuery> queries = {Q(0, "x*y")};
+  IncrementalEvaluator eval(queries, {3.0, 4.0, 0.0});
+  eval.Update(x_, 3.0);
+  EXPECT_DOUBLE_EQ(eval.QueryValue(0), 12.0);
+}
+
+TEST_F(QueryIndexTest, UpdateOnlyTouchesAffectedQueries) {
+  std::vector<PolynomialQuery> queries = {Q(0, "x*y"), Q(1, "y*z")};
+  IncrementalEvaluator eval(queries, {1.0, 2.0, 3.0});
+  eval.Update(x_, 10.0);
+  EXPECT_DOUBLE_EQ(eval.QueryValue(0), 20.0);
+  EXPECT_DOUBLE_EQ(eval.QueryValue(1), 6.0);  // untouched
+}
+
+TEST_F(QueryIndexTest, RebaseRestoresExactness) {
+  std::vector<PolynomialQuery> queries = {Q(0, "x*y + x^2")};
+  IncrementalEvaluator eval(queries, {1.0, 1.0, 0.0});
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    eval.Update(i % 2 == 0 ? x_ : y_, rng.Uniform(0.5, 100.0));
+  }
+  const double incremental = eval.QueryValue(0);
+  eval.Rebase();
+  EXPECT_NEAR(eval.QueryValue(0), incremental,
+              1e-9 * std::abs(incremental));
+}
+
+// Property: a long random update stream gives the same values as full
+// evaluation, across random query sets.
+class EvaluatorProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvaluatorProperty, MatchesFullEvaluation) {
+  Rng rng(GetParam());
+  VariableRegistry reg;
+  const int n = 8;
+  std::vector<VarId> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(reg.Intern("v" + std::to_string(i)));
+
+  std::vector<PolynomialQuery> queries;
+  for (int qi = 0; qi < 6; ++qi) {
+    std::vector<Monomial> terms;
+    const int t = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    for (int j = 0; j < t; ++j) {
+      std::vector<std::pair<VarId, int>> powers;
+      const int f = 1 + static_cast<int>(rng.UniformInt(0, 2));
+      for (int k = 0; k < f; ++k) {
+        powers.emplace_back(
+            ids[static_cast<size_t>(rng.UniformInt(0, n - 1))],
+            1 + static_cast<int>(rng.UniformInt(0, 2)));
+      }
+      terms.emplace_back(rng.Uniform(-10.0, 10.0), std::move(powers));
+    }
+    Polynomial p(std::move(terms));
+    if (p.IsZero()) continue;
+    queries.push_back({qi, p, 1.0});
+  }
+  if (queries.empty()) return;
+
+  Vector values(reg.size());
+  for (double& v : values) v = rng.Uniform(1.0, 20.0);
+  IncrementalEvaluator eval(queries, values);
+
+  for (int step = 0; step < 300; ++step) {
+    const VarId item = ids[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+    const double v = rng.Uniform(1.0, 20.0);
+    values[static_cast<size_t>(item)] = v;
+    eval.Update(item, v);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const double exact = queries[qi].p.Evaluate(values);
+      EXPECT_NEAR(eval.QueryValue(qi), exact,
+                  1e-7 * std::max(1.0, std::abs(exact)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace polydab::core

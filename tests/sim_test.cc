@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "workload/query_gen.h"
+#include "workload/rate_estimator.h"
+
+namespace polydab::sim {
+namespace {
+
+/// Small but non-trivial shared fixture: 20 GBM items, ~600 s of trace,
+/// a handful of portfolio queries.
+class SimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1234);
+    workload::TraceSetConfig tc;
+    tc.num_items = 20;
+    tc.num_ticks = 600;
+    tc.vol_lo = 5e-4;
+    tc.vol_hi = 2e-3;
+    traces_ = *workload::GenerateTraceSet(tc, &rng);
+    rates_ = *workload::EstimateRates(traces_, 60);
+
+    workload::QueryGenConfig qc;
+    qc.num_items = 20;
+    qc.min_pairs = 2;
+    qc.max_pairs = 3;
+    queries_ = *workload::GeneratePortfolioQueries(8, qc,
+                                                   traces_.Snapshot(0), &rng);
+  }
+
+  SimConfig Config(core::AssignmentMethod method, double mu) {
+    SimConfig c;
+    c.planner.method = method;
+    c.planner.dual.mu = mu;
+    c.seed = 7;
+    return c;
+  }
+
+  workload::TraceSet traces_;
+  Vector rates_;
+  std::vector<PolynomialQuery> queries_;
+};
+
+TEST_F(SimTest, ZeroDelayDualDabKeepsFidelity) {
+  SimConfig c = Config(core::AssignmentMethod::kDualDab, 5.0);
+  c.delays.zero_delay = true;
+  auto m = RunSimulation(queries_, traces_, rates_, c);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  // Condition 1 guarantees QABs exactly in a zero-delay network (§I-B).
+  EXPECT_NEAR(m->mean_fidelity_loss_pct, 0.0, 1e-9);
+  EXPECT_GT(m->refreshes, 0);
+  EXPECT_EQ(m->solver_failures, 0);
+}
+
+TEST_F(SimTest, ZeroDelayOptimalRefreshKeepsFidelity) {
+  SimConfig c = Config(core::AssignmentMethod::kOptimalRefresh, 1.0);
+  c.delays.zero_delay = true;
+  auto m = RunSimulation(queries_, traces_, rates_, c);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_NEAR(m->mean_fidelity_loss_pct, 0.0, 1e-9);
+}
+
+TEST_F(SimTest, DualDabSlashesRecomputations) {
+  // The paper's headline (Figure 5(a)): Dual-DAB cuts recomputations by
+  // around an order of magnitude versus Optimal Refresh.
+  auto opt = RunSimulation(queries_, traces_, rates_,
+                           Config(core::AssignmentMethod::kOptimalRefresh, 1.0));
+  auto dual = RunSimulation(queries_, traces_, rates_,
+                            Config(core::AssignmentMethod::kDualDab, 5.0));
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(dual.ok());
+  EXPECT_GT(opt->recomputations, 0);
+  EXPECT_LT(dual->recomputations, opt->recomputations / 2);
+}
+
+TEST_F(SimTest, DualDabCostsOnlySlightlyMoreRefreshes) {
+  auto opt = RunSimulation(queries_, traces_, rates_,
+                           Config(core::AssignmentMethod::kOptimalRefresh, 1.0));
+  auto dual = RunSimulation(queries_, traces_, rates_,
+                            Config(core::AssignmentMethod::kDualDab, 5.0));
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(dual.ok());
+  // Tighter primaries cause more refreshes, but bounded (paper: "small
+  // increase", Figure 5(b)): allow up to 4x on this tiny workload.
+  EXPECT_GE(dual->refreshes, opt->refreshes);
+  EXPECT_LT(dual->refreshes, 4 * opt->refreshes);
+}
+
+TEST_F(SimTest, LargerMuFewerRecomputations) {
+  auto lo = RunSimulation(queries_, traces_, rates_,
+                          Config(core::AssignmentMethod::kDualDab, 1.0));
+  auto hi = RunSimulation(queries_, traces_, rates_,
+                          Config(core::AssignmentMethod::kDualDab, 10.0));
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_LE(hi->recomputations, lo->recomputations);
+  EXPECT_GE(hi->refreshes, lo->refreshes);
+}
+
+TEST_F(SimTest, WsDabBaselineNeedsMoreMessages) {
+  auto base = RunSimulation(queries_, traces_, rates_,
+                            Config(core::AssignmentMethod::kWsDab, 1.0));
+  auto opt = RunSimulation(queries_, traces_, rates_,
+                           Config(core::AssignmentMethod::kOptimalRefresh, 1.0));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(opt.ok());
+  EXPECT_GT(base->refreshes, opt->refreshes);
+}
+
+TEST_F(SimTest, DeterministicGivenSeed) {
+  SimConfig c = Config(core::AssignmentMethod::kDualDab, 5.0);
+  auto a = RunSimulation(queries_, traces_, rates_, c);
+  auto b = RunSimulation(queries_, traces_, rates_, c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->refreshes, b->refreshes);
+  EXPECT_EQ(a->recomputations, b->recomputations);
+  EXPECT_EQ(a->dab_change_messages, b->dab_change_messages);
+  EXPECT_DOUBLE_EQ(a->mean_fidelity_loss_pct, b->mean_fidelity_loss_pct);
+}
+
+TEST_F(SimTest, DabChangesAccompanyRecomputations) {
+  auto m = RunSimulation(queries_, traces_, rates_,
+                         Config(core::AssignmentMethod::kDualDab, 5.0));
+  ASSERT_TRUE(m.ok());
+  if (m->recomputations > 0) {
+    EXPECT_GT(m->dab_change_messages, 0);
+  }
+}
+
+TEST_F(SimTest, TotalCostMetric) {
+  SimMetrics m;
+  m.refreshes = 100;
+  m.recomputations = 10;
+  EXPECT_DOUBLE_EQ(m.TotalCost(5.0), 150.0);
+}
+
+TEST_F(SimTest, AaoPeriodicModeRuns) {
+  SimConfig c = Config(core::AssignmentMethod::kDualDab, 5.0);
+  c.aao_period_s = 120.0;
+  auto m = RunSimulation(queries_, traces_, rates_, c);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  // Every period recomputes each query: at least floor(599/120)*8 events.
+  EXPECT_GE(m->recomputations, 4 * static_cast<int64_t>(queries_.size()));
+}
+
+TEST_F(SimTest, AaoModeRejectsGeneralQueries) {
+  VariableRegistry reg;
+  auto p = Polynomial::Parse("a*b - c*d", &reg);
+  ASSERT_TRUE(p.ok());
+  std::vector<PolynomialQuery> qs = {{0, *p, 1.0}};
+  SimConfig c = Config(core::AssignmentMethod::kDualDab, 5.0);
+  c.aao_period_s = 60.0;
+  EXPECT_FALSE(RunSimulation(qs, traces_, rates_, c).ok());
+}
+
+TEST_F(SimTest, RejectsBadInputs) {
+  SimConfig c = Config(core::AssignmentMethod::kDualDab, 5.0);
+  EXPECT_FALSE(RunSimulation({}, traces_, rates_, c).ok());
+  EXPECT_FALSE(
+      RunSimulation(queries_, traces_, Vector(3, 1.0), c).ok());
+  workload::TraceSet tiny;
+  tiny.num_ticks = 1;
+  tiny.traces.assign(20, Vector(1, 1.0));
+  EXPECT_FALSE(RunSimulation(queries_, tiny, rates_, c).ok());
+}
+
+TEST_F(SimTest, GeneralQueriesRunThroughHeuristics) {
+  Rng rng(5);
+  workload::QueryGenConfig qc;
+  qc.num_items = 20;
+  qc.min_pairs = 2;
+  qc.max_pairs = 2;
+  auto arb = workload::GenerateArbitrageQueries(4, qc, traces_.Snapshot(0),
+                                                false, &rng);
+  ASSERT_TRUE(arb.ok());
+  for (core::GeneralPqHeuristic h : {core::GeneralPqHeuristic::kHalfAndHalf,
+                                     core::GeneralPqHeuristic::kDifferentSum}) {
+    SimConfig c = Config(core::AssignmentMethod::kDualDab, 5.0);
+    c.planner.heuristic = h;
+    c.delays.zero_delay = true;
+    auto m = RunSimulation(*arb, traces_, rates_, c);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    EXPECT_NEAR(m->mean_fidelity_loss_pct, 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace polydab::sim

@@ -1,0 +1,84 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "workload/trace_io.h"
+
+namespace polydab::workload {
+namespace {
+
+TEST(TraceIoTest, ParsesPlainCsv) {
+  auto set = ParseTraceSetCsv("1.5,2.5\n1.6,2.4\n1.7,2.3\n");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->num_items(), 2u);
+  EXPECT_EQ(set->num_ticks, 3);
+  EXPECT_DOUBLE_EQ(set->ValueAt(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(set->ValueAt(1, 2), 2.3);
+}
+
+TEST(TraceIoTest, SkipsHeaderCommentsAndBlankLines) {
+  auto set = ParseTraceSetCsv(
+      "# intraday quotes\n"
+      "AAA, BBB\n"
+      "\n"
+      "10.0, 20.0\r\n"
+      "10.1, 19.9\n");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->num_items(), 2u);
+  EXPECT_EQ(set->num_ticks, 2);
+}
+
+TEST(TraceIoTest, RejectsRaggedRows) {
+  auto set = ParseTraceSetCsv("1,2\n1,2,3\n");
+  ASSERT_FALSE(set.ok());
+  EXPECT_EQ(set.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceIoTest, RejectsNonPositiveAndGarbage) {
+  EXPECT_FALSE(ParseTraceSetCsv("1,2\n1,-2\n").ok());
+  EXPECT_FALSE(ParseTraceSetCsv("1,2\n1,0\n").ok());
+  EXPECT_FALSE(ParseTraceSetCsv("1,2\n1,abc\n").ok());
+  EXPECT_FALSE(ParseTraceSetCsv("").ok());
+  EXPECT_FALSE(ParseTraceSetCsv("# only a comment\n").ok());
+}
+
+TEST(TraceIoTest, RoundTripsGeneratedTraces) {
+  Rng rng(3);
+  TraceSetConfig tc;
+  tc.num_items = 5;
+  tc.num_ticks = 50;
+  auto original = GenerateTraceSet(tc, &rng);
+  ASSERT_TRUE(original.ok());
+  auto reparsed = ParseTraceSetCsv(TraceSetToCsv(*original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->num_items(), original->num_items());
+  ASSERT_EQ(reparsed->num_ticks, original->num_ticks);
+  for (size_t i = 0; i < original->num_items(); ++i) {
+    for (int t = 0; t < original->num_ticks; ++t) {
+      EXPECT_DOUBLE_EQ(reparsed->ValueAt(i, t), original->ValueAt(i, t));
+    }
+  }
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  Rng rng(4);
+  TraceSetConfig tc;
+  tc.num_items = 3;
+  tc.num_ticks = 20;
+  auto original = GenerateTraceSet(tc, &rng);
+  ASSERT_TRUE(original.ok());
+  const std::string path = ::testing::TempDir() + "/polydab_traces.csv";
+  ASSERT_TRUE(SaveTraceSetCsv(*original, path).ok());
+  auto loaded = LoadTraceSetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_items(), 3u);
+  EXPECT_DOUBLE_EQ(loaded->ValueAt(2, 19), original->ValueAt(2, 19));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadTraceSetCsv("/nonexistent/path/to/traces.csv").ok());
+}
+
+}  // namespace
+}  // namespace polydab::workload

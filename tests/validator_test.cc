@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+
+namespace polydab::core {
+namespace {
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  VariableRegistry reg_;
+  VarId x_ = reg_.Intern("x");
+  VarId y_ = reg_.Intern("y");
+  VarId u_ = reg_.Intern("u");
+  VarId v_ = reg_.Intern("v");
+
+  PolynomialQuery Q(const std::string& s, double qab) {
+    auto r = Polynomial::Parse(s, &reg_);
+    EXPECT_TRUE(r.ok());
+    return PolynomialQuery{0, *r, qab};
+  }
+
+  Vector Values() { return {10.0, 8.0, 6.0, 5.0}; }
+  Vector Rates() { return {1.0, 0.5, 2.0, 1.5}; }
+};
+
+TEST_F(ValidatorTest, PpqWorstDriftMatchesHandComputation) {
+  // xy at V=(2,2) with b=(0.5,0.5), c=(3.5,2.5): Figure 4's boundary:
+  // (2+3.5+0.5)(2+2.5+0.5) - (2+3.5)(2+2.5) = 30 - 24.75 = 5.25.
+  auto p = Polynomial::Parse("x*y", &reg_);
+  QueryDabs d;
+  d.vars = {x_, y_};
+  d.primary = {0.5, 0.5};
+  d.secondary = {3.5, 2.5};
+  EXPECT_NEAR(PpqWorstDrift(*p, {2.0, 2.0, 0, 0}, d), 5.25, 1e-12);
+}
+
+TEST_F(ValidatorTest, GeneralBoundAddsBothParts) {
+  auto p = Polynomial::Parse("x*y - u*v", &reg_);
+  QueryDabs d;
+  d.vars = {x_, y_, u_, v_};
+  d.primary = {0.1, 0.1, 0.1, 0.1};
+  d.secondary = {0.2, 0.2, 0.2, 0.2};
+  Polynomial p1, p2;
+  p->SplitSigns(&p1, &p2);
+  const double expected = PpqWorstDrift(p1, Values(), d) +
+                          PpqWorstDrift(p2, Values(), d);
+  EXPECT_NEAR(GeneralWorstDriftBound(*p, Values(), d), expected, 1e-12);
+}
+
+TEST_F(ValidatorTest, PlannerOutputAlwaysValidates) {
+  for (auto method : {AssignmentMethod::kOptimalRefresh,
+                      AssignmentMethod::kDualDab, AssignmentMethod::kWsDab}) {
+    for (auto h : {GeneralPqHeuristic::kHalfAndHalf,
+                   GeneralPqHeuristic::kDifferentSum}) {
+      PlannerConfig config;
+      config.method = method;
+      config.heuristic = h;
+      for (const char* expr : {"x*y", "x*y - u*v", "2*x*y + y^2",
+                               "x + 2*y", "x^2*y - u"}) {
+        auto plan = PlanQueryParts(Q(expr, 3.0), Values(), Rates(), config);
+        ASSERT_TRUE(plan.ok()) << expr << ": " << plan.status().ToString();
+        Status valid = ValidatePlan(*plan, Values());
+        EXPECT_TRUE(valid.ok())
+            << expr << " method " << static_cast<int>(method) << ": "
+            << valid.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(ValidatorTest, CatchesOversizedBounds) {
+  PlannerConfig config;
+  auto plan = PlanQueryParts(Q("x*y", 3.0), Values(), Rates(), config);
+  ASSERT_TRUE(plan.ok());
+  // Sabotage: double every primary DAB; the QAB can no longer be met.
+  for (double& b : plan->parts[0].dabs.primary) b *= 10.0;
+  for (double& c : plan->parts[0].dabs.secondary) c *= 10.0;
+  EXPECT_FALSE(ValidatePlan(*plan, Values()).ok());
+}
+
+TEST_F(ValidatorTest, CatchesInvertedDabs) {
+  PlannerConfig config;
+  auto plan = PlanQueryParts(Q("x*y", 3.0), Values(), Rates(), config);
+  ASSERT_TRUE(plan.ok());
+  plan->parts[0].dabs.secondary[0] = plan->parts[0].dabs.primary[0] / 2;
+  EXPECT_FALSE(ValidatePlan(*plan, Values()).ok());
+}
+
+TEST_F(ValidatorTest, CatchesNonPositivePrimary) {
+  PlannerConfig config;
+  auto plan = PlanQueryParts(Q("x*y", 3.0), Values(), Rates(), config);
+  ASSERT_TRUE(plan.ok());
+  plan->parts[0].dabs.primary[0] = 0.0;
+  EXPECT_FALSE(ValidatePlan(*plan, Values()).ok());
+}
+
+TEST_F(ValidatorTest, ValidatesLaqParts) {
+  PlannerConfig config;
+  auto plan = PlanQueryParts(Q("2*x - 3*y", 6.0), Values(), Rates(), config);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, Values()).ok());
+  // Widen one bound past the linear budget.
+  plan->parts[0].dabs.primary[0] *= 100.0;
+  plan->parts[0].dabs.secondary[0] *= 100.0;
+  EXPECT_FALSE(ValidatePlan(*plan, Values()).ok());
+}
+
+TEST_F(ValidatorTest, EmptyPlanRejected) {
+  QueryPlan plan;
+  EXPECT_FALSE(ValidatePlan(plan, Values()).ok());
+}
+
+}  // namespace
+}  // namespace polydab::core

@@ -1,0 +1,345 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/query_gen.h"
+#include "workload/rate_estimator.h"
+#include "workload/trace.h"
+
+namespace polydab::workload {
+namespace {
+
+TEST(TraceTest, GbmStaysPositiveAndStartsAtInitial) {
+  Rng rng(1);
+  TraceConfig tc;
+  tc.kind = TraceKind::kGbmStock;
+  tc.initial = 50.0;
+  tc.num_ticks = 5000;
+  tc.volatility = 5e-3;
+  auto trace = GenerateTrace(tc, &rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_DOUBLE_EQ((*trace)[0], 50.0);
+  for (double v : *trace) EXPECT_GT(v, 0.0);
+}
+
+TEST(TraceTest, MonotonicDrifts) {
+  Rng rng(2);
+  TraceConfig tc;
+  tc.kind = TraceKind::kMonotonic;
+  tc.initial = 10.0;
+  tc.drift = 0.01;
+  tc.volatility = 0.0;
+  tc.num_ticks = 100;
+  auto trace = GenerateTrace(tc, &rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NEAR((*trace)[99], 10.0 + 0.01 * 99, 1e-9);
+}
+
+TEST(TraceTest, RandomWalkVarianceGrows) {
+  Rng rng(3);
+  TraceConfig tc;
+  tc.kind = TraceKind::kRandomWalk;
+  tc.initial = 100.0;
+  tc.volatility = 1.0;
+  tc.num_ticks = 10000;
+  auto trace = GenerateTrace(tc, &rng);
+  ASSERT_TRUE(trace.ok());
+  // Empirical std-dev of one-tick steps should be near the configured 1.0.
+  double sq = 0.0;
+  for (int t = 1; t < tc.num_ticks; ++t) {
+    const double d = (*trace)[static_cast<size_t>(t)] -
+                     (*trace)[static_cast<size_t>(t - 1)];
+    sq += d * d;
+  }
+  EXPECT_NEAR(std::sqrt(sq / (tc.num_ticks - 1)), 1.0, 0.05);
+}
+
+TEST(TraceTest, RejectsBadConfig) {
+  Rng rng(4);
+  TraceConfig tc;
+  tc.num_ticks = 0;
+  EXPECT_FALSE(GenerateTrace(tc, &rng).ok());
+  tc.num_ticks = 10;
+  tc.initial = -5.0;
+  EXPECT_FALSE(GenerateTrace(tc, &rng).ok());
+}
+
+TEST(TraceTest, TraceSetShapesAndSnapshot) {
+  Rng rng(5);
+  TraceSetConfig cfg;
+  cfg.num_items = 7;
+  cfg.num_ticks = 64;
+  auto set = GenerateTraceSet(cfg, &rng);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->num_items(), 7u);
+  Vector snap = set->Snapshot(10);
+  ASSERT_EQ(snap.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(snap[i], set->ValueAt(i, 10));
+  }
+}
+
+TEST(TraceTest, DeterministicGivenSeed) {
+  TraceSetConfig cfg;
+  cfg.num_items = 3;
+  cfg.num_ticks = 100;
+  Rng a(42), b(42);
+  auto s1 = GenerateTraceSet(cfg, &a);
+  auto s2 = GenerateTraceSet(cfg, &b);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(s1->traces[i], s2->traces[i]);
+  }
+}
+
+TEST(RateEstimatorTest, MonotonicRateRecovered) {
+  Rng rng(6);
+  TraceConfig tc;
+  tc.kind = TraceKind::kMonotonic;
+  tc.initial = 10.0;
+  tc.drift = 0.02;
+  tc.volatility = 0.0;
+  tc.num_ticks = 1000;
+  TraceSet set;
+  set.num_ticks = tc.num_ticks;
+  set.traces.push_back(*GenerateTrace(tc, &rng));
+  auto rates = EstimateRates(set, 60);
+  ASSERT_TRUE(rates.ok());
+  EXPECT_NEAR((*rates)[0], 0.02, 1e-6);
+}
+
+TEST(RateEstimatorTest, StaticItemHasZeroRate) {
+  TraceSet set;
+  set.num_ticks = 500;
+  set.traces.push_back(Vector(500, 7.0));
+  auto rates = EstimateRates(set, 60);
+  ASSERT_TRUE(rates.ok());
+  EXPECT_DOUBLE_EQ((*rates)[0], 0.0);
+}
+
+TEST(RateEstimatorTest, RejectsShortTraceAndBadInterval) {
+  TraceSet set;
+  set.num_ticks = 30;
+  set.traces.push_back(Vector(30, 1.0));
+  EXPECT_FALSE(EstimateRates(set, 60).ok());
+  EXPECT_FALSE(EstimateRates(set, 0).ok());
+}
+
+TEST(RateEstimatorTest, UnitRates) {
+  Vector r = UnitRates(5);
+  ASSERT_EQ(r.size(), 5u);
+  for (double v : r) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  QueryGenConfig cfg_;
+  Vector initial_ = Vector(100, 50.0);
+};
+
+TEST_F(QueryGenTest, PortfolioQueriesArePpqsWithExpectedShape) {
+  Rng rng(7);
+  auto queries = GeneratePortfolioQueries(50, cfg_, initial_, &rng);
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries->size(), 50u);
+  double total_items = 0.0;
+  for (const auto& q : *queries) {
+    EXPECT_TRUE(q.IsPositiveCoefficient());
+    EXPECT_EQ(q.p.Degree(), 2);
+    EXPECT_GT(q.qab, 0.0);
+    EXPECT_NEAR(q.qab, 0.01 * q.p.Evaluate(initial_), 1e-9);
+    total_items += static_cast<double>(q.p.Variables().size());
+  }
+  // 6-7 bilinear terms under the 80-20 model reuse hot items, so the
+  // average distinct-item count sits around the paper's 12-14 or below.
+  EXPECT_GT(total_items / 50.0, 5.0);
+  EXPECT_LT(total_items / 50.0, 15.0);
+}
+
+TEST_F(QueryGenTest, EightyTwentySkew) {
+  Rng rng(8);
+  auto queries = GeneratePortfolioQueries(200, cfg_, initial_, &rng);
+  ASSERT_TRUE(queries.ok());
+  int hot = 0, total = 0;
+  for (const auto& q : *queries) {
+    for (VarId v : q.p.Variables()) {
+      ++total;
+      if (v < 20) ++hot;  // group 1 = first 20% of 100 items
+    }
+  }
+  const double frac = static_cast<double>(hot) / total;
+  EXPECT_GT(frac, 0.5);  // hot items dominate
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST_F(QueryGenTest, IndependentArbitrageHasDisjointParts) {
+  Rng rng(9);
+  auto queries = GenerateArbitrageQueries(30, cfg_, initial_, false, &rng);
+  ASSERT_TRUE(queries.ok());
+  for (const auto& q : *queries) {
+    EXPECT_FALSE(q.IsPositiveCoefficient());
+    Polynomial p1, p2;
+    q.p.SplitSigns(&p1, &p2);
+    EXPECT_TRUE(p1.IsIndependentOf(p2));
+    EXPECT_GT(q.qab, 0.0);
+  }
+}
+
+TEST_F(QueryGenTest, DependentArbitrageSharesUniverse) {
+  Rng rng(10);
+  auto queries = GenerateArbitrageQueries(50, cfg_, initial_, true, &rng);
+  ASSERT_TRUE(queries.ok());
+  int with_overlap = 0;
+  for (const auto& q : *queries) {
+    Polynomial p1, p2;
+    q.p.SplitSigns(&p1, &p2);
+    if (!p1.IsIndependentOf(p2)) ++with_overlap;
+  }
+  // Hot-item reuse makes overlap common (not guaranteed per query).
+  EXPECT_GT(with_overlap, 10);
+}
+
+TEST_F(QueryGenTest, RejectsBadConfig) {
+  Rng rng(11);
+  QueryGenConfig bad = cfg_;
+  bad.num_items = 2;
+  EXPECT_FALSE(GeneratePortfolioQueries(1, bad, initial_, &rng).ok());
+  bad = cfg_;
+  bad.min_pairs = 0;
+  EXPECT_FALSE(GeneratePortfolioQueries(1, bad, initial_, &rng).ok());
+  EXPECT_FALSE(
+      GeneratePortfolioQueries(1, cfg_, Vector(10, 1.0), &rng).ok());
+}
+
+
+TEST(RateEstimatorTest, EwmaWeighsRecentMovement) {
+  // First half static, second half moving: EWMA must exceed the plain
+  // average (which dilutes the active half with the quiet one).
+  TraceSet set;
+  set.num_ticks = 1200;
+  Vector v(1200, 50.0);
+  for (int t = 600; t < 1200; ++t) {
+    v[static_cast<size_t>(t)] = 50.0 + 0.1 * (t - 600);
+  }
+  set.traces.push_back(std::move(v));
+  auto mean = EstimateRates(set, 60);
+  auto ewma = EstimateRatesEwma(set, 60, 0.3);
+  ASSERT_TRUE(mean.ok());
+  ASSERT_TRUE(ewma.ok());
+  EXPECT_GT((*ewma)[0], (*mean)[0]);
+  EXPECT_NEAR((*ewma)[0], 0.1, 0.02);  // converges to the active rate
+}
+
+TEST(RateEstimatorTest, EwmaRejectsBadAlpha) {
+  TraceSet set;
+  set.num_ticks = 200;
+  set.traces.push_back(Vector(200, 1.0));
+  EXPECT_FALSE(EstimateRatesEwma(set, 60, 0.0).ok());
+  EXPECT_FALSE(EstimateRatesEwma(set, 60, 1.5).ok());
+}
+
+TEST(RateEstimatorTest, QuantileUpperBoundsMean) {
+  Rng rng(17);
+  TraceSetConfig tc;
+  tc.num_items = 5;
+  tc.num_ticks = 3000;
+  auto set = GenerateTraceSet(tc, &rng);
+  ASSERT_TRUE(set.ok());
+  auto mean = EstimateRates(*set, 60);
+  auto p95 = EstimateRatesQuantile(*set, 60, 0.95);
+  ASSERT_TRUE(mean.ok());
+  ASSERT_TRUE(p95.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_GE((*p95)[i], (*mean)[i] * 0.99);
+  }
+  EXPECT_FALSE(EstimateRatesQuantile(*set, 60, 1.5).ok());
+}
+
+TEST(RateEstimatorTest, OnlineTrackerConvergesToConstantRate) {
+  OnlineRateTracker tracker(/*interval_seconds=*/60.0, /*alpha=*/0.2);
+  EXPECT_DOUBLE_EQ(tracker.Rate(), 0.0);
+  double v = 100.0;
+  for (int i = 0; i < 50; ++i) {
+    tracker.Observe(v);
+    v += 6.0;  // 0.1 per second
+  }
+  EXPECT_NEAR(tracker.Rate(), 0.1, 1e-9);
+  EXPECT_EQ(tracker.num_observations(), 50);
+}
+
+TEST(RateEstimatorTest, OnlineTrackerReactsToRegimeChange) {
+  OnlineRateTracker tracker(1.0, 0.5);
+  double v = 10.0;
+  for (int i = 0; i < 20; ++i) {
+    tracker.Observe(v);
+    v += 0.01;
+  }
+  const double quiet = tracker.Rate();
+  for (int i = 0; i < 20; ++i) {
+    tracker.Observe(v);
+    v += 1.0;
+  }
+  EXPECT_GT(tracker.Rate(), quiet * 10);
+}
+
+TEST(TraceTest, MomentumProducesLocalTrends) {
+  // Lag-1 autocorrelation of returns should be clearly positive with the
+  // AR(1) drift and near zero without it.
+  auto lag1 = [](const Trace& tr) {
+    std::vector<double> r;
+    for (size_t t = 1; t < tr.size(); ++t) {
+      r.push_back(std::log(tr[t] / tr[t - 1]));
+    }
+    double mean = 0.0;
+    for (double x : r) mean += x;
+    mean /= static_cast<double>(r.size());
+    double num = 0.0, den = 0.0;
+    for (size_t t = 1; t < r.size(); ++t) {
+      num += (r[t] - mean) * (r[t - 1] - mean);
+    }
+    for (double x : r) den += (x - mean) * (x - mean);
+    return num / den;
+  };
+  TraceConfig tc;
+  tc.kind = TraceKind::kGbmStock;
+  tc.num_ticks = 20000;
+  tc.initial = 100.0;
+  tc.volatility = 1e-3;
+  Rng r1(5), r2(5);
+  tc.trend_scale = 1.0;
+  auto trending = GenerateTrace(tc, &r1);
+  tc.trend_scale = 0.0;
+  auto pure = GenerateTrace(tc, &r2);
+  ASSERT_TRUE(trending.ok());
+  ASSERT_TRUE(pure.ok());
+  EXPECT_GT(lag1(*trending), 0.2);
+  EXPECT_LT(std::fabs(lag1(*pure)), 0.05);
+}
+
+TEST(TraceTest, JumpsProduceHeavyTails) {
+  TraceConfig tc;
+  tc.kind = TraceKind::kGbmStock;
+  tc.num_ticks = 50000;
+  tc.initial = 100.0;
+  tc.volatility = 1e-3;
+  tc.trend_scale = 0.0;
+  tc.jump_prob = 0.01;
+  tc.jump_scale = 0.03;
+  Rng rng(9);
+  auto trace = GenerateTrace(tc, &rng);
+  ASSERT_TRUE(trace.ok());
+  int big_moves = 0;
+  for (size_t t = 1; t < trace->size(); ++t) {
+    if (std::fabs(std::log((*trace)[t] / (*trace)[t - 1])) > 5e-3) {
+      ++big_moves;
+    }
+  }
+  // ~1% of 50k ticks jump with magnitude >= 1.5%, far beyond 5 sigma of
+  // the diffusive component.
+  EXPECT_GT(big_moves, 200);
+}
+
+}  // namespace
+}  // namespace polydab::workload

@@ -1,0 +1,202 @@
+// polydab_experiment: config-driven experiment runner.
+//
+// Runs one simulation of the paper's protocol with every knob exposed on
+// the command line and prints the four metrics (plus message breakdowns)
+// in a single machine-parsable line, so parameter sweeps can be scripted
+// without writing C++.
+//
+// Usage:
+//   polydab_experiment [key=value ...]
+//
+// Keys (defaults in parentheses):
+//   queries=N        number of queries (50)
+//   kind=ppq|pq      portfolio PPQs or arbitrage general PQs (ppq)
+//   dependent=0|1    arbitrage legs share items (0)
+//   method=dual|optimal|wsdab          assignment scheme (dual)
+//   heuristic=ds|hh  general-PQ heuristic (ds)
+//   ddm=mono|walk    data-dynamics model in the optimizer (mono)
+//   mu=X             recomputation cost in messages (5)
+//   rates=mean|ewma|p95|unit           rate estimator (mean)
+//   items=N          data items (100)
+//   ticks=N          trace length in seconds (2000)
+//   traces=FILE      replay a CSV trace set instead of synthesizing
+//                    (one column per item, one row per second)
+//   delay_ms=X       mean node-node delay (110)
+//   recompute_ms=X   coordinator CPU per recomputation (2)
+//   aao_period=X     seconds between joint AAO solves; 0 = EQI (0)
+//   seed=N           RNG seed (1)
+//   csv=0|1          print a CSV row instead of key=value (0)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "sim/simulation.h"
+#include "workload/query_gen.h"
+#include "workload/rate_estimator.h"
+#include "workload/trace_io.h"
+
+using namespace polydab;
+
+namespace {
+
+std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
+  std::map<std::string, std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const char* eq = std::strchr(argv[i], '=');
+    if (eq == nullptr) {
+      std::fprintf(stderr, "ignoring malformed argument '%s'\n", argv[i]);
+      continue;
+    }
+    out[std::string(argv[i], static_cast<size_t>(eq - argv[i]))] =
+        std::string(eq + 1);
+  }
+  return out;
+}
+
+std::string Get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& dflt) {
+  auto it = args.find(key);
+  return it == args.end() ? dflt : it->second;
+}
+
+int GetInt(const std::map<std::string, std::string>& args,
+           const std::string& key, int dflt) {
+  auto it = args.find(key);
+  return it == args.end() ? dflt : std::atoi(it->second.c_str());
+}
+
+double GetDouble(const std::map<std::string, std::string>& args,
+                 const std::string& key, double dflt) {
+  auto it = args.find(key);
+  return it == args.end() ? dflt : std::atof(it->second.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ParseArgs(argc, argv);
+  const int num_queries = GetInt(args, "queries", 50);
+  const int num_items = GetInt(args, "items", 100);
+  const int ticks = GetInt(args, "ticks", 2000);
+  const uint64_t seed = static_cast<uint64_t>(GetInt(args, "seed", 1));
+
+  // Universe: synthesize traces, or replay a CSV (traces=path) with one
+  // column per item and one row per second, e.g. real quote data.
+  Rng rng(seed);
+  Result<workload::TraceSet> traces = Status::Internal("unset");
+  const std::string trace_path = Get(args, "traces", "");
+  if (!trace_path.empty()) {
+    traces = workload::LoadTraceSetCsv(trace_path);
+  } else {
+    workload::TraceSetConfig tc;
+    tc.num_items = num_items;
+    tc.num_ticks = ticks;
+    traces = workload::GenerateTraceSet(tc, &rng);
+  }
+  if (!traces.ok()) {
+    std::fprintf(stderr, "traces: %s\n", traces.status().ToString().c_str());
+    return 1;
+  }
+
+  // Rates.
+  const std::string rates_kind = Get(args, "rates", "mean");
+  Result<Vector> rates = Status::Internal("unset");
+  if (rates_kind == "mean") {
+    rates = workload::EstimateRates(*traces, 60);
+  } else if (rates_kind == "ewma") {
+    rates = workload::EstimateRatesEwma(*traces, 60, 0.1);
+  } else if (rates_kind == "p95") {
+    rates = workload::EstimateRatesQuantile(*traces, 60, 0.95);
+  } else if (rates_kind == "unit") {
+    rates = workload::UnitRates(traces->num_items());
+  } else {
+    std::fprintf(stderr, "unknown rates '%s'\n", rates_kind.c_str());
+    return 1;
+  }
+  if (!rates.ok()) {
+    std::fprintf(stderr, "rates: %s\n", rates.status().ToString().c_str());
+    return 1;
+  }
+
+  // Queries.
+  workload::QueryGenConfig qc;
+  qc.num_items = num_items;
+  Result<std::vector<PolynomialQuery>> queries = Status::Internal("unset");
+  const std::string kind = Get(args, "kind", "ppq");
+  if (kind == "ppq") {
+    queries = workload::GeneratePortfolioQueries(num_queries, qc,
+                                                 traces->Snapshot(0), &rng);
+  } else if (kind == "pq") {
+    queries = workload::GenerateArbitrageQueries(
+        num_queries, qc, traces->Snapshot(0), GetInt(args, "dependent", 0) != 0,
+        &rng);
+  } else {
+    std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
+    return 1;
+  }
+  if (!queries.ok()) {
+    std::fprintf(stderr, "queries: %s\n",
+                 queries.status().ToString().c_str());
+    return 1;
+  }
+
+  // Simulation config.
+  sim::SimConfig config;
+  const std::string method = Get(args, "method", "dual");
+  if (method == "dual") {
+    config.planner.method = core::AssignmentMethod::kDualDab;
+  } else if (method == "optimal") {
+    config.planner.method = core::AssignmentMethod::kOptimalRefresh;
+  } else if (method == "wsdab") {
+    config.planner.method = core::AssignmentMethod::kWsDab;
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 1;
+  }
+  const std::string heuristic = Get(args, "heuristic", "ds");
+  config.planner.heuristic = heuristic == "hh"
+                                 ? core::GeneralPqHeuristic::kHalfAndHalf
+                                 : core::GeneralPqHeuristic::kDifferentSum;
+  config.planner.dual.ddm = Get(args, "ddm", "mono") == "walk"
+                                ? core::DataDynamicsModel::kRandomWalk
+                                : core::DataDynamicsModel::kMonotonic;
+  config.planner.dual.mu = GetDouble(args, "mu", 5.0);
+  config.delays.node_node_mean = GetDouble(args, "delay_ms", 110.0) / 1000.0;
+  config.delays.recompute_cpu_s =
+      GetDouble(args, "recompute_ms", 2.0) / 1000.0;
+  config.aao_period_s = GetDouble(args, "aao_period", 0.0);
+  config.seed = seed;
+
+  auto m = sim::RunSimulation(*queries, *traces, *rates, config);
+  if (!m.ok()) {
+    std::fprintf(stderr, "simulation: %s\n", m.status().ToString().c_str());
+    return 1;
+  }
+
+  const double mu = config.planner.dual.mu;
+  if (GetInt(args, "csv", 0) != 0) {
+    std::printf("%s,%s,%g,%d,%d,%lld,%lld,%lld,%lld,%.0f,%.4f\n",
+                method.c_str(), kind.c_str(), mu, num_queries, ticks,
+                static_cast<long long>(m->refreshes),
+                static_cast<long long>(m->recomputations),
+                static_cast<long long>(m->dab_change_messages),
+                static_cast<long long>(m->user_notifications),
+                m->TotalCost(mu), m->mean_fidelity_loss_pct);
+  } else {
+    std::printf(
+        "method=%s kind=%s mu=%g queries=%d ticks=%d refreshes=%lld "
+        "recomputations=%lld dab_changes=%lld user_notifications=%lld "
+        "total_cost=%.0f fidelity_loss_pct=%.4f solver_failures=%lld\n",
+        method.c_str(), kind.c_str(), mu, num_queries, ticks,
+        static_cast<long long>(m->refreshes),
+        static_cast<long long>(m->recomputations),
+        static_cast<long long>(m->dab_change_messages),
+        static_cast<long long>(m->user_notifications), m->TotalCost(mu),
+        m->mean_fidelity_loss_pct,
+        static_cast<long long>(m->solver_failures));
+  }
+  return 0;
+}
