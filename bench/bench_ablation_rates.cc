@@ -36,7 +36,7 @@ void Run() {
       {"p95", *workload::EstimateRatesQuantile(u.traces, 60, 0.95)});
   series.push_back({"unit(L1)", workload::UnitRates(u.traces.num_items())});
 
-  const double mu = 5.0;
+  const double mu = core::kDefaultMu;
   Table t({"estimator", "refreshes", "recomputations", "total cost"});
   for (const Series& s : series) {
     sim::SimConfig c;

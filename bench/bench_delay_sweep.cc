@@ -30,7 +30,7 @@ void Run() {
           core::AssignmentMethod::kDualDab}) {
       sim::SimConfig c;
       c.planner.method = method;
-      c.planner.dual.mu = 5.0;
+      c.planner.dual.mu = core::kDefaultMu;
       c.delays.node_node_mean = d / 1000.0;
       c.seed = 99;
       auto m = sim::RunSimulation(queries, u.traces, u.rates, c);

@@ -26,9 +26,10 @@ void Run() {
   const std::vector<Series> series = {
       {"OptimalRefresh", core::AssignmentMethod::kOptimalRefresh, 1.0},
       {"Dual mu=1", core::AssignmentMethod::kDualDab, 1.0},
-      {"Dual mu=5", core::AssignmentMethod::kDualDab, 5.0},
+      {"Dual mu=5", core::AssignmentMethod::kDualDab, core::kDefaultMu},
       {"Dual mu=10", core::AssignmentMethod::kDualDab, 10.0},
   };
+  HarnessTimer timer;
 
   std::vector<std::string> header = {"queries"};
   for (const Series& s : series) header.push_back(s.name);
@@ -52,7 +53,9 @@ void Run() {
       // (Figure 5(c)) without saturating the coordinator outright at the
       // default bench scale.
       c.delays.recompute_cpu_s = 0.001;
+      obs::ScopedTimer section = timer.Section("sim_seconds." + s.name);
       auto m = sim::RunSimulation(queries, u.traces, u.rates, c);
+      section.Stop();
       if (!m.ok()) {
         std::fprintf(stderr, "fig5 %s nq=%d failed: %s\n", s.name.c_str(),
                      nq, m.status().ToString().c_str());
@@ -76,6 +79,7 @@ void Run() {
   refreshes.Print();
   std::printf("\n=== Figure 5(c): mean loss in fidelity (%%) vs #queries ===\n");
   fidelity.Print();
+  timer.PrintSummary("Figure 5 harness wall-clock per simulation");
 }
 
 }  // namespace

@@ -66,7 +66,7 @@ void BM_DualDabPpqWarm(benchmark::State& state) {
   // value drift, warm-started from the previous assignment.
   Setup s = MakeSetup(1);
   core::DualDabParams params;
-  params.mu = 5.0;
+  params.mu = core::kDefaultMu;
   auto prev = core::SolveDualDab(s.queries[0], s.values, s.rates, params);
   if (!prev.ok()) {
     state.SkipWithError("setup solve failed");
@@ -83,10 +83,35 @@ void BM_DualDabPpqWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_DualDabPpqWarm)->Unit(benchmark::kMillisecond);
 
+void BM_DualDabPpqWarmInstrumented(benchmark::State& state) {
+  // The warm re-solve with a telemetry registry attached — the delta
+  // against BM_DualDabPpqWarm is the whole cost of the obs instruments
+  // (docs/OBSERVABILITY.md documents it as lost in run-to-run noise).
+  Setup s = MakeSetup(1);
+  obs::MetricRegistry registry;
+  core::DualDabParams params;
+  params.mu = core::kDefaultMu;
+  params.solver.registry = &registry;
+  auto prev = core::SolveDualDab(s.queries[0], s.values, s.rates, params);
+  if (!prev.ok()) {
+    state.SkipWithError("setup solve failed");
+    return;
+  }
+  Vector moved = s.values;
+  for (double& v : moved) v *= 1.002;
+  for (auto _ : state) {
+    auto d = core::SolveDualDab(s.queries[0], moved, s.rates, params,
+                                &*prev);
+    if (!d.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DualDabPpqWarmInstrumented)->Unit(benchmark::kMillisecond);
+
 void BM_AaoTenPpqs(benchmark::State& state) {
   Setup s = MakeSetup(10);
   core::DualDabParams params;
-  params.mu = 5.0;
+  params.mu = core::kDefaultMu;
   for (auto _ : state) {
     auto d = core::SolveAao(s.queries, s.values, s.rates, params);
     if (!d.ok()) state.SkipWithError("solve failed");

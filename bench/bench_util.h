@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "workload/query_gen.h"
 #include "workload/rate_estimator.h"
 #include "workload/trace.h"
@@ -95,6 +97,32 @@ inline std::string Fmt(double v, int decimals = 1) {
 }
 
 inline std::string Fmt(int64_t v) { return std::to_string(v); }
+
+/// Wall-clock accounting for the figure harnesses, on the obs instruments
+/// instead of ad-hoc clock arithmetic: time each run with Section() (RAII,
+/// or call Stop() early), then PrintSummary() renders the collected
+/// histograms — count, mean, and tail quantiles per section — as a footer,
+/// so slow reproduction runs are visible without rebuilding in a profiler.
+class HarnessTimer {
+ public:
+  /// Time one section into the histogram named \p name (C++17 guaranteed
+  /// copy elision carries the ScopedTimer to the caller's scope).
+  obs::ScopedTimer Section(const std::string& name) {
+    return obs::ScopedTimer(registry_.GetHistogram(name));
+  }
+
+  /// Registry for passing into SimConfig/PlannerConfig/SolverOptions when
+  /// a bench also wants the library-internal instruments.
+  obs::MetricRegistry* registry() { return &registry_; }
+
+  void PrintSummary(const std::string& title = "harness wall-clock") {
+    std::printf("\n=== %s ===\n%s", title.c_str(),
+                obs::RunReport::FromRegistry(registry_).ToText().c_str());
+  }
+
+ private:
+  obs::MetricRegistry registry_;
+};
 
 }  // namespace polydab::bench
 

@@ -23,6 +23,13 @@ enum class DataDynamicsModel {
 /// posynomial terms (GP coefficients must be positive).
 inline constexpr double kMinRate = 1e-9;
 
+/// The canonical default for μ, the modeled cost of one DAB recomputation
+/// in refresh messages (§III-A.3, §V-A uses μ = 5 throughout). The single
+/// source of truth shared by DualDabParams, the TotalCost metric, the
+/// bench harnesses, and polydab_experiment — sweep points that deviate do
+/// so explicitly.
+inline constexpr double kDefaultMu = 5.0;
+
 /// Modeled message rate for filter width \p w under \p ddm.
 inline double MessageRate(DataDynamicsModel ddm, double lambda, double w) {
   const double l = std::max(lambda, kMinRate);

@@ -27,7 +27,7 @@ namespace polydab::core {
 
 /// Parameters of the Dual-DAB optimization.
 struct DualDabParams {
-  double mu = 5.0;  ///< recomputation cost in messages (μ > 0)
+  double mu = kDefaultMu;  ///< recomputation cost in messages (μ > 0)
   DataDynamicsModel ddm = DataDynamicsModel::kMonotonic;
   gp::SolverOptions solver;
 };

@@ -1,23 +1,30 @@
 #include "core/planner.h"
 
+#include <cstdio>
+#include <ostream>
+
 namespace polydab::core {
 
 namespace {
 
-/// PPQ sub-solver for the configured assignment method.
+/// PPQ sub-solver for the configured assignment method. The planner's
+/// telemetry registry (if any) is propagated into the GP solver options so
+/// one `PlannerConfig::registry` assignment instruments the whole stack.
 PpqSolver MakeSubSolver(const Vector& values, const Vector& rates,
                         const PlannerConfig& config) {
+  DualDabParams dual = config.dual;
+  if (dual.solver.registry == nullptr) dual.solver.registry = config.registry;
   switch (config.method) {
     case AssignmentMethod::kOptimalRefresh:
-      return [&values, &rates, &config](const PolynomialQuery& q,
-                                        const QueryDabs* w) {
-        return SolveOptimalRefresh(q, values, rates, config.dual.ddm,
-                                   config.dual.solver, w);
+      return [&values, &rates, dual](const PolynomialQuery& q,
+                                     const QueryDabs* w) {
+        return SolveOptimalRefresh(q, values, rates, dual.ddm, dual.solver,
+                                   w);
       };
     case AssignmentMethod::kDualDab:
-      return [&values, &rates, &config](const PolynomialQuery& q,
-                                        const QueryDabs* w) {
-        return SolveDualDab(q, values, rates, config.dual, w);
+      return [&values, &rates, dual](const PolynomialQuery& q,
+                                     const QueryDabs* w) {
+        return SolveDualDab(q, values, rates, dual, w);
       };
     case AssignmentMethod::kWsDab:
       return [&values](const PolynomialQuery& q, const QueryDabs*) {
@@ -60,12 +67,57 @@ Result<std::vector<PolynomialQuery>> SplitSubqueries(
 
 }  // namespace
 
+const char* Name(AssignmentMethod method) {
+  switch (method) {
+    case AssignmentMethod::kOptimalRefresh: return "optimal";
+    case AssignmentMethod::kDualDab: return "dual";
+    case AssignmentMethod::kWsDab: return "wsdab";
+  }
+  return "?";
+}
+
+const char* Name(GeneralPqHeuristic heuristic) {
+  switch (heuristic) {
+    case GeneralPqHeuristic::kHalfAndHalf: return "hh";
+    case GeneralPqHeuristic::kDifferentSum: return "ds";
+  }
+  return "?";
+}
+
+const char* Name(DataDynamicsModel ddm) {
+  switch (ddm) {
+    case DataDynamicsModel::kMonotonic: return "mono";
+    case DataDynamicsModel::kRandomWalk: return "walk";
+  }
+  return "?";
+}
+
+std::string PlannerConfig::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "method=%s heuristic=%s ddm=%s mu=%g duality_tol=%g",
+                Name(method), Name(heuristic), Name(dual.ddm), dual.mu,
+                dual.solver.duality_tol);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const PlannerConfig& config) {
+  return os << config.Describe();
+}
+
 Result<QueryDabs> PlanQuery(const PolynomialQuery& query,
                             const Vector& values, const Vector& rates,
                             const PlannerConfig& config,
                             const QueryDabs* warm) {
   if (query.p.IsZero()) {
     return Status::InvalidArgument("query polynomial is zero");
+  }
+  obs::ScopedTimer timer(
+      config.registry == nullptr
+          ? nullptr
+          : config.registry->GetHistogram("core.planner.plan_seconds"));
+  if (config.registry != nullptr) {
+    config.registry->GetCounter("core.planner.plans")->Inc();
   }
   // Linear aggregate queries have a value-independent optimal closed form
   // that never goes stale (laq.h); every method uses it.
@@ -81,6 +133,13 @@ Result<QueryPlan> PlanQueryParts(const PolynomialQuery& query,
                                  const PlannerConfig& config) {
   if (query.p.IsZero()) {
     return Status::InvalidArgument("query polynomial is zero");
+  }
+  obs::ScopedTimer timer(
+      config.registry == nullptr
+          ? nullptr
+          : config.registry->GetHistogram("core.planner.plan_seconds"));
+  if (config.registry != nullptr) {
+    config.registry->GetCounter("core.planner.plans")->Inc();
   }
   QueryPlan plan;
   if (query.IsLinearAggregate()) {
@@ -102,10 +161,26 @@ Result<QueryPlan> PlanQueryParts(const PolynomialQuery& query,
 Result<QueryDabs> ReplanPart(const PlanPart& part, const Vector& values,
                              const Vector& rates,
                              const PlannerConfig& config) {
-  if (part.subquery.IsLinearAggregate()) {
-    return SolveLaq(part.subquery, rates, config.dual.ddm);
+  obs::MetricRegistry* reg = config.registry;
+  obs::ScopedTimer timer(
+      reg == nullptr ? nullptr
+                     : reg->GetHistogram("core.planner.replan_seconds"));
+  Result<QueryDabs> result =
+      part.subquery.IsLinearAggregate()
+          ? SolveLaq(part.subquery, rates, config.dual.ddm)
+          : MakeSubSolver(values, rates, config)(part.subquery, &part.dabs);
+  if (reg != nullptr) {
+    reg->GetCounter("core.planner.replans")->Inc();
+    if (!part.subquery.IsLinearAggregate()) {
+      // Every replan is warm-started from the part's previous assignment;
+      // a hit is a warm solve that actually succeeded. Hit rate =
+      // hits / (hits + misses).
+      reg->GetCounter(result.ok() ? "core.planner.warm_start_hits"
+                                  : "core.planner.warm_start_misses")
+          ->Inc();
+    }
   }
-  return MakeSubSolver(values, rates, config)(part.subquery, &part.dabs);
+  return result;
 }
 
 }  // namespace polydab::core

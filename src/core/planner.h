@@ -1,6 +1,9 @@
 #ifndef POLYDAB_CORE_PLANNER_H_
 #define POLYDAB_CORE_PLANNER_H_
 
+#include <iosfwd>
+#include <string>
+
 #include "common/status.h"
 #include "core/baseline.h"
 #include "core/dual_dab.h"
@@ -25,6 +28,11 @@ enum class AssignmentMethod {
   kWsDab,           ///< [5]-style per-item sufficient-condition baseline
 };
 
+/// Short lower-case names for log lines and run reports ("dual", "hh"...).
+const char* Name(AssignmentMethod method);
+const char* Name(GeneralPqHeuristic heuristic);
+const char* Name(DataDynamicsModel ddm);
+
 /// Full planner configuration.
 struct PlannerConfig {
   AssignmentMethod method = AssignmentMethod::kDualDab;
@@ -33,7 +41,17 @@ struct PlannerConfig {
   /// Dual-DAB parameters (mu, ddm, solver tunables). The ddm also applies
   /// to Optimal Refresh.
   DualDabParams dual;
+  /// Optional telemetry sink recording the `core.planner.*` instruments
+  /// (plan/replan latency, warm-start hit rate) and, propagated into the
+  /// GP solver, the `gp.solver.*` instruments. Null = off. Not owned.
+  obs::MetricRegistry* registry = nullptr;
+
+  /// One-line rendering of every knob, for run reports and test failures,
+  /// e.g. "method=dual heuristic=ds ddm=mono mu=5".
+  std::string Describe() const;
 };
+
+std::ostream& operator<<(std::ostream& os, const PlannerConfig& config);
 
 /// \brief Plan DABs for one query at the current values.
 ///

@@ -120,6 +120,15 @@ struct ConvexGp {
   int num_vars = 0;
 };
 
+/// Per-solve work counters, always accumulated (trivially cheap ints) and
+/// flushed to the telemetry registry only when one is configured.
+struct SolveStats {
+  int newton_iterations = 0;
+  int line_search_backtracks = 0;
+  bool phase1 = false;
+  bool warm_feasible = false;
+};
+
 /// Barrier value phi(y) = t*F0(y) - Σ log(-Fi(y)); +inf when infeasible.
 double BarrierValue(const ConvexGp& cg, const Vector& y, double t) {
   double phi = t * cg.objective.Value(y);
@@ -134,7 +143,8 @@ double BarrierValue(const ConvexGp& cg, const Vector& y, double t) {
 /// Damped-Newton minimization of the barrier objective at fixed t.
 /// Returns the number of Newton iterations, or an error.
 Result<int> CenterStep(const ConvexGp& cg, double t,
-                       const SolverOptions& opt, Vector* y) {
+                       const SolverOptions& opt, Vector* y,
+                       SolveStats* stats) {
   const size_t n = y->size();
   for (int iter = 0; iter < opt.max_newton_per_stage; ++iter) {
     Vector grad(n, 0.0);
@@ -173,12 +183,14 @@ Result<int> CenterStep(const ConvexGp& cg, double t,
       const double phi1 = BarrierValue(cg, y_new, t);
       if (phi1 <= phi0 - 0.25 * alpha * lambda2) break;
       alpha *= 0.5;
+      ++stats->line_search_backtracks;
       if (alpha < 1e-14) {
         // No descent possible: already at numerical optimum for this t.
         return iter;
       }
     }
     *y = y_new;
+    ++stats->newton_iterations;
   }
   return Status::NotConverged("Newton centering exceeded iteration limit");
 }
@@ -187,7 +199,8 @@ Result<int> CenterStep(const ConvexGp& cg, double t,
 /// Works on the augmented variable vector (y, s) with constraints
 /// Fi(y) - s <= 0, driving s below zero.
 Result<Vector> PhaseOne(const ConvexGp& cg, const SolverOptions& opt,
-                        const Vector& y0) {
+                        const Vector& y0, SolveStats* stats) {
+  stats->phase1 = true;
   const size_t n = static_cast<size_t>(cg.num_vars);
   Vector y = y0;
   double s = 0.0;
@@ -262,11 +275,13 @@ Result<Vector> PhaseOne(const ConvexGp& cg, const SolverOptions& opt,
         if (feas && max_f < -1e-3) return y_try;  // strictly feasible
         if (feas && val <= val0 - 0.25 * alpha * lambda2) break;
         alpha *= 0.5;
+        ++stats->line_search_backtracks;
         if (alpha < 1e-14) break;
       }
       if (alpha < 1e-14) break;
       for (size_t j = 0; j < n; ++j) y[j] += alpha * d[j];
       s += alpha * d[n];
+      ++stats->newton_iterations;
       if (s < -1e-3) return y;  // strictly feasible, done early
     }
     if (s < -1e-6) return y;
@@ -278,11 +293,9 @@ Result<Vector> PhaseOne(const ConvexGp& cg, const SolverOptions& opt,
                             std::to_string(s));
 }
 
-}  // namespace
-
-Result<GpSolution> SolveGp(const GpProblem& problem,
-                           const SolverOptions& options,
-                           const Vector* warm_start) {
+Result<GpSolution> SolveGpImpl(const GpProblem& problem,
+                               const SolverOptions& options,
+                               const Vector* warm_start, SolveStats* stats) {
   if (problem.num_vars <= 0) {
     return Status::InvalidArgument("GP has no variables");
   }
@@ -338,15 +351,16 @@ Result<GpSolution> SolveGp(const GpProblem& problem,
       // A strictly feasible warm start (typically last solve's optimum for
       // slightly moved data) is near the end of the central path already;
       // start the barrier schedule much closer to its final value.
+      stats->warm_feasible = true;
       t = std::max(options.t0, m / options.duality_tol * 1e-4);
     } else {
-      POLYDAB_ASSIGN_OR_RETURN(y, PhaseOne(cg, options, y));
+      POLYDAB_ASSIGN_OR_RETURN(y, PhaseOne(cg, options, y, stats));
     }
   }
 
   int newton_total = 0;
   for (int outer = 0; outer < options.max_outer; ++outer) {
-    POLYDAB_ASSIGN_OR_RETURN(int iters, CenterStep(cg, t, options, &y));
+    POLYDAB_ASSIGN_OR_RETURN(int iters, CenterStep(cg, t, options, &y, stats));
     newton_total += iters;
     if (m / t < options.duality_tol) break;
     t *= options.barrier_mu;
@@ -358,6 +372,37 @@ Result<GpSolution> SolveGp(const GpProblem& problem,
   sol.objective = problem.objective.Evaluate(sol.x);
   sol.newton_iterations = newton_total;
   return sol;
+}
+
+}  // namespace
+
+Result<GpSolution> SolveGp(const GpProblem& problem,
+                           const SolverOptions& options,
+                           const Vector* warm_start) {
+  SolveStats stats;
+  if (options.registry == nullptr) {
+    return SolveGpImpl(problem, options, warm_start, &stats);
+  }
+  obs::MetricRegistry& reg = *options.registry;
+  obs::ScopedTimer timer(reg.GetHistogram("gp.solver.solve_seconds"));
+  Result<GpSolution> result =
+      SolveGpImpl(problem, options, warm_start, &stats);
+  timer.Stop();
+  reg.GetCounter("gp.solver.solves")->Inc();
+  reg.GetHistogram("gp.solver.newton_iterations")
+      ->Record(static_cast<double>(stats.newton_iterations));
+  reg.GetCounter("gp.solver.line_search_backtracks")
+      ->Add(stats.line_search_backtracks);
+  if (stats.phase1) reg.GetCounter("gp.solver.phase1_solves")->Inc();
+  if (warm_start != nullptr) {
+    reg.GetCounter("gp.solver.warm_started_solves")->Inc();
+    if (stats.warm_feasible) {
+      reg.GetCounter("gp.solver.warm_start_feasible")->Inc();
+    }
+  }
+  reg.GetCounter(result.ok() ? "gp.solver.converged" : "gp.solver.failures")
+      ->Inc();
+  return result;
 }
 
 }  // namespace polydab::gp

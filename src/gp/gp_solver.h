@@ -6,6 +6,7 @@
 #include "common/matrix.h"
 #include "common/status.h"
 #include "gp/posynomial.h"
+#include "obs/metrics.h"
 
 /// \file gp_solver.h
 /// A from-scratch geometric-program solver (the paper used CVXOPT; see
@@ -29,6 +30,13 @@ struct SolverOptions {
   double barrier_mu = 20.0;    ///< barrier growth factor per outer step
   int max_newton_per_stage = 200;
   int max_outer = 60;
+  /// Optional telemetry sink (docs/OBSERVABILITY.md). When set, every
+  /// solve records the `gp.solver.*` instruments: per-solve latency and
+  /// Newton-iteration histograms plus counters for line-search
+  /// backtracks, phase-I invocations, warm starts, and convergence
+  /// outcome. Null (the default) costs one branch per solve and nothing
+  /// else. Not owned; must outlive the solve.
+  obs::MetricRegistry* registry = nullptr;
 };
 
 /// Result of a successful solve.

@@ -63,6 +63,23 @@ Result<DisseminationMetrics> RunDissemination(
   }
   out.total.mean_fidelity_loss_pct /=
       static_cast<double>(queries.empty() ? 1 : queries.size());
+
+  // Telemetry: each coordinator's RunSimulation already accumulated the
+  // shared `sim.*` counters (summed across coordinators, since they share
+  // the registry); add the overlay-level load-spread distributions.
+  if (config.sim.registry != nullptr) {
+    obs::MetricRegistry& reg = *config.sim.registry;
+    reg.GetGauge("net.dissemination.coordinators")
+        ->Set(static_cast<double>(config.num_coordinators));
+    obs::Histogram* per_coord_refreshes =
+        reg.GetHistogram("net.dissemination.coordinator_refreshes");
+    obs::Histogram* per_coord_recomputes =
+        reg.GetHistogram("net.dissemination.coordinator_recomputations");
+    for (const sim::SimMetrics& m : out.per_coordinator) {
+      per_coord_refreshes->Record(static_cast<double>(m.refreshes));
+      per_coord_recomputes->Record(static_cast<double>(m.recomputations));
+    }
+  }
   return out;
 }
 

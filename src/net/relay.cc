@@ -35,6 +35,9 @@ struct Node {
   Vector req;
   /// Per child: last value forwarded for each item.
   std::vector<Vector> last_fwd;
+  /// Telemetry: refresh arrivals at this node / forwards per child edge.
+  int64_t arrivals = 0;
+  std::vector<int64_t> edge_forwards;
 };
 
 }  // namespace
@@ -56,6 +59,12 @@ Result<RelayMetrics> RunRelayOverlay(
   sim::DelayModel delays(config.delays, master.Fork());
   RelayMetrics metrics;
 
+  // Telemetry: propagate the registry into per-node planning/replanning.
+  core::PlannerConfig planner_cfg = config.planner;
+  if (planner_cfg.registry == nullptr) {
+    planner_cfg.registry = config.registry;
+  }
+
   // Build the complete tree in breadth-first order.
   std::vector<Node> nodes(static_cast<size_t>(n_nodes));
   for (int k = 1; k < n_nodes; ++k) {
@@ -69,6 +78,7 @@ Result<RelayMetrics> RunRelayOverlay(
     node.req.assign(n_items, kInf);
     node.item_hosted.resize(n_items);
     node.last_fwd.assign(node.children.size(), initial);
+    node.edge_forwards.assign(node.children.size(), 0);
   }
 
   // Place queries round-robin and plan them.
@@ -79,7 +89,7 @@ Result<RelayMetrics> RunRelayOverlay(
     host_of[qi] = host;
     Node& node = nodes[static_cast<size_t>(host)];
     auto plan = core::PlanQueryParts(queries[qi], node.view, rates,
-                                     config.planner);
+                                     planner_cfg);
     if (!plan.ok()) {
       return Status::Internal("initial planning failed: " +
                               plan.status().ToString());
@@ -183,6 +193,7 @@ Result<RelayMetrics> RunRelayOverlay(
       events.pop();
       Node& node = nodes[static_cast<size_t>(ev.node)];
       ++metrics.refreshes;
+      ++node.arrivals;
       node.view[static_cast<size_t>(ev.item)] = ev.value;
 
       // Local query maintenance, identical rules to sim/simulation.cc.
@@ -204,7 +215,7 @@ Result<RelayMetrics> RunRelayOverlay(
           }
           ++metrics.recomputations;
           auto fresh = core::ReplanPart(part, node.view, rates,
-                                        config.planner);
+                                        planner_cfg);
           if (!fresh.ok()) {
             ++metrics.solver_failures;
             continue;
@@ -231,6 +242,7 @@ Result<RelayMetrics> RunRelayOverlay(
         if (std::fabs(ev.value - node.last_fwd[ci][
                                      static_cast<size_t>(ev.item)]) > need) {
           node.last_fwd[ci][static_cast<size_t>(ev.item)] = ev.value;
+          ++node.edge_forwards[ci];
           events.push(Arrival{ev.time + delays.Network(), child, ev.item,
                               ev.value});
         }
@@ -271,6 +283,29 @@ Result<RelayMetrics> RunRelayOverlay(
   }
   metrics.mean_fidelity_loss_pct =
       loss / static_cast<double>(queries.size());
+
+  if (config.registry != nullptr) {
+    obs::MetricRegistry& reg = *config.registry;
+    reg.GetCounter("net.relay.refreshes")->Add(metrics.refreshes);
+    reg.GetCounter("net.relay.recomputations")->Add(metrics.recomputations);
+    reg.GetCounter("net.relay.dab_change_messages")
+        ->Add(metrics.dab_change_messages);
+    reg.GetCounter("net.relay.solver_failures")->Add(metrics.solver_failures);
+    reg.GetGauge("net.relay.nodes")->Set(static_cast<double>(n_nodes));
+    reg.GetGauge("net.relay.fidelity.mean_loss_pct")
+        ->Set(metrics.mean_fidelity_loss_pct);
+    // Per-node / per-edge traffic distributions: one sample per node
+    // (refresh arrivals) and one per tree edge (forwards to that child),
+    // so the report shows how evenly the overlay spreads load.
+    obs::Histogram* node_hist = reg.GetHistogram("net.relay.node_arrivals");
+    obs::Histogram* edge_hist = reg.GetHistogram("net.relay.edge_forwards");
+    for (const Node& node : nodes) {
+      node_hist->Record(static_cast<double>(node.arrivals));
+      for (int64_t fwd : node.edge_forwards) {
+        edge_hist->Record(static_cast<double>(fwd));
+      }
+    }
+  }
   return metrics;
 }
 

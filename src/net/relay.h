@@ -31,6 +31,11 @@ struct RelayConfig {
   core::PlannerConfig planner;
   sim::DelayConfig delays;  ///< per-hop network delay model
   uint64_t seed = 1;
+  /// Optional telemetry sink recording the `net.relay.*` instruments:
+  /// counters mirroring RelayMetrics plus per-node arrival and per-edge
+  /// forwarding-traffic histograms (one sample per node/edge at run end).
+  /// Propagated into the planner/GP solver. Null = off. Not owned.
+  obs::MetricRegistry* registry = nullptr;
 };
 
 struct RelayMetrics {
@@ -40,7 +45,7 @@ struct RelayMetrics {
   int64_t solver_failures = 0;
   double mean_fidelity_loss_pct = 0.0;  ///< over queries, at host nodes
 
-  double TotalCost(double mu) const {
+  double TotalCost(double mu = core::kDefaultMu) const {
     return static_cast<double>(refreshes) +
            mu * static_cast<double>(recomputations);
   }

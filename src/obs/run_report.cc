@@ -1,0 +1,331 @@
+#include "obs/run_report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace polydab::obs {
+
+namespace {
+
+/// Escape a string for a JSON string literal (quotes, backslashes,
+/// control characters — instrument names never need more).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest representation that round-trips the double exactly.
+std::string JsonNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    // Try trimming to the shortest round-trip form for readability.
+    for (int prec = 1; prec < 17; ++prec) {
+      char t[40];
+      std::snprintf(t, sizeof(t), "%.*g", prec, v);
+      std::sscanf(t, "%lf", &back);
+      if (back == v) return t;
+    }
+  }
+  return buf;
+}
+
+/// Minimal parser for the flat one-line objects ToJsonLines emits:
+/// string keys mapping to string or number values. No nesting, no arrays.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_(line) {}
+
+  Status Parse(std::map<std::string, std::string>* strings,
+               std::map<std::string, double>* numbers) {
+    SkipWs();
+    if (!Consume('{')) return Err("expected '{'");
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      std::string key;
+      POLYDAB_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      if (Peek() == '"') {
+        std::string val;
+        POLYDAB_RETURN_NOT_OK(ParseString(&val));
+        (*strings)[key] = std::move(val);
+      } else {
+        double val = 0.0;
+        POLYDAB_RETURN_NOT_OK(ParseNumber(&val));
+        (*numbers)[key] = val;
+      }
+      SkipWs();
+      if (Consume(',')) {
+        SkipWs();
+        continue;
+      }
+      if (Consume('}')) return Status::OK();
+      return Err("expected ',' or '}'");
+    }
+  }
+
+ private:
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("bad report line (" + what + " at offset " +
+                                   std::to_string(pos_) + "): " + s_);
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Err("expected '\"'");
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return Err("truncated \\u escape");
+            out->push_back(static_cast<char>(
+                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16)));
+            pos_ += 4;
+            break;
+          }
+          default: out->push_back(e);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseNumber(double* out) {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::strchr("+-.eE", s_[pos_]) != nullptr ||
+            (s_[pos_] >= '0' && s_[pos_] <= '9'))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected number");
+    char* end = nullptr;
+    *out = std::strtod(s_.c_str() + start, &end);
+    if (end != s_.c_str() + pos_) return Err("malformed number");
+    return Status::OK();
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+RunReport RunReport::FromRegistry(const MetricRegistry& registry) {
+  RunReport report;
+  for (const MetricRegistry::Entry& src : registry.Entries()) {
+    Entry e;
+    e.name = src.name;
+    e.kind = src.kind;
+    switch (src.kind) {
+      case InstrumentKind::kCounter:
+        e.counter_value = src.counter->value();
+        break;
+      case InstrumentKind::kGauge:
+        e.gauge_value = src.gauge->value();
+        break;
+      case InstrumentKind::kHistogram:
+        e.count = src.histogram->count();
+        e.sum = src.histogram->sum();
+        e.min = src.histogram->min();
+        e.max = src.histogram->max();
+        e.p50 = src.histogram->Quantile(0.50);
+        e.p90 = src.histogram->Quantile(0.90);
+        e.p99 = src.histogram->Quantile(0.99);
+        break;
+    }
+    report.entries.push_back(std::move(e));
+  }
+  return report;
+}
+
+std::string RunReport::ToJsonLines() const {
+  std::string out;
+  for (const auto& [key, value] : info) {
+    out += "{\"type\":\"info\",\"key\":\"" + JsonEscape(key) +
+           "\",\"value\":\"" + JsonEscape(value) + "\"}\n";
+  }
+  char buf[64];
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case InstrumentKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, e.counter_value);
+        out += "{\"type\":\"counter\",\"name\":\"" + JsonEscape(e.name) +
+               "\",\"value\":" + buf + "}\n";
+        break;
+      case InstrumentKind::kGauge:
+        out += "{\"type\":\"gauge\",\"name\":\"" + JsonEscape(e.name) +
+               "\",\"value\":" + JsonNumber(e.gauge_value) + "}\n";
+        break;
+      case InstrumentKind::kHistogram:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, e.count);
+        out += "{\"type\":\"histogram\",\"name\":\"" + JsonEscape(e.name) +
+               "\",\"count\":" + buf + ",\"sum\":" + JsonNumber(e.sum) +
+               ",\"min\":" + JsonNumber(e.min) +
+               ",\"max\":" + JsonNumber(e.max) +
+               ",\"p50\":" + JsonNumber(e.p50) +
+               ",\"p90\":" + JsonNumber(e.p90) +
+               ",\"p99\":" + JsonNumber(e.p99) + "}\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RunReport::ToText() const {
+  size_t width = 4;
+  for (const Entry& e : entries) width = std::max(width, e.name.size());
+  std::string out;
+  char buf[256];
+  for (const auto& [key, value] : info) {
+    out += "# " + key + ": " + value + "\n";
+  }
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case InstrumentKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%-*s  counter    %" PRId64 "\n",
+                      static_cast<int>(width), e.name.c_str(),
+                      e.counter_value);
+        break;
+      case InstrumentKind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%-*s  gauge      %g\n",
+                      static_cast<int>(width), e.name.c_str(), e.gauge_value);
+        break;
+      case InstrumentKind::kHistogram:
+        std::snprintf(buf, sizeof(buf),
+                      "%-*s  histogram  count=%" PRId64
+                      " mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g\n",
+                      static_cast<int>(width), e.name.c_str(), e.count,
+                      e.count == 0 ? 0.0
+                                   : e.sum / static_cast<double>(e.count),
+                      e.p50, e.p90, e.p99, e.max);
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+Status RunReport::WriteJsonLines(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  const std::string body = ToJsonLines();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = written == body.size() && std::fclose(f) == 0;
+  if (!ok) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<RunReport> RunReport::ParseJsonLines(const std::string& text) {
+  RunReport report;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::map<std::string, std::string> strings;
+    std::map<std::string, double> numbers;
+    POLYDAB_RETURN_NOT_OK(LineParser(line).Parse(&strings, &numbers));
+    auto type_it = strings.find("type");
+    if (type_it == strings.end()) {
+      return Status::InvalidArgument("report line missing type: " + line);
+    }
+    const std::string& type = type_it->second;
+    if (type == "info") {
+      report.info[strings["key"]] = strings["value"];
+      continue;
+    }
+    Entry e;
+    auto name_it = strings.find("name");
+    if (name_it == strings.end()) {
+      return Status::InvalidArgument("report line missing name: " + line);
+    }
+    e.name = name_it->second;
+    auto num = [&numbers, &line](const char* field) -> Result<double> {
+      auto it = numbers.find(field);
+      if (it == numbers.end()) {
+        return Status::InvalidArgument("report line missing '" +
+                                       std::string(field) + "': " + line);
+      }
+      return it->second;
+    };
+    if (type == "counter") {
+      e.kind = InstrumentKind::kCounter;
+      POLYDAB_ASSIGN_OR_RETURN(double v, num("value"));
+      e.counter_value = static_cast<int64_t>(v);
+    } else if (type == "gauge") {
+      e.kind = InstrumentKind::kGauge;
+      POLYDAB_ASSIGN_OR_RETURN(e.gauge_value, num("value"));
+    } else if (type == "histogram") {
+      e.kind = InstrumentKind::kHistogram;
+      POLYDAB_ASSIGN_OR_RETURN(double count, num("count"));
+      e.count = static_cast<int64_t>(count);
+      POLYDAB_ASSIGN_OR_RETURN(e.sum, num("sum"));
+      POLYDAB_ASSIGN_OR_RETURN(e.min, num("min"));
+      POLYDAB_ASSIGN_OR_RETURN(e.max, num("max"));
+      POLYDAB_ASSIGN_OR_RETURN(e.p50, num("p50"));
+      POLYDAB_ASSIGN_OR_RETURN(e.p90, num("p90"));
+      POLYDAB_ASSIGN_OR_RETURN(e.p99, num("p99"));
+    } else {
+      return Status::InvalidArgument("unknown report line type '" + type +
+                                     "'");
+    }
+    report.entries.push_back(std::move(e));
+  }
+  return report;
+}
+
+const RunReport::Entry* RunReport::Find(const std::string& name) const {
+  for (const Entry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace polydab::obs

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <ostream>
 #include <queue>
 
 #include "core/multi_query.h"
@@ -66,7 +68,66 @@ double ItemMinPrimary(const State& st, int item) {
   return m;
 }
 
+/// Cached `sim.*` instrument pointers, resolved once per run. All null
+/// when no registry is attached, so every recording site is one branch.
+/// The coordinator counters are incremented at exactly the sites that
+/// bump the corresponding SimMetrics fields, keeping the registry and the
+/// returned metrics a single source of truth (asserted in sim_test.cc).
+struct SimInstruments {
+  obs::Counter* refreshes = nullptr;
+  obs::Counter* recomputations = nullptr;
+  obs::Counter* dab_change_messages = nullptr;
+  obs::Counter* user_notifications = nullptr;
+  obs::Counter* solver_failures = nullptr;
+  obs::Counter* cause_secondary_escape = nullptr;
+  obs::Counter* cause_single_dab_staleness = nullptr;
+  obs::Counter* cause_aao_periodic = nullptr;
+  obs::Histogram* message_delay = nullptr;
+  obs::Histogram* queue_wait = nullptr;
+  obs::Histogram* tick_refreshes = nullptr;
+  obs::Histogram* tick_recomputations = nullptr;
+
+  explicit SimInstruments(obs::MetricRegistry* reg) {
+    if (reg == nullptr) return;
+    refreshes = reg->GetCounter("sim.coordinator.refreshes");
+    recomputations = reg->GetCounter("sim.coordinator.recomputations");
+    dab_change_messages =
+        reg->GetCounter("sim.coordinator.dab_change_messages");
+    user_notifications =
+        reg->GetCounter("sim.coordinator.user_notifications");
+    solver_failures = reg->GetCounter("sim.coordinator.solver_failures");
+    cause_secondary_escape =
+        reg->GetCounter("sim.recompute_cause.secondary_escape");
+    cause_single_dab_staleness =
+        reg->GetCounter("sim.recompute_cause.single_dab_staleness");
+    cause_aao_periodic = reg->GetCounter("sim.recompute_cause.aao_periodic");
+    message_delay = reg->GetHistogram("sim.net.message_delay_seconds");
+    queue_wait = reg->GetHistogram("sim.coordinator.queue_wait_seconds");
+    tick_refreshes = reg->GetHistogram("sim.tick.refreshes");
+    tick_recomputations = reg->GetHistogram("sim.tick.recomputations");
+  }
+};
+
 }  // namespace
+
+std::string SimConfig::Describe() const {
+  char buf[352];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s sources=%d seed=%llu aao_period_s=%g fidelity_stride=%d "
+      "violation_tol=%g paranoid_validation=%s zero_delay=%s "
+      "node_node_mean=%g check_mean=%g push_mean=%g recompute_cpu_s=%g",
+      planner.Describe().c_str(), num_sources,
+      static_cast<unsigned long long>(seed), aao_period_s, fidelity_stride,
+      violation_tol, paranoid_validation ? "true" : "false",
+      delays.zero_delay ? "true" : "false", delays.node_node_mean,
+      delays.check_mean, delays.push_mean, delays.recompute_cpu_s);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const SimConfig& config) {
+  return os << config.Describe();
+}
 
 Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
                                  const workload::TraceSet& traces,
@@ -94,6 +155,18 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
 
   Rng master(config.seed);
   DelayModel delays(config.delays, master.Fork());
+
+  // Telemetry: cache instruments once and propagate the registry into the
+  // planner (and through it the GP solver) so one SimConfig::registry
+  // assignment instruments the whole stack.
+  SimInstruments ins(config.registry);
+  core::PlannerConfig planner_cfg = config.planner;
+  if (planner_cfg.registry == nullptr) {
+    planner_cfg.registry = config.registry;
+  }
+  if (planner_cfg.dual.solver.registry == nullptr) {
+    planner_cfg.dual.solver.registry = planner_cfg.registry;
+  }
 
   State st;
   st.item_queries.resize(n_items);
@@ -130,7 +203,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
   // initial filters are installed synchronously).
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     auto plan = core::PlanQueryParts(queries[qi], st.view, rates,
-                                     config.planner);
+                                     planner_cfg);
     if (!plan.ok()) {
       return Status::Internal("initial planning failed for query " +
                               std::to_string(queries[qi].id) + ": " +
@@ -167,9 +240,11 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
           1e-9 * std::max(1.0, st.min_primary[item])) {
         st.min_primary[item] = fresh;
         ++metrics.dab_change_messages;
-        st.events.push(Event{now + delays.Check() + delays.Network(),
-                             EventType::kDabChange, static_cast<int>(item),
-                             fresh});
+        if (ins.dab_change_messages != nullptr) ins.dab_change_messages->Inc();
+        const double delay = delays.Check() + delays.Network();
+        if (ins.message_delay != nullptr) ins.message_delay->Record(delay);
+        st.events.push(Event{now + delay, EventType::kDabChange,
+                             static_cast<int>(item), fresh});
       }
     }
   };
@@ -199,7 +274,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
   // Figure 2). The Dual-DAB scheme recomputes only when a value escapes
   // its secondary range (§III-A.2).
   const bool recompute_every_refresh =
-      config.planner.method != core::AssignmentMethod::kDualDab;
+      planner_cfg.method != core::AssignmentMethod::kDualDab;
 
   // Deliver all messages with arrival time <= now. DAB-change events that
   // a recomputation emits at `now` (e.g. under zero delays) are picked up
@@ -217,6 +292,9 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
       // waits in its queue. This queueing is what turns recomputation
       // volume into fidelity loss (§V-B.1).
       if (ev.time < st.coord_free_at) {
+        if (ins.queue_wait != nullptr) {
+          ins.queue_wait->Record(st.coord_free_at - ev.time);
+        }
         Event deferred = ev;
         deferred.time = st.coord_free_at;
         st.events.push(deferred);
@@ -224,6 +302,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
       }
       // Refresh processing begins.
       ++metrics.refreshes;
+      if (ins.refreshes != nullptr) ins.refreshes->Inc();
       double busy = delays.Check();
       st.view[static_cast<size_t>(ev.item)] = ev.value;
       view_eval.Update(static_cast<VarId>(ev.item), ev.value);
@@ -235,6 +314,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
             queries[static_cast<size_t>(qi)].qab) {
           last_user_value[static_cast<size_t>(qi)] = qv;
           ++metrics.user_notifications;
+          if (ins.user_notifications != nullptr) ins.user_notifications->Inc();
           busy += delays.Push();
         }
         core::QueryPlan& plan = st.plans[static_cast<size_t>(qi)];
@@ -256,11 +336,17 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
           // Warm-starting from the previous assignment keeps each
           // re-solve cheap even when every refresh triggers one.
           ++metrics.recomputations;
+          if (ins.recomputations != nullptr) {
+            ins.recomputations->Inc();
+            (recompute_every_refresh ? ins.cause_single_dab_staleness
+                                     : ins.cause_secondary_escape)
+                ->Inc();
+          }
           busy += delays.RecomputeCpu();
-          auto fresh = core::ReplanPart(part, st.view, rates,
-                                        config.planner);
+          auto fresh = core::ReplanPart(part, st.view, rates, planner_cfg);
           if (!fresh.ok()) {
             ++metrics.solver_failures;
+            if (ins.solver_failures != nullptr) ins.solver_failures->Inc();
             continue;  // keep the stale plan; better than none
           }
           part.dabs = std::move(fresh).value();
@@ -278,6 +364,10 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     }
   };
 
+  // Per-tick activity snapshots for the rate histograms.
+  int64_t tick_refresh_base = 0;
+  int64_t tick_recompute_base = 0;
+
   for (int tick = 1; tick < total_ticks; ++tick) {
     const double now = static_cast<double>(tick);
 
@@ -288,15 +378,20 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     if (aao_mode && tick >= aao_next_tick) {
       aao_next_tick += std::max(1, static_cast<int>(config.aao_period_s));
       auto joint = core::SolveAao(queries, st.view, rates,
-                                  config.planner.dual,
+                                  planner_cfg.dual,
                                   have_aao ? &last_aao : nullptr);
       if (!joint.ok()) {
         ++metrics.solver_failures;
+        if (ins.solver_failures != nullptr) ins.solver_failures->Inc();
       } else {
         last_aao = *joint;
         have_aao = true;
         for (size_t qi = 0; qi < queries.size(); ++qi) {
           ++metrics.recomputations;  // each query's DABs were recomputed
+          if (ins.recomputations != nullptr) {
+            ins.recomputations->Inc();
+            ins.cause_aao_periodic->Inc();
+          }
           st.plans[qi].parts.assign(
               1, core::PlanPart{queries[qi], joint->per_query[qi]});
           st.anchors[qi].resize(1);
@@ -316,9 +411,10 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
       if (std::isinf(dab)) continue;  // item unused by any query
       if (std::fabs(st.source_value[item] - st.last_pushed[item]) > dab) {
         st.last_pushed[item] = st.source_value[item];
-        st.events.push(Event{now + delays.Push() + delays.Network(),
-                             EventType::kRefresh, static_cast<int>(item),
-                             st.source_value[item]});
+        const double delay = delays.Push() + delays.Network();
+        if (ins.message_delay != nullptr) ins.message_delay->Record(delay);
+        st.events.push(Event{now + delay, EventType::kRefresh,
+                             static_cast<int>(item), st.source_value[item]});
       }
     }
 
@@ -338,6 +434,16 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         }
       }
     }
+
+    // 5. Per-tick activity rates (events per simulated second).
+    if (ins.tick_refreshes != nullptr) {
+      ins.tick_refreshes->Record(
+          static_cast<double>(metrics.refreshes - tick_refresh_base));
+      ins.tick_recomputations->Record(
+          static_cast<double>(metrics.recomputations - tick_recompute_base));
+      tick_refresh_base = metrics.refreshes;
+      tick_recompute_base = metrics.recomputations;
+    }
   }
 
   double loss_sum = 0.0;
@@ -347,6 +453,16 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
   }
   metrics.mean_fidelity_loss_pct =
       loss_sum / static_cast<double>(queries.size());
+  if (config.registry != nullptr) {
+    config.registry->GetGauge("sim.run.queries")
+        ->Set(static_cast<double>(queries.size()));
+    config.registry->GetGauge("sim.run.items")
+        ->Set(static_cast<double>(n_items));
+    config.registry->GetGauge("sim.run.ticks")
+        ->Set(static_cast<double>(total_ticks));
+    config.registry->GetGauge("sim.fidelity.mean_loss_pct")
+        ->Set(metrics.mean_fidelity_loss_pct);
+  }
   return metrics;
 }
 

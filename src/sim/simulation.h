@@ -2,10 +2,13 @@
 #define POLYDAB_SIM_SIMULATION_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/planner.h"
+#include "obs/metrics.h"
 #include "sim/delay_model.h"
 #include "workload/trace.h"
 
@@ -53,7 +56,22 @@ struct SimConfig {
   /// (re)computation; a failed validation aborts the run with an error.
   /// Used by tests and debugging, off by default for speed.
   bool paranoid_validation = false;
+  /// Optional telemetry sink (docs/OBSERVABILITY.md). When set, the run
+  /// records the `sim.*` instruments — coordinator counters mirroring
+  /// SimMetrics exactly, per-tick refresh/recompute-rate histograms,
+  /// message-delay and queue-wait histograms, recompute-cause counters —
+  /// and the registry is propagated into the planner and GP solver
+  /// (`core.planner.*`, `gp.solver.*`). Null (the default) keeps every
+  /// instrumented path behind a single branch with no other overhead.
+  /// Not owned; must outlive the run.
+  obs::MetricRegistry* registry = nullptr;
+
+  /// One-line rendering of the full configuration, for run reports and
+  /// test-failure messages.
+  std::string Describe() const;
 };
+
+std::ostream& operator<<(std::ostream& os, const SimConfig& config);
 
 struct SimMetrics {
   int64_t refreshes = 0;          ///< refresh messages arriving at C
@@ -64,7 +82,9 @@ struct SimMetrics {
   double mean_fidelity_loss_pct = 0.0;  ///< mean over queries, in percent
 
   /// The paper's total cost metric: refreshes + mu * recomputations.
-  double TotalCost(double mu) const {
+  /// The default μ is the shared core::kDefaultMu constant so every
+  /// harness prices recomputations identically unless it sweeps μ.
+  double TotalCost(double mu = core::kDefaultMu) const {
     return static_cast<double>(refreshes) +
            mu * static_cast<double>(recomputations);
   }

@@ -1,0 +1,272 @@
+// Tests for the src/obs/ telemetry subsystem: instrument accuracy,
+// registry semantics, ScopedTimer nesting, the RunReport JSON-lines
+// round-trip, and the null-registry (telemetry off) path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+
+namespace polydab::obs {
+namespace {
+
+TEST(CounterTest, IncAndAdd) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Inc();
+  c.Inc();
+  c.Add(40);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ExactStatistics) {
+  Histogram h;
+  h.Record(0.002);
+  h.Record(0.010);
+  h.Record(0.100);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.112);
+  EXPECT_DOUBLE_EQ(h.min(), 0.002);
+  EXPECT_DOUBLE_EQ(h.max(), 0.100);
+  EXPECT_NEAR(h.mean(), 0.112 / 3.0, 1e-15);
+}
+
+TEST(HistogramTest, QuantileExactAtEndpoints) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * 0.001);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.001);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.100);
+}
+
+TEST(HistogramTest, QuantilesOnUniformSyntheticData) {
+  // 1..1000 recorded once each; geometric buckets are ~19% wide, so any
+  // interior quantile must land within ~19% of the exact order statistic.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  for (double q : {0.10, 0.25, 0.50, 0.90, 0.99}) {
+    const double exact = 1.0 + q * 999.0;
+    const double approx = h.Quantile(q);
+    EXPECT_NEAR(approx, exact, 0.19 * exact) << "q=" << q;
+    EXPECT_GE(approx, h.min());
+    EXPECT_LE(approx, h.max());
+  }
+}
+
+TEST(HistogramTest, SingleSampleQuantilesCollapseToIt) {
+  Histogram h;
+  h.Record(0.042);
+  for (double q : {0.0, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 0.042) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, NegativeAndNanSamplesClampToZero) {
+  Histogram h;
+  h.Record(-5.0);
+  h.Record(std::nan(""));
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, HugeValuesClampToLastBucket) {
+  Histogram h;
+  h.Record(1e30);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 1e30);
+  EXPECT_GE(h.Quantile(1.0), h.Quantile(0.5));
+}
+
+TEST(RegistryTest, LookupsReturnStablePointers) {
+  MetricRegistry reg;
+  Counter* c1 = reg.GetCounter("a.b.c");
+  Counter* c2 = reg.GetCounter("a.b.c");
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = reg.GetGauge("a.b.g");
+  EXPECT_EQ(g1, reg.GetGauge("a.b.g"));
+  Histogram* h1 = reg.GetHistogram("a.b.h");
+  EXPECT_EQ(h1, reg.GetHistogram("a.b.h"));
+}
+
+TEST(RegistryTest, EntriesAreNameOrdered) {
+  MetricRegistry reg;
+  reg.GetCounter("z.last");
+  reg.GetGauge("a.first");
+  reg.GetHistogram("m.middle");
+  std::vector<MetricRegistry::Entry> entries = reg.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "a.first");
+  EXPECT_EQ(entries[0].kind, InstrumentKind::kGauge);
+  EXPECT_EQ(entries[1].name, "m.middle");
+  EXPECT_EQ(entries[1].kind, InstrumentKind::kHistogram);
+  EXPECT_EQ(entries[2].name, "z.last");
+  EXPECT_EQ(entries[2].kind, InstrumentKind::kCounter);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedSeconds) {
+  Histogram h;
+  {
+    ScopedTimer t(&h);
+  }
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GE(h.max(), 0.0);
+  EXPECT_LT(h.max(), 60.0);  // sanity: scope exit is not a minute away
+}
+
+TEST(ScopedTimerTest, StopIsIdempotentAndReturnsElapsed) {
+  Histogram h;
+  ScopedTimer t(&h);
+  const double first = t.Stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(t.Stop(), 0.0);  // second stop records nothing
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST(ScopedTimerTest, NestedTimersRecordIndependently) {
+  Histogram outer_h, inner_h;
+  {
+    ScopedTimer outer(&outer_h);
+    {
+      ScopedTimer inner(&inner_h);
+    }
+    EXPECT_EQ(inner_h.count(), 1);
+    EXPECT_EQ(outer_h.count(), 0);  // outer still running
+  }
+  EXPECT_EQ(outer_h.count(), 1);
+  // The inner scope is strictly contained in the outer one.
+  EXPECT_LE(inner_h.max(), outer_h.max());
+}
+
+TEST(ScopedTimerTest, NullHistogramIsInert) {
+  // The telemetry-off path: no clock read, no recording, Stop returns 0.
+  ScopedTimer t(nullptr);
+  EXPECT_EQ(t.Stop(), 0.0);
+}
+
+TEST(NullRegistryTest, InstrumentedPatternRunsWithoutRegistry) {
+  // The pattern every instrumented layer uses: cache pointers from a
+  // nullable registry, branch on null at each record site. With a null
+  // registry nothing is created and the guarded sites are no-ops.
+  MetricRegistry* reg = nullptr;
+  Counter* events = reg != nullptr ? reg->GetCounter("x.events") : nullptr;
+  Histogram* lat = reg != nullptr ? reg->GetHistogram("x.lat") : nullptr;
+  for (int i = 0; i < 1000; ++i) {
+    ScopedTimer t(lat);
+    if (events != nullptr) events->Inc();
+  }
+  SUCCEED();
+}
+
+RunReport MakeSampleReport() {
+  MetricRegistry reg;
+  reg.GetCounter("sim.coordinator.refreshes")->Add(12345);
+  reg.GetGauge("sim.fidelity.mean_loss_pct")->Set(0.372915);
+  Histogram* h = reg.GetHistogram("gp.solver.solve_seconds");
+  h->Record(0.0021);
+  h->Record(0.0043);
+  h->Record(0.0179);
+  RunReport report = RunReport::FromRegistry(reg);
+  report.info["tool"] = "obs_test";
+  report.info["config"] = "method=dual mu=5 \"quoted\\path\"";
+  return report;
+}
+
+TEST(RunReportTest, FromRegistrySnapshotsEveryInstrument) {
+  RunReport report = MakeSampleReport();
+  ASSERT_EQ(report.entries.size(), 3u);
+  const RunReport::Entry* c = report.Find("sim.coordinator.refreshes");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, InstrumentKind::kCounter);
+  EXPECT_EQ(c->counter_value, 12345);
+  const RunReport::Entry* g = report.Find("sim.fidelity.mean_loss_pct");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->gauge_value, 0.372915);
+  const RunReport::Entry* h = report.Find("gp.solver.solve_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3);
+  EXPECT_DOUBLE_EQ(h->sum, 0.0021 + 0.0043 + 0.0179);
+  EXPECT_DOUBLE_EQ(h->min, 0.0021);
+  EXPECT_DOUBLE_EQ(h->max, 0.0179);
+  EXPECT_EQ(report.Find("no.such.metric"), nullptr);
+}
+
+TEST(RunReportTest, JsonLinesRoundTripIsExact) {
+  const RunReport report = MakeSampleReport();
+  const std::string text = report.ToJsonLines();
+  auto parsed = RunReport::ParseJsonLines(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->info, report.info);
+  ASSERT_EQ(parsed->entries.size(), report.entries.size());
+  for (size_t i = 0; i < report.entries.size(); ++i) {
+    const RunReport::Entry& a = report.entries[i];
+    const RunReport::Entry& b = parsed->entries[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.counter_value, b.counter_value);
+    EXPECT_EQ(a.gauge_value, b.gauge_value);  // bit-exact double round-trip
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p90, b.p90);
+    EXPECT_EQ(a.p99, b.p99);
+  }
+  // Re-serializing the parsed report reproduces the bytes.
+  EXPECT_EQ(parsed->ToJsonLines(), text);
+}
+
+TEST(RunReportTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(RunReport::ParseJsonLines("not json").ok());
+  EXPECT_FALSE(RunReport::ParseJsonLines("{\"type\":\"counter\"}").ok());
+  EXPECT_FALSE(
+      RunReport::ParseJsonLines("{\"type\":\"bogus\",\"name\":\"x\"}").ok());
+}
+
+TEST(RunReportTest, ToTextMentionsEveryInstrument) {
+  const RunReport report = MakeSampleReport();
+  const std::string text = report.ToText();
+  for (const RunReport::Entry& e : report.entries) {
+    EXPECT_NE(text.find(e.name), std::string::npos) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace polydab::obs

@@ -166,6 +166,55 @@ TEST_F(SimTest, RejectsBadInputs) {
   EXPECT_FALSE(RunSimulation(queries_, tiny, rates_, c).ok());
 }
 
+TEST_F(SimTest, RegistryCountersMatchSimMetricsExactly) {
+  // The obs counters are incremented at the same code sites as the
+  // SimMetrics fields, so a run with a registry attached must report
+  // identical values through both channels.
+  SimConfig c = Config(core::AssignmentMethod::kDualDab, 5.0);
+  obs::MetricRegistry registry;
+  c.registry = &registry;
+  auto m = RunSimulation(queries_, traces_, rates_, c);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(registry.GetCounter("sim.coordinator.refreshes")->value(),
+            m->refreshes);
+  EXPECT_EQ(registry.GetCounter("sim.coordinator.recomputations")->value(),
+            m->recomputations);
+  EXPECT_EQ(registry.GetCounter("sim.coordinator.dab_change_messages")->value(),
+            m->dab_change_messages);
+  EXPECT_EQ(registry.GetCounter("sim.coordinator.user_notifications")->value(),
+            m->user_notifications);
+  EXPECT_EQ(registry.GetCounter("sim.coordinator.solver_failures")->value(),
+            m->solver_failures);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("sim.fidelity.mean_loss_pct")->value(),
+                   m->mean_fidelity_loss_pct);
+  // The registry propagates down to the planner and the GP solver.
+  EXPECT_GT(registry.GetCounter("core.planner.plans")->value(), 0);
+  EXPECT_GT(registry.GetCounter("gp.solver.solves")->value(), 0);
+  EXPECT_GT(registry.GetHistogram("gp.solver.solve_seconds")->count(), 0);
+}
+
+TEST_F(SimTest, RegistryDoesNotPerturbResults) {
+  SimConfig plain = Config(core::AssignmentMethod::kDualDab, 5.0);
+  SimConfig instrumented = plain;
+  obs::MetricRegistry registry;
+  instrumented.registry = &registry;
+  auto a = RunSimulation(queries_, traces_, rates_, plain);
+  auto b = RunSimulation(queries_, traces_, rates_, instrumented);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->refreshes, b->refreshes);
+  EXPECT_EQ(a->recomputations, b->recomputations);
+  EXPECT_DOUBLE_EQ(a->mean_fidelity_loss_pct, b->mean_fidelity_loss_pct);
+}
+
+TEST_F(SimTest, DescribeMentionsKeyKnobs) {
+  SimConfig c = Config(core::AssignmentMethod::kDualDab, 5.0);
+  const std::string d = c.Describe();
+  EXPECT_NE(d.find("method=dual"), std::string::npos) << d;
+  EXPECT_NE(d.find("mu=5"), std::string::npos) << d;
+  EXPECT_NE(d.find("seed=7"), std::string::npos) << d;
+}
+
 TEST_F(SimTest, GeneralQueriesRunThroughHeuristics) {
   Rng rng(5);
   workload::QueryGenConfig qc;

@@ -26,6 +26,10 @@
 //   aao_period=X     seconds between joint AAO solves; 0 = EQI (0)
 //   seed=N           RNG seed (1)
 //   csv=0|1          print a CSV row instead of key=value (0)
+//   metrics-out=FILE write a JSON-lines telemetry run report (src/obs/)
+//                    with solver/planner/simulator instruments — see
+//                    docs/OBSERVABILITY.md. GNU-style "--key=value"
+//                    spellings are accepted for every key.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +37,7 @@
 #include <map>
 #include <string>
 
+#include "obs/run_report.h"
 #include "sim/simulation.h"
 #include "workload/query_gen.h"
 #include "workload/rate_estimator.h"
@@ -45,13 +50,18 @@ namespace {
 std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
   std::map<std::string, std::string> out;
   for (int i = 1; i < argc; ++i) {
-    const char* eq = std::strchr(argv[i], '=');
-    if (eq == nullptr) {
+    const char* arg = argv[i];
+    while (*arg == '-') ++arg;  // accept --key=value spellings
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr || eq == arg) {
       std::fprintf(stderr, "ignoring malformed argument '%s'\n", argv[i]);
       continue;
     }
-    out[std::string(argv[i], static_cast<size_t>(eq - argv[i]))] =
-        std::string(eq + 1);
+    std::string key(arg, static_cast<size_t>(eq - arg));
+    for (char& c : key) {
+      if (c == '-') c = '_';  // metrics-out == metrics_out
+    }
+    out[std::move(key)] = std::string(eq + 1);
   }
   return out;
 }
@@ -163,17 +173,36 @@ int main(int argc, char** argv) {
   config.planner.dual.ddm = Get(args, "ddm", "mono") == "walk"
                                 ? core::DataDynamicsModel::kRandomWalk
                                 : core::DataDynamicsModel::kMonotonic;
-  config.planner.dual.mu = GetDouble(args, "mu", 5.0);
+  config.planner.dual.mu = GetDouble(args, "mu", core::kDefaultMu);
   config.delays.node_node_mean = GetDouble(args, "delay_ms", 110.0) / 1000.0;
   config.delays.recompute_cpu_s =
       GetDouble(args, "recompute_ms", 2.0) / 1000.0;
   config.aao_period_s = GetDouble(args, "aao_period", 0.0);
   config.seed = seed;
 
+  // Telemetry: attach a registry when a report was requested, so the run
+  // records solver/planner/simulator instruments (docs/OBSERVABILITY.md).
+  const std::string metrics_out = Get(args, "metrics_out", "");
+  obs::MetricRegistry registry;
+  if (!metrics_out.empty()) config.registry = &registry;
+
   auto m = sim::RunSimulation(*queries, *traces, *rates, config);
   if (!m.ok()) {
     std::fprintf(stderr, "simulation: %s\n", m.status().ToString().c_str());
     return 1;
+  }
+
+  if (!metrics_out.empty()) {
+    obs::RunReport report = obs::RunReport::FromRegistry(registry);
+    report.info["tool"] = "polydab_experiment";
+    report.info["config"] = config.Describe();
+    report.info["kind"] = kind;
+    if (!trace_path.empty()) report.info["traces"] = trace_path;
+    Status written = report.WriteJsonLines(metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n", written.ToString().c_str());
+      return 1;
+    }
   }
 
   const double mu = config.planner.dual.mu;
