@@ -1,0 +1,125 @@
+// A/B measurement of the causal-tracing overhead (obs/trace.h), in the
+// style of bench_solver: the same simulation run with tracing disabled
+// (null sink — one predictable branch per emission site), with an
+// in-memory capture sink, and with a streaming sink writing JSONL to
+// disk. The disabled-vs-enabled delta is the number quoted in
+// docs/OBSERVABILITY.md ("Event tracing"); BM_EmitEvent isolates the
+// per-event cost of Emit itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace polydab::bench {
+namespace {
+
+struct SimSetup {
+  Universe universe;
+  std::vector<PolynomialQuery> queries;
+  sim::SimConfig config;
+};
+
+/// A mid-sized dual-DAB run (~20k trace events when traced).
+SimSetup MakeSimSetup() {
+  SimSetup s;
+  s.universe = MakeUniverse(workload::TraceKind::kGbmStock, 5001,
+                            /*num_items=*/60, /*num_ticks=*/500);
+  workload::QueryGenConfig qc;
+  qc.num_items = 60;
+  Rng qrng(42);
+  s.queries = *workload::GeneratePortfolioQueries(25, qc,
+                                                  s.universe.initial, &qrng);
+  s.config.planner.method = core::AssignmentMethod::kDualDab;
+  s.config.planner.dual.mu = core::kDefaultMu;
+  s.config.seed = 99;
+  return s;
+}
+
+void RunOnce(benchmark::State& state, const SimSetup& s,
+             sim::SimConfig config) {
+  auto m = sim::RunSimulation(s.queries, s.universe.traces,
+                              s.universe.rates, config);
+  if (!m.ok()) state.SkipWithError("simulation failed");
+  benchmark::DoNotOptimize(m);
+}
+
+void BM_SimTracingDisabled(benchmark::State& state) {
+  const SimSetup s = MakeSimSetup();
+  for (auto _ : state) {
+    RunOnce(state, s, s.config);  // config.trace stays null
+  }
+}
+BENCHMARK(BM_SimTracingDisabled)->Unit(benchmark::kMillisecond);
+
+void BM_SimTracingCapture(benchmark::State& state) {
+  const SimSetup s = MakeSimSetup();
+  uint64_t events = 0;
+  for (auto _ : state) {
+    obs::TraceSink sink;
+    sim::SimConfig config = s.config;
+    config.trace = &sink;
+    RunOnce(state, s, config);
+    events = sink.emitted();
+  }
+  state.counters["events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_SimTracingCapture)->Unit(benchmark::kMillisecond);
+
+void BM_SimTracingStreamed(benchmark::State& state) {
+  const SimSetup s = MakeSimSetup();
+  const std::string path = "bench_trace_overhead.tmp.jsonl";
+  uint64_t events = 0;
+  for (auto _ : state) {
+    obs::TraceSink sink;
+    if (!sink.StreamTo(path).ok()) {
+      state.SkipWithError("cannot stream");
+      break;
+    }
+    sim::SimConfig config = s.config;
+    config.trace = &sink;
+    RunOnce(state, s, config);
+    if (!sink.Finish().ok()) state.SkipWithError("finish failed");
+    events = sink.emitted();
+  }
+  state.counters["events"] = static_cast<double>(events);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SimTracingStreamed)->Unit(benchmark::kMillisecond);
+
+void BM_EmitEvent(benchmark::State& state) {
+  obs::TraceSink sink;
+  obs::TraceEvent e;
+  e.kind = obs::TraceEventKind::kRefreshArrived;
+  e.item = 7;
+  e.a = 3.25;
+  for (auto _ : state) {
+    e.time += 1.0;
+    benchmark::DoNotOptimize(sink.Emit(e));
+  }
+}
+BENCHMARK(BM_EmitEvent);
+
+void BM_NullSinkBranch(benchmark::State& state) {
+  // The tracing-off path at every emission site: test a pointer, skip.
+  obs::TraceSink* sink = nullptr;
+  benchmark::DoNotOptimize(sink);
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    if (sink != nullptr) {
+      obs::TraceEvent e;
+      sum += sink->Emit(e);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_NullSinkBranch);
+
+}  // namespace
+}  // namespace polydab::bench
+
+BENCHMARK_MAIN();

@@ -3,9 +3,26 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/trace.h"
+
 namespace polydab::core {
 
 namespace {
+
+/// Record a planner event on the run's causal trace, stamped with the
+/// sink's logical clock (the driving simulator advances it). One branch
+/// when tracing is off, like every other emission site.
+void TracePlannerEvent(const PlannerConfig& config, obs::TraceEventKind kind,
+                       int query, bool ok) {
+  if (config.trace == nullptr) return;
+  obs::TraceEvent e;
+  e.time = config.trace->now();
+  e.kind = kind;
+  e.node = config.trace_node;
+  e.query = query;
+  e.flag = ok ? 1 : 0;
+  config.trace->Emit(e);
+}
 
 /// PPQ sub-solver for the configured assignment method. The planner's
 /// telemetry registry (if any) is propagated into the GP solver options so
@@ -146,6 +163,8 @@ Result<QueryPlan> PlanQueryParts(const PolynomialQuery& query,
     POLYDAB_ASSIGN_OR_RETURN(QueryDabs d,
                              SolveLaq(query, rates, config.dual.ddm));
     plan.parts.push_back(PlanPart{query, std::move(d)});
+    TracePlannerEvent(config, obs::TraceEventKind::kPlannerPlan, query.id,
+                      true);
     return plan;
   }
   POLYDAB_ASSIGN_OR_RETURN(std::vector<PolynomialQuery> subs,
@@ -155,6 +174,8 @@ Result<QueryPlan> PlanQueryParts(const PolynomialQuery& query,
     POLYDAB_ASSIGN_OR_RETURN(QueryDabs d, solve(sub, nullptr));
     plan.parts.push_back(PlanPart{std::move(sub), std::move(d)});
   }
+  TracePlannerEvent(config, obs::TraceEventKind::kPlannerPlan, query.id,
+                    true);
   return plan;
 }
 
@@ -180,6 +201,8 @@ Result<QueryDabs> ReplanPart(const PlanPart& part, const Vector& values,
           ->Inc();
     }
   }
+  TracePlannerEvent(config, obs::TraceEventKind::kPlannerReplan,
+                    part.subquery.id, result.ok());
   return result;
 }
 

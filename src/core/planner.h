@@ -1,6 +1,7 @@
 #ifndef POLYDAB_CORE_PLANNER_H_
 #define POLYDAB_CORE_PLANNER_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -18,6 +19,10 @@
 /// heuristic. This is the single entry point the simulator's coordinator
 /// calls on every (re)computation, so all of the paper's schemes can be
 /// compared under identical protocol mechanics.
+
+namespace polydab::obs {
+class TraceSink;
+}  // namespace polydab::obs
 
 namespace polydab::core {
 
@@ -45,6 +50,13 @@ struct PlannerConfig {
   /// (plan/replan latency, warm-start hit rate) and, propagated into the
   /// GP solver, the `gp.solver.*` instruments. Null = off. Not owned.
   obs::MetricRegistry* registry = nullptr;
+  /// Optional causal event trace (obs/trace.h): emits planner_plan /
+  /// planner_replan events stamped with the sink's logical clock. The
+  /// driving simulator sets both fields; `trace_node` tags the events
+  /// with the coordinator the planner is working for. Null = off.
+  /// Not owned.
+  obs::TraceSink* trace = nullptr;
+  int32_t trace_node = -1;
 
   /// One-line rendering of every knob, for run reports and test failures,
   /// e.g. "method=dual heuristic=ds ddm=mono mu=5".

@@ -47,6 +47,10 @@ Result<DisseminationMetrics> RunDissemination(
 
     sim::SimConfig sc = config.sim;
     sc.seed = config.sim.seed * 1000003 + static_cast<uint64_t>(c);
+    // Per-coordinator runs share one trace sink; tagging each run's
+    // events with its coordinator id keeps the interleaved streams
+    // separable for the offline replay verifier.
+    sc.trace_node = c;
     // Every refresh traverses depth+1 overlay hops to reach coordinator c.
     const int hops = TreeDepth(c, config.fanout) + 1;
     sc.delays.node_node_mean *= static_cast<double>(hops);

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <queue>
+
+#include "obs/json_util.h"
+#include "obs/trace.h"
 
 namespace polydab::net {
 
@@ -16,6 +20,7 @@ struct Arrival {
   int node;
   int item;
   double value;
+  uint64_t trace_id = 0;  ///< the refresh_emitted id; 0 when tracing is off
   bool operator>(const Arrival& other) const { return time > other.time; }
 };
 
@@ -64,6 +69,14 @@ Result<RelayMetrics> RunRelayOverlay(
   if (planner_cfg.registry == nullptr) {
     planner_cfg.registry = config.registry;
   }
+  obs::TraceSink* const trace = config.trace;
+  if (planner_cfg.trace == nullptr) planner_cfg.trace = trace;
+  if (trace != nullptr) {
+    trace->SetNow(0.0);
+    trace->SetInfo("origin", "relay");
+    trace->SetInfo("method", core::Name(planner_cfg.method));
+    trace->SetInfo("mu", obs::JsonNumber(planner_cfg.dual.mu));
+  }
 
   // Build the complete tree in breadth-first order.
   std::vector<Node> nodes(static_cast<size_t>(n_nodes));
@@ -88,6 +101,17 @@ Result<RelayMetrics> RunRelayOverlay(
     const int host = static_cast<int>(qi) % n_nodes;
     host_of[qi] = host;
     Node& node = nodes[static_cast<size_t>(host)];
+    if (trace != nullptr) {
+      planner_cfg.trace_node = host;
+      obs::TraceQueryInfo info;
+      info.query = queries[qi].id;
+      info.node = host;
+      info.qab = queries[qi].qab;
+      for (VarId v : queries[qi].p.Variables()) {
+        info.items.push_back(static_cast<int32_t>(v));
+      }
+      trace->AddQueryInfo(std::move(info));
+    }
     auto plan = core::PlanQueryParts(queries[qi], node.view, rates,
                                      planner_cfg);
     if (!plan.ok()) {
@@ -163,8 +187,10 @@ Result<RelayMetrics> RunRelayOverlay(
 
   // Propagate a requirement change for one item from node n toward the
   // root. Each hop whose requirement actually changes costs one
-  // DAB-change message (node -> parent, or root -> sources).
-  auto propagate_req = [&](int n, int item) {
+  // DAB-change message (node -> parent, or root -> sources); on the
+  // trace, each hop links back to the recompute_end that changed the
+  // plan.
+  auto propagate_req = [&](int n, int item, double now, uint64_t cause_id) {
     int cur = n;
     while (cur >= 0) {
       Node& node = nodes[static_cast<size_t>(cur)];
@@ -172,6 +198,17 @@ Result<RelayMetrics> RunRelayOverlay(
       if (std::fabs(fresh - node.req[static_cast<size_t>(item)]) <=
           1e-9 * std::max(1.0, fresh)) {
         break;
+      }
+      if (trace != nullptr) {
+        obs::TraceEvent e;
+        e.time = now;
+        e.kind = obs::TraceEventKind::kDabChangeSent;
+        e.node = cur;
+        e.item = item;
+        e.cause = cause_id;
+        e.a = fresh;
+        e.b = node.req[static_cast<size_t>(item)];
+        trace->Emit(e);
       }
       node.req[static_cast<size_t>(item)] = fresh;
       ++metrics.dab_change_messages;
@@ -194,28 +231,83 @@ Result<RelayMetrics> RunRelayOverlay(
       Node& node = nodes[static_cast<size_t>(ev.node)];
       ++metrics.refreshes;
       ++node.arrivals;
+      uint64_t arrival_id = 0;
+      if (trace != nullptr) {
+        trace->SetNow(ev.time);
+        obs::TraceEvent e;
+        e.time = ev.time;
+        e.kind = obs::TraceEventKind::kRefreshArrived;
+        e.node = ev.node;
+        e.item = ev.item;
+        e.cause = ev.trace_id;
+        e.a = ev.value;
+        arrival_id = trace->Emit(e);
+      }
       node.view[static_cast<size_t>(ev.item)] = ev.value;
 
       // Local query maintenance, identical rules to sim/simulation.cc.
       for (int hi : node.item_hosted[static_cast<size_t>(ev.item)]) {
         HostedQuery& hq = node.hosted[static_cast<size_t>(hi)];
+        const int query_id =
+            queries[static_cast<size_t>(hq.query_index)].id;
         for (size_t pi = 0; pi < hq.plan.parts.size(); ++pi) {
           core::PlanPart& part = hq.plan.parts[pi];
           const int idx = part.dabs.IndexOf(static_cast<VarId>(ev.item));
           if (idx < 0) continue;
           // Value-independent assignments (LAQs) never go stale.
           if (part.dabs.never_stale) continue;
+          uint64_t recompute_cause = arrival_id;
           if (!recompute_every_refresh) {
-            const double drift = std::fabs(
-                ev.value - hq.anchors[pi][static_cast<size_t>(idx)]);
+            const double anchor = hq.anchors[pi][static_cast<size_t>(idx)];
+            const double drift = std::fabs(ev.value - anchor);
             if (drift <= part.dabs.secondary[static_cast<size_t>(idx)] *
                              (1.0 + 1e-9)) {
               continue;
             }
+            if (trace != nullptr) {
+              obs::TraceEvent e;
+              e.time = ev.time;
+              e.kind = obs::TraceEventKind::kSecondaryViolation;
+              e.node = ev.node;
+              e.item = ev.item;
+              e.query = query_id;
+              e.part = static_cast<int32_t>(pi);
+              e.cause = arrival_id;
+              e.a = ev.value;
+              e.b = anchor;
+              e.c = part.dabs.secondary[static_cast<size_t>(idx)];
+              recompute_cause = trace->Emit(e);
+            }
           }
           ++metrics.recomputations;
+          uint64_t start_id = 0;
+          if (trace != nullptr) {
+            planner_cfg.trace_node = ev.node;
+            obs::TraceEvent e;
+            e.time = ev.time;
+            e.kind = obs::TraceEventKind::kRecomputeStart;
+            e.node = ev.node;
+            e.item = ev.item;
+            e.query = query_id;
+            e.part = static_cast<int32_t>(pi);
+            e.cause = recompute_cause;
+            start_id = trace->Emit(e);
+          }
           auto fresh = core::ReplanPart(part, node.view, rates,
                                         planner_cfg);
+          uint64_t end_id = 0;
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.time = ev.time;
+            e.kind = obs::TraceEventKind::kRecomputeEnd;
+            e.node = ev.node;
+            e.item = ev.item;
+            e.query = query_id;
+            e.part = static_cast<int32_t>(pi);
+            e.cause = start_id;
+            e.flag = fresh.ok() ? 1 : 0;
+            end_id = trace->Emit(e);
+          }
           if (!fresh.ok()) {
             ++metrics.solver_failures;
             continue;
@@ -227,7 +319,7 @@ Result<RelayMetrics> RunRelayOverlay(
                 node.view[static_cast<size_t>(part.dabs.vars[i])];
           }
           for (VarId v : part.dabs.vars) {
-            propagate_req(ev.node, static_cast<int>(v));
+            propagate_req(ev.node, static_cast<int>(v), ev.time, end_id);
           }
         }
       }
@@ -241,10 +333,23 @@ Result<RelayMetrics> RunRelayOverlay(
         if (std::isinf(need)) continue;
         if (std::fabs(ev.value - node.last_fwd[ci][
                                      static_cast<size_t>(ev.item)]) > need) {
+          uint64_t fwd_id = 0;
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.time = ev.time;
+            e.kind = obs::TraceEventKind::kRefreshEmitted;
+            e.node = child;       // receiving coordinator
+            e.source = ev.node;   // forwarding parent
+            e.item = ev.item;
+            e.a = ev.value;
+            e.b = need;
+            e.c = node.last_fwd[ci][static_cast<size_t>(ev.item)];
+            fwd_id = trace->Emit(e);
+          }
           node.last_fwd[ci][static_cast<size_t>(ev.item)] = ev.value;
           ++node.edge_forwards[ci];
           events.push(Arrival{ev.time + delays.Network(), child, ev.item,
-                              ev.value});
+                              ev.value, fwd_id});
         }
       }
     }
@@ -260,9 +365,24 @@ Result<RelayMetrics> RunRelayOverlay(
       const double need = nodes[0].req[item];
       if (std::isinf(need)) continue;
       if (std::fabs(source_value[item] - last_pushed[item]) > need) {
+        uint64_t emit_id = 0;
+        if (trace != nullptr) {
+          trace->SetNow(now);
+          obs::TraceEvent e;
+          e.time = now;
+          e.kind = obs::TraceEventKind::kRefreshEmitted;
+          e.node = 0;     // the root receives source pushes
+          e.source = -1;  // the data sources themselves
+          e.item = static_cast<int32_t>(item);
+          e.a = source_value[item];
+          e.b = need;
+          e.c = last_pushed[item];
+          emit_id = trace->Emit(e);
+        }
         last_pushed[item] = source_value[item];
         events.push(Arrival{now + delays.Push() + delays.Network(), 0,
-                            static_cast<int>(item), source_value[item]});
+                            static_cast<int>(item), source_value[item],
+                            emit_id});
       }
     }
     deliver_until(now);  // zero-delay semantics, as in sim/simulation.cc
@@ -273,6 +393,17 @@ Result<RelayMetrics> RunRelayOverlay(
       const double truth = queries[qi].p.Evaluate(source_value);
       if (std::fabs(truth - at_host) > queries[qi].qab * (1.0 + 1e-9)) {
         violated_time[qi] += 1.0;
+        if (trace != nullptr) {
+          obs::TraceEvent e;
+          e.time = now;
+          e.kind = obs::TraceEventKind::kFidelityViolation;
+          e.node = host_of[qi];
+          e.query = queries[qi].id;
+          e.a = truth;
+          e.b = at_host;
+          e.c = queries[qi].qab;
+          trace->Emit(e);
+        }
       }
     }
   }
@@ -283,6 +414,25 @@ Result<RelayMetrics> RunRelayOverlay(
   }
   metrics.mean_fidelity_loss_pct =
       loss / static_cast<double>(queries.size());
+
+  if (trace != nullptr) {
+    // One overlay-wide summary (node -1): the replay verifier aggregates
+    // every node's events against it. The overlay samples fidelity every
+    // tick with the hardcoded 1e-9 relative slack used above.
+    obs::TraceRunSummary s;
+    s.node = -1;
+    s.queries = static_cast<int64_t>(queries.size());
+    s.ticks = traces.num_ticks;
+    s.fidelity_stride = 1;
+    s.violation_tol = 1e-9;
+    s.refreshes = metrics.refreshes;
+    s.recomputations = metrics.recomputations;
+    s.dab_change_messages = metrics.dab_change_messages;
+    s.user_notifications = 0;  // the overlay does not model user pushes
+    s.solver_failures = metrics.solver_failures;
+    s.mean_fidelity_loss_pct = metrics.mean_fidelity_loss_pct;
+    trace->AddRunSummary(s);
+  }
 
   if (config.registry != nullptr) {
     obs::MetricRegistry& reg = *config.registry;

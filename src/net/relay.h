@@ -36,6 +36,14 @@ struct RelayConfig {
   /// forwarding-traffic histograms (one sample per node/edge at run end).
   /// Propagated into the planner/GP solver. Null = off. Not owned.
   obs::MetricRegistry* registry = nullptr;
+  /// Optional causal event trace (obs/trace.h). Events are tagged with
+  /// overlay node ids (root = 0); a refresh_emitted's `source` is the
+  /// forwarding parent (-1 for the data sources feeding the root), its
+  /// `node` the receiving coordinator. Requirement changes walking up the
+  /// tree appear as one dab_change_sent per hop; the overlay installs
+  /// requirements in place, so there are no installed events. Null = off.
+  /// Not owned; must outlive the run.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct RelayMetrics {

@@ -1,0 +1,37 @@
+#ifndef POLYDAB_OBS_JSON_UTIL_H_
+#define POLYDAB_OBS_JSON_UTIL_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+/// \file json_util.h
+/// Shared primitives for the JSON-lines formats src/obs/ reads and writes
+/// (run reports, event traces): escaping, shortest-round-trip number
+/// rendering, and a parser for the flat one-line objects the writers emit
+/// (string keys mapping to string or number values — no nesting, no
+/// arrays). Keeping both directions here is what makes ParseJsonLines /
+/// ParseTraceJsonLines exact inverses of their writers without a JSON
+/// library dependency.
+
+namespace polydab::obs {
+
+/// Escape a string for a JSON string literal (quotes, backslashes,
+/// control characters — instrument names and info values never need more).
+std::string JsonEscape(const std::string& s);
+
+/// Shortest decimal representation that round-trips the double exactly
+/// (so reports and traces re-parse bit-identically).
+std::string JsonNumber(double v);
+
+/// Parse one flat JSON object line into its string-valued and
+/// number-valued fields. Rejects nesting, arrays, and malformed syntax
+/// with InvalidArgument naming the offset.
+Status ParseFlatJsonLine(const std::string& line,
+                         std::map<std::string, std::string>* strings,
+                         std::map<std::string, double>* numbers);
+
+}  // namespace polydab::obs
+
+#endif  // POLYDAB_OBS_JSON_UTIL_H_

@@ -65,6 +65,12 @@ double Histogram::min() const {
 double Histogram::Quantile(double q) const {
   const int64_t n = count();
   if (n == 0) return 0.0;
+  if (n == 1) {
+    // A single sample is its own distribution: every quantile is that
+    // sample (min() == max() == the sole recorded value), not the lower
+    // bound of its bucket that interpolation with frac = 0 would yield.
+    return max();
+  }
   q = std::clamp(q, 0.0, 1.0);
   if (q <= 0.0) return min();
   if (q >= 1.0) return max();

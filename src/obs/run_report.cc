@@ -1,156 +1,12 @@
 #include "obs/run_report.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
-#include <cstring>
+
+#include "obs/json_util.h"
 
 namespace polydab::obs {
-
-namespace {
-
-/// Escape a string for a JSON string literal (quotes, backslashes,
-/// control characters — instrument names never need more).
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Shortest representation that round-trips the double exactly.
-std::string JsonNumber(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  double back = 0.0;
-  std::sscanf(buf, "%lf", &back);
-  if (back == v) {
-    // Try trimming to the shortest round-trip form for readability.
-    for (int prec = 1; prec < 17; ++prec) {
-      char t[40];
-      std::snprintf(t, sizeof(t), "%.*g", prec, v);
-      std::sscanf(t, "%lf", &back);
-      if (back == v) return t;
-    }
-  }
-  return buf;
-}
-
-/// Minimal parser for the flat one-line objects ToJsonLines emits:
-/// string keys mapping to string or number values. No nesting, no arrays.
-class LineParser {
- public:
-  explicit LineParser(const std::string& line) : s_(line) {}
-
-  Status Parse(std::map<std::string, std::string>* strings,
-               std::map<std::string, double>* numbers) {
-    SkipWs();
-    if (!Consume('{')) return Err("expected '{'");
-    SkipWs();
-    if (Consume('}')) return Status::OK();
-    while (true) {
-      std::string key;
-      POLYDAB_RETURN_NOT_OK(ParseString(&key));
-      SkipWs();
-      if (!Consume(':')) return Err("expected ':'");
-      SkipWs();
-      if (Peek() == '"') {
-        std::string val;
-        POLYDAB_RETURN_NOT_OK(ParseString(&val));
-        (*strings)[key] = std::move(val);
-      } else {
-        double val = 0.0;
-        POLYDAB_RETURN_NOT_OK(ParseNumber(&val));
-        (*numbers)[key] = val;
-      }
-      SkipWs();
-      if (Consume(',')) {
-        SkipWs();
-        continue;
-      }
-      if (Consume('}')) return Status::OK();
-      return Err("expected ',' or '}'");
-    }
-  }
-
- private:
-  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  bool Consume(char c) {
-    if (Peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-  void SkipWs() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
-  }
-  Status Err(const std::string& what) const {
-    return Status::InvalidArgument("bad report line (" + what + " at offset " +
-                                   std::to_string(pos_) + "): " + s_);
-  }
-
-  Status ParseString(std::string* out) {
-    if (!Consume('"')) return Err("expected '\"'");
-    out->clear();
-    while (pos_ < s_.size()) {
-      char c = s_[pos_++];
-      if (c == '"') return Status::OK();
-      if (c == '\\') {
-        if (pos_ >= s_.size()) break;
-        char e = s_[pos_++];
-        switch (e) {
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'r': out->push_back('\r'); break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) return Err("truncated \\u escape");
-            out->push_back(static_cast<char>(
-                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16)));
-            pos_ += 4;
-            break;
-          }
-          default: out->push_back(e);
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return Err("unterminated string");
-  }
-
-  Status ParseNumber(double* out) {
-    const size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::strchr("+-.eE", s_[pos_]) != nullptr ||
-            (s_[pos_] >= '0' && s_[pos_] <= '9'))) {
-      ++pos_;
-    }
-    if (pos_ == start) return Err("expected number");
-    char* end = nullptr;
-    *out = std::strtod(s_.c_str() + start, &end);
-    if (end != s_.c_str() + pos_) return Err("malformed number");
-    return Status::OK();
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
-
-}  // namespace
 
 RunReport RunReport::FromRegistry(const MetricRegistry& registry) {
   RunReport report;
@@ -271,7 +127,7 @@ Result<RunReport> RunReport::ParseJsonLines(const std::string& text) {
 
     std::map<std::string, std::string> strings;
     std::map<std::string, double> numbers;
-    POLYDAB_RETURN_NOT_OK(LineParser(line).Parse(&strings, &numbers));
+    POLYDAB_RETURN_NOT_OK(ParseFlatJsonLine(line, &strings, &numbers));
     auto type_it = strings.find("type");
     if (type_it == strings.end()) {
       return Status::InvalidArgument("report line missing type: " + line);

@@ -1,0 +1,233 @@
+#ifndef POLYDAB_OBS_TRACE_H_
+#define POLYDAB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file trace.h
+/// Causal event tracing for the coordinator protocol. Where
+/// obs/metrics.h answers "how many recomputations happened",
+/// this layer answers "*which* refresh caused this one": every protocol
+/// event — refresh emitted/arrived, secondary-range violation, recompute
+/// start/end, DAB-change sent/installed, AAO joint solve, user
+/// notification, per-query fidelity violation — is recorded as a typed
+/// TraceEvent carrying the simulation timestamp and a `cause` id linking
+/// it to the event that triggered it. The resulting log is deterministic
+/// and complete, so an offline reader (obs/trace_check.h,
+/// tools/polydab_tracecheck.cc) can replay it, re-derive every SimMetrics
+/// field exactly, and independently verify the dual-DAB validity-window
+/// protocol of §III-A.2.
+///
+/// Conventions, mirroring MetricRegistry (docs/OBSERVABILITY.md):
+///  * Optional everywhere: instrumented layers take a nullable
+///    `TraceSink*`; a null sink costs one predictable branch per site.
+///  * Emit is cheap: one relaxed atomic id assignment plus a struct store
+///    into a preallocated ring segment. The segment flushes to an attached
+///    JSON-lines file when full (streaming mode) or grows (capture mode).
+///    Producers are single-threaded in every current caller (the
+///    simulators are sequential); the id counter alone is atomic so that
+///    ids stay unique even if a future concurrent layer emits.
+///  * The on-disk format is JSON-lines with an exact-inverse parser, in
+///    the style of run_report.h / workload/trace_io.h.
+
+namespace polydab::obs {
+
+/// What happened. Serialized by name (see Name / ParseTraceEventKind);
+/// unknown names are rejected on parse, which is how truncation or
+/// corruption of a trace file surfaces as a hard error.
+enum class TraceEventKind : uint8_t {
+  kRefreshEmitted,      ///< a source (or relay node) pushed a value change
+  kRefreshArrived,      ///< the coordinator began processing a refresh
+  kSecondaryViolation,  ///< a value escaped a part's secondary DAB range
+  kRecomputeStart,      ///< a plan part's DAB recomputation began
+  kRecomputeEnd,        ///< ...and finished (flag: 1 ok, 0 solver failure)
+  kDabChangeSent,       ///< coordinator shipped a new per-item filter
+  kDabChangeInstalled,  ///< the source applied it (cause 0: initial install)
+  kAaoSolve,            ///< periodic joint AAO solve (flag: outcome)
+  kUserNotification,    ///< query result pushed to the user
+  kFidelityViolation,   ///< per-tick sample found a query's QAB violated
+  kPlannerPlan,         ///< planner built an initial plan (flag: outcome)
+  kPlannerReplan,       ///< planner re-solved a part (flag: outcome)
+};
+
+/// Serialization name, e.g. "refresh_arrived".
+const char* Name(TraceEventKind kind);
+/// Inverse of Name; false when the name is unknown.
+bool ParseTraceEventKind(const std::string& name, TraceEventKind* out);
+
+/// One protocol event. Only `id`, `time` and `kind` are always
+/// meaningful; the identity fields default to -1 (absent) and the payload
+/// fields to 0, and the JSONL writer omits fields at their defaults. The
+/// meaning of source/item/query/part/a/b/c/flag per kind is documented in
+/// docs/OBSERVABILITY.md ("Event tracing"); the load-bearing ones:
+///  * kRefreshEmitted:     a = new value, b = filter width in force,
+///                         c = previously pushed value (so |a-c| > b is
+///                         checkable offline), source = emitting source.
+///  * kRefreshArrived:     a = value, b = coordinator queue wait,
+///                         cause = the kRefreshEmitted id.
+///  * kSecondaryViolation: a = value, b = part anchor, c = secondary DAB,
+///                         cause = the kRefreshArrived id.
+///  * kRecomputeStart:     cause = the violation (dual-DAB), the arrival
+///                         (single-DAB staleness) or the kAaoSolve id.
+///  * kRecomputeEnd:       cause = the kRecomputeStart id, flag = outcome.
+///  * kDabChangeSent:      a = new width, b = old width, cause = the
+///                         kRecomputeEnd / kAaoSolve that changed it.
+///  * kDabChangeInstalled: a = width, cause = the kDabChangeSent id
+///                         (0 for the synchronous t=0 initial install).
+///  * kUserNotification:   a = new result, b = last notified result,
+///                         cause = the kRefreshArrived id.
+///  * kFidelityViolation:  a = value at sources, b = value at the
+///                         coordinator, c = the query's QAB.
+struct TraceEvent {
+  uint64_t id = 0;      ///< assigned by the sink; strictly increasing from 1
+  double time = 0.0;    ///< simulation seconds
+  TraceEventKind kind = TraceEventKind::kRefreshEmitted;
+  int32_t node = -1;    ///< coordinator/overlay node (-1: single coordinator)
+  int32_t source = -1;  ///< emitting source / relay node
+  int32_t item = -1;    ///< data item
+  int32_t query = -1;   ///< query id (PolynomialQuery::id, not index)
+  int32_t part = -1;    ///< plan part index within the query
+  uint64_t cause = 0;   ///< id of the triggering event; 0 = none
+  double a = 0.0;       ///< kind-specific payload (see above)
+  double b = 0.0;
+  double c = 0.0;
+  int32_t flag = 0;     ///< kind-specific discrete payload (e.g. outcome)
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Items of one query, recorded so the offline reader can attribute
+/// refresh traffic to queries without access to the query objects. The
+/// per-node vectors also fix the query iteration order the simulator used,
+/// which the fidelity re-derivation must reproduce exactly.
+struct TraceQueryInfo {
+  int32_t query = -1;
+  int32_t node = -1;
+  double qab = 0.0;
+  std::vector<int32_t> items;
+
+  bool operator==(const TraceQueryInfo&) const = default;
+};
+
+/// The trailing self-description a traced run appends: final metrics plus
+/// the run shape the replay needs (query count, tick count, sampling
+/// stride, violation tolerance). One per simulated coordinator (node -1
+/// for the single-coordinator simulator).
+struct TraceRunSummary {
+  int32_t node = -1;
+  int64_t queries = 0;
+  int64_t ticks = 0;
+  int64_t fidelity_stride = 1;
+  double violation_tol = 0.0;
+  int64_t refreshes = 0;
+  int64_t recomputations = 0;
+  int64_t dab_change_messages = 0;
+  int64_t user_notifications = 0;
+  int64_t solver_failures = 0;
+  double mean_fidelity_loss_pct = 0.0;
+
+  bool operator==(const TraceRunSummary&) const = default;
+};
+
+/// A parsed (or captured) trace: free-form metadata, the event sequence
+/// in emission (id) order, per-query item sets, and run summaries.
+struct TraceFile {
+  std::map<std::string, std::string> info;
+  std::vector<TraceQueryInfo> queries;
+  std::vector<TraceEvent> events;
+  std::vector<TraceRunSummary> summaries;
+};
+
+/// Canonical JSON-lines rendering: info lines, query_info lines, event
+/// lines, run_summary lines. Fields at their default values are omitted;
+/// ParseTraceJsonLines inverts this exactly (and re-serializing a parsed
+/// canonical trace reproduces the bytes).
+std::string TraceToJsonLines(const TraceFile& trace);
+
+/// Inverse of TraceToJsonLines. Also accepts streamed files (TraceSink
+/// with a file attached), whose record order may interleave; rejects
+/// malformed lines, unknown record types and unknown event kinds.
+Result<TraceFile> ParseTraceJsonLines(const std::string& text);
+
+/// File-level convenience wrappers.
+Status SaveTraceFile(const TraceFile& trace, const std::string& path);
+Result<TraceFile> LoadTraceFile(const std::string& path);
+
+/// Event collector. Two modes:
+///  * capture (default): events accumulate in memory; Collect() returns
+///    the full TraceFile.
+///  * streaming: after StreamTo(path), the ring segment is flushed to the
+///    file whenever it fills and on Finish(); info/query/summary records
+///    (small) are buffered and written at Finish().
+class TraceSink {
+ public:
+  /// Ring segment size in events (~4 MiB at the default); streaming mode
+  /// flushes at this granularity, capture mode grows past it.
+  static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+
+  explicit TraceSink(size_t capacity = kDefaultCapacity);
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Switch to streaming mode. Must be called before the first Emit.
+  Status StreamTo(const std::string& path);
+
+  /// Record one event. Assigns and returns its id (ignore the `id` field
+  /// of \p e). The returned id is what later events pass as `cause`.
+  uint64_t Emit(TraceEvent e);
+
+  /// Logical simulation clock, advanced by the driving layer so that
+  /// layers without their own clock (the planner) can stamp events.
+  void SetNow(double t) { now_.store(t, std::memory_order_relaxed); }
+  double now() const { return now_.load(std::memory_order_relaxed); }
+
+  void SetInfo(const std::string& key, const std::string& value);
+  void AddQueryInfo(TraceQueryInfo info);
+  void AddRunSummary(const TraceRunSummary& summary);
+
+  /// Total events emitted so far.
+  uint64_t emitted() const {
+    return next_id_.load(std::memory_order_relaxed) - 1;
+  }
+
+  /// Flush and close the streamed file; idempotent, called by the
+  /// destructor. No-op (OK) in capture mode.
+  Status Finish();
+
+  /// Capture mode: the full trace collected so far. Streaming mode:
+  /// metadata plus whatever events are still buffered (the rest is on
+  /// disk — use LoadTraceFile).
+  TraceFile Collect() const;
+
+ private:
+  Status FlushLocked();  ///< stream buffered events; requires mu_ held
+
+  const size_t capacity_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<double> now_{0.0};
+
+  mutable std::mutex mu_;  ///< guards everything below; uncontended in
+                           ///< the single-producer simulators
+  std::vector<TraceEvent> buffer_;
+  std::map<std::string, std::string> info_;
+  std::vector<TraceQueryInfo> queries_;
+  std::vector<TraceRunSummary> summaries_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  /// Streaming mode: info entries already written, so late SetInfo calls
+  /// still reach the file at the next flush (last parse wins).
+  std::map<std::string, std::string> info_written_;
+  bool finished_ = false;
+};
+
+}  // namespace polydab::obs
+
+#endif  // POLYDAB_OBS_TRACE_H_

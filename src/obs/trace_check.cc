@@ -1,0 +1,690 @@
+#include "obs/trace_check.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <unordered_map>
+
+namespace polydab::obs {
+
+namespace {
+
+/// Mutable checking state threaded through the per-event switch.
+class Checker {
+ public:
+  Checker(const TraceFile& trace, const TraceCheckOptions& options,
+          TraceCheckReport* report)
+      : trace_(trace), options_(options), report_(report) {
+    origin_it_ = trace.info.find("origin");
+    method_it_ = trace.info.find("method");
+    for (const TraceRunSummary& s : trace.summaries) {
+      tol_by_node_.emplace(s.node, s.violation_tol);
+    }
+    for (const TraceQueryInfo& q : trace.queries) {
+      query_info_[Key(q.node, q.query)] = &q;
+    }
+    by_id_.reserve(trace.events.size());
+    for (const TraceEvent& e : trace.events) by_id_.emplace(e.id, &e);
+  }
+
+  void Run() {
+    const TraceEvent* prev = nullptr;
+    for (const TraceEvent& e : trace_.events) {
+      CheckOrdering(e, prev);
+      CheckEvent(e);
+      prev = &e;
+    }
+    // Every recompute must have finished exactly once (checked per end
+    // above; zero ends is only visible here).
+    for (const auto& [id, ends] : ends_of_start_) {
+      if (ends == 0) {
+        Fail("recompute_start #" + std::to_string(id) +
+             " has no recompute_end");
+      }
+    }
+    // The planner is invoked exactly once per non-AAO recomputation
+    // (core::ReplanPart); AAO solves bypass it. Only meaningful when the
+    // producer wired the planner (it emits planner_plan for the initial
+    // plans, so any planner event implies full wiring).
+    if (planner_events_ > 0 && planner_replans_ != starts_non_aao_) {
+      Fail("planner_replan count " + std::to_string(planner_replans_) +
+           " != non-AAO recompute_start count " +
+           std::to_string(starts_non_aao_));
+    }
+  }
+
+  /// Number of fidelity-violation samples recorded for (node, query).
+  int64_t FidelityViolations(int32_t node, int32_t query) const {
+    auto it = fidelity_counts_.find(Key(node, query));
+    return it == fidelity_counts_.end() ? 0 : it->second;
+  }
+
+ private:
+  static int64_t Key(int32_t node, int32_t other) {
+    return (static_cast<int64_t>(node) << 32) |
+           static_cast<int64_t>(static_cast<uint32_t>(other));
+  }
+
+  void Fail(const std::string& what) {
+    ++report_->failure_count;
+    if (report_->failures.size() < options_.max_failures) {
+      report_->failures.push_back(what);
+    }
+  }
+  void FailEvent(const TraceEvent& e, const std::string& what) {
+    Fail("event #" + std::to_string(e.id) + " (" + Name(e.kind) +
+         ", t=" + std::to_string(e.time) + "): " + what);
+  }
+
+  bool OriginIs(const char* origin) const {
+    return origin_it_ != trace_.info.end() && origin_it_->second == origin;
+  }
+  bool MethodKnown() const { return method_it_ != trace_.info.end(); }
+  bool MethodIsDual() const {
+    return MethodKnown() && method_it_->second == "dual";
+  }
+
+  /// The violation tolerance the producing run used for this node's
+  /// secondary-range and fidelity checks.
+  double TolFor(int32_t node) const {
+    auto it = tol_by_node_.find(node);
+    if (it != tol_by_node_.end()) return it->second;
+    it = tol_by_node_.find(-1);
+    if (it != tol_by_node_.end()) return it->second;
+    return 0.0;
+  }
+
+  const TraceEvent* Cause(const TraceEvent& e) {
+    if (e.cause == 0) {
+      FailEvent(e, "missing cause id");
+      return nullptr;
+    }
+    auto it = by_id_.find(e.cause);
+    if (it == by_id_.end()) {
+      FailEvent(e, "cause #" + std::to_string(e.cause) + " not in trace");
+      return nullptr;
+    }
+    if (it->second->id >= e.id) {
+      FailEvent(e, "cause #" + std::to_string(e.cause) +
+                       " does not precede the event");
+      return nullptr;
+    }
+    return it->second;
+  }
+  /// Cause that must exist and be of one specific kind.
+  const TraceEvent* CauseOfKind(const TraceEvent& e, TraceEventKind kind) {
+    const TraceEvent* c = Cause(e);
+    if (c == nullptr) return nullptr;
+    if (c->kind != kind) {
+      FailEvent(e, std::string("cause #") + std::to_string(c->id) +
+                       " has kind " + Name(c->kind) + ", expected " +
+                       Name(kind));
+      return nullptr;
+    }
+    return c;
+  }
+
+  void CheckOrdering(const TraceEvent& e, const TraceEvent* prev) {
+    if (e.id == 0) FailEvent(e, "event id 0 is reserved");
+    if (prev != nullptr && e.id <= prev->id) {
+      FailEvent(e, "ids not strictly increasing (previous #" +
+                       std::to_string(prev->id) + ")");
+    }
+    auto [it, fresh] = last_time_.emplace(e.node, e.time);
+    if (!fresh) {
+      if (e.time < it->second) {
+        FailEvent(e, "time goes backwards on node " +
+                         std::to_string(e.node));
+      }
+      it->second = e.time;
+    }
+  }
+
+  void CheckEvent(const TraceEvent& e) {
+    switch (e.kind) {
+      case TraceEventKind::kRefreshEmitted: {
+        // The emission is self-certifying: the new value must escape the
+        // filter width that was in force, relative to the last push.
+        if (!(std::fabs(e.a - e.c) > e.b)) {
+          FailEvent(e, "pushed value did not escape the installed filter "
+                       "(|" + std::to_string(e.a) + " - " +
+                       std::to_string(e.c) + "| <= " + std::to_string(e.b) +
+                       ")");
+        }
+        // The single-coordinator simulator additionally guarantees the
+        // width in force is the most recently installed one (the relay
+        // overlay's per-subtree requirements change without install
+        // events, so this is origin-gated).
+        if (OriginIs("sim")) {
+          auto it = installed_.find(Key(e.node, e.item));
+          if (it == installed_.end()) {
+            FailEvent(e, "refresh emitted for an item with no installed "
+                         "filter");
+          } else if (it->second != e.b) {
+            FailEvent(e, "filter width " + std::to_string(e.b) +
+                             " differs from installed width " +
+                             std::to_string(it->second));
+          }
+        }
+        // Push chain: this emission's reference value is the previous
+        // emission's value on the same (node, source, item) edge.
+        const int64_t edge =
+            Key(e.node, e.item) * 31 + static_cast<int64_t>(e.source);
+        auto [it2, fresh] = last_emitted_.emplace(edge, e.a);
+        if (!fresh) {
+          if (it2->second != e.c) {
+            FailEvent(e, "reference value " + std::to_string(e.c) +
+                             " is not the previously pushed value " +
+                             std::to_string(it2->second));
+          }
+          it2->second = e.a;
+        }
+        break;
+      }
+      case TraceEventKind::kRefreshArrived: {
+        const TraceEvent* c =
+            CauseOfKind(e, TraceEventKind::kRefreshEmitted);
+        if (c != nullptr) {
+          if (c->node != e.node || c->item != e.item) {
+            FailEvent(e, "arrival does not match its emission's node/item");
+          }
+          if (c->a != e.a) {
+            FailEvent(e, "arrived value " + std::to_string(e.a) +
+                             " differs from emitted value " +
+                             std::to_string(c->a));
+          }
+          if (c->time > e.time) {
+            FailEvent(e, "arrival precedes its emission");
+          }
+        }
+        if (e.b < 0.0) FailEvent(e, "negative queue wait");
+        break;
+      }
+      case TraceEventKind::kSecondaryViolation: {
+        const TraceEvent* c =
+            CauseOfKind(e, TraceEventKind::kRefreshArrived);
+        if (c != nullptr &&
+            (c->node != e.node || c->item != e.item || c->a != e.a)) {
+          FailEvent(e, "violation does not match its arrival");
+        }
+        // The value must really lie outside the secondary range around
+        // the anchor — the exact §III-A.2 test the coordinator ran.
+        const double limit = e.c * (1.0 + TolFor(e.node));
+        if (!(std::fabs(e.a - e.b) > limit)) {
+          FailEvent(e, "value " + std::to_string(e.a) +
+                           " is within the secondary range (anchor " +
+                           std::to_string(e.b) + ", limit " +
+                           std::to_string(limit) + ")");
+        }
+        break;
+      }
+      case TraceEventKind::kRecomputeStart: {
+        const TraceEvent* c = Cause(e);
+        if (c != nullptr) {
+          const bool dual_cause =
+              c->kind == TraceEventKind::kSecondaryViolation ||
+              c->kind == TraceEventKind::kAaoSolve;
+          const bool single_cause =
+              c->kind == TraceEventKind::kRefreshArrived;
+          const bool allowed = MethodKnown()
+                                   ? (MethodIsDual() ? dual_cause
+                                                     : single_cause)
+                                   : (dual_cause || single_cause);
+          if (!allowed) {
+            FailEvent(e, std::string("recompute caused by ") +
+                             Name(c->kind) + ", not allowed for method=" +
+                             (MethodKnown() ? method_it_->second : "?"));
+          }
+          if (c->kind != TraceEventKind::kAaoSolve) ++starts_non_aao_;
+        }
+        if (e.query < 0) FailEvent(e, "recompute without a query id");
+        ends_of_start_.emplace(e.id, 0);
+        break;
+      }
+      case TraceEventKind::kRecomputeEnd: {
+        const TraceEvent* c =
+            CauseOfKind(e, TraceEventKind::kRecomputeStart);
+        if (c != nullptr) {
+          if (c->query != e.query || c->part != e.part ||
+              c->node != e.node) {
+            FailEvent(e, "end does not match its start's query/part/node");
+          }
+          auto it = ends_of_start_.find(c->id);
+          if (it != ends_of_start_.end() && ++it->second > 1) {
+            FailEvent(e, "recompute_start #" + std::to_string(c->id) +
+                             " ended more than once");
+          }
+        }
+        break;
+      }
+      case TraceEventKind::kDabChangeSent: {
+        const TraceEvent* c = Cause(e);
+        if (c != nullptr) {
+          if (c->kind != TraceEventKind::kRecomputeEnd &&
+              c->kind != TraceEventKind::kAaoSolve) {
+            FailEvent(e, std::string("DAB change caused by ") +
+                             Name(c->kind) +
+                             ", expected recompute_end or aao_solve");
+          } else if (c->flag != 1) {
+            FailEvent(e, "DAB change caused by a failed solve");
+          }
+          // Relay overlays propagate one recomputation's requirement
+          // change up the tree, so hop nodes legitimately differ there.
+          if (OriginIs("sim") && c->node != e.node) {
+            FailEvent(e, "DAB change sent from a different node than its "
+                         "cause");
+          }
+        }
+        if (e.item < 0) FailEvent(e, "DAB change without an item");
+        break;
+      }
+      case TraceEventKind::kDabChangeInstalled: {
+        if (e.cause == 0) {
+          // Only the synchronous installs of the initial plan (time zero)
+          // may appear without a send.
+          if (e.time != 0.0) {
+            FailEvent(e, "installed without a dab_change_sent cause");
+          }
+        } else {
+          const TraceEvent* c =
+              CauseOfKind(e, TraceEventKind::kDabChangeSent);
+          if (c != nullptr) {
+            if (c->node != e.node || c->item != e.item) {
+              FailEvent(e, "install does not match its send's node/item");
+            }
+            if (c->a != e.a) {
+              FailEvent(e, "installed width " + std::to_string(e.a) +
+                               " differs from sent width " +
+                               std::to_string(c->a));
+            }
+            if (c->time > e.time) {
+              FailEvent(e, "install precedes its send");
+            }
+          }
+        }
+        installed_[Key(e.node, e.item)] = e.a;
+        break;
+      }
+      case TraceEventKind::kAaoSolve:
+        break;
+      case TraceEventKind::kUserNotification: {
+        const TraceEvent* c =
+            CauseOfKind(e, TraceEventKind::kRefreshArrived);
+        if (c != nullptr && c->node != e.node) {
+          FailEvent(e, "notification on a different node than its arrival");
+        }
+        auto it = query_info_.find(Key(e.node, e.query));
+        if (it == query_info_.end()) {
+          FailEvent(e, "notification for unknown query " +
+                           std::to_string(e.query));
+        } else if (!(std::fabs(e.a - e.b) > it->second->qab)) {
+          FailEvent(e, "result drift |" + std::to_string(e.a) + " - " +
+                           std::to_string(e.b) +
+                           "| does not exceed the QAB " +
+                           std::to_string(it->second->qab));
+        }
+        break;
+      }
+      case TraceEventKind::kFidelityViolation: {
+        auto it = query_info_.find(Key(e.node, e.query));
+        if (it == query_info_.end()) {
+          FailEvent(e, "fidelity sample for unknown query " +
+                           std::to_string(e.query));
+        } else if (it->second->qab != e.c) {
+          FailEvent(e, "recorded QAB " + std::to_string(e.c) +
+                           " differs from the query's QAB " +
+                           std::to_string(it->second->qab));
+        }
+        const double limit = e.c * (1.0 + TolFor(e.node));
+        if (!(std::fabs(e.a - e.b) > limit)) {
+          FailEvent(e, "sampled drift |" + std::to_string(e.a) + " - " +
+                           std::to_string(e.b) +
+                           "| does not exceed the QAB limit " +
+                           std::to_string(limit));
+        }
+        ++fidelity_counts_[Key(e.node, e.query)];
+        break;
+      }
+      case TraceEventKind::kPlannerPlan:
+        ++planner_events_;
+        break;
+      case TraceEventKind::kPlannerReplan:
+        ++planner_events_;
+        ++planner_replans_;
+        break;
+    }
+  }
+
+  const TraceFile& trace_;
+  const TraceCheckOptions& options_;
+  TraceCheckReport* report_;
+
+  std::map<std::string, std::string>::const_iterator origin_it_;
+  std::map<std::string, std::string>::const_iterator method_it_;
+  std::unordered_map<uint64_t, const TraceEvent*> by_id_;
+  std::map<int32_t, double> tol_by_node_;
+  std::map<int64_t, const TraceQueryInfo*> query_info_;
+
+  std::map<int32_t, double> last_time_;        // node -> last event time
+  std::map<int64_t, double> installed_;        // (node,item) -> width
+  std::map<int64_t, double> last_emitted_;     // push-chain edge -> value
+  std::map<uint64_t, int> ends_of_start_;      // start id -> #ends
+  std::map<int64_t, int64_t> fidelity_counts_; // (node,query) -> samples
+  int64_t planner_events_ = 0;
+  int64_t planner_replans_ = 0;
+  int64_t starts_non_aao_ = 0;
+};
+
+bool InScope(const TraceRunSummary& s, const TraceEvent& e) {
+  return s.node == -1 || e.node == s.node;
+}
+
+/// Re-derive the producing run's SimMetrics for one summary's scope,
+/// reproducing the simulator's arithmetic (and its query iteration order,
+/// fixed by the query_info emission order) operation for operation so the
+/// comparison can demand bit-exact equality.
+TraceDerivedStats Derive(const TraceFile& trace, const TraceRunSummary& s,
+                         const Checker& checker) {
+  TraceDerivedStats d;
+  for (const TraceEvent& e : trace.events) {
+    if (!InScope(s, e)) continue;
+    switch (e.kind) {
+      case TraceEventKind::kRefreshArrived: ++d.refreshes; break;
+      case TraceEventKind::kRecomputeStart: ++d.recomputations; break;
+      case TraceEventKind::kDabChangeSent: ++d.dab_change_messages; break;
+      case TraceEventKind::kUserNotification: ++d.user_notifications; break;
+      case TraceEventKind::kRecomputeEnd:
+        if (e.flag == 0) ++d.solver_failures;
+        break;
+      case TraceEventKind::kAaoSolve:
+        if (e.flag == 0) ++d.solver_failures;
+        break;
+      default: break;
+    }
+  }
+  if (s.ticks >= 2 && s.queries > 0) {
+    double loss_sum = 0.0;
+    for (const TraceQueryInfo& q : trace.queries) {
+      if (s.node != -1 && q.node != s.node) continue;
+      // k stride-sized increments of an integer-valued double are exact,
+      // so the product reproduces the simulator's accumulated sum.
+      const double violated_time =
+          static_cast<double>(checker.FidelityViolations(q.node, q.query) *
+                              s.fidelity_stride);
+      loss_sum += 100.0 * violated_time / static_cast<double>(s.ticks - 1);
+    }
+    d.mean_fidelity_loss_pct = loss_sum / static_cast<double>(s.queries);
+  }
+  return d;
+}
+
+void DiffSummary(const TraceRunSummary& s, const TraceDerivedStats& d,
+                 TraceCheckReport* report,
+                 const TraceCheckOptions& options) {
+  auto fail = [&](const std::string& what) {
+    ++report->failure_count;
+    if (report->failures.size() < options.max_failures) {
+      report->failures.push_back("run_summary (node " +
+                                 std::to_string(s.node) + "): " + what);
+    }
+  };
+  auto diff_count = [&](const char* name, int64_t derived,
+                        int64_t recorded) {
+    if (derived != recorded) {
+      fail(std::string(name) + " replayed as " + std::to_string(derived) +
+           " but recorded as " + std::to_string(recorded));
+    }
+  };
+  diff_count("refreshes", d.refreshes, s.refreshes);
+  diff_count("recomputations", d.recomputations, s.recomputations);
+  diff_count("dab_change_messages", d.dab_change_messages,
+             s.dab_change_messages);
+  diff_count("user_notifications", d.user_notifications,
+             s.user_notifications);
+  diff_count("solver_failures", d.solver_failures, s.solver_failures);
+  if (d.mean_fidelity_loss_pct != s.mean_fidelity_loss_pct) {
+    fail("mean_fidelity_loss_pct replayed as " +
+         std::to_string(d.mean_fidelity_loss_pct) + " but recorded as " +
+         std::to_string(s.mean_fidelity_loss_pct));
+  }
+}
+
+/// Cross-check the derived totals against a telemetry run report from the
+/// same run (counters are summed over nodes by construction; the fidelity
+/// gauge is last-write-wins, so it is only compared for single-summary
+/// traces).
+void DiffRunReport(const TraceFile& trace,
+                   const std::vector<TraceDerivedStats>& derived,
+                   const RunReport& rr, TraceCheckReport* report,
+                   const TraceCheckOptions& options) {
+  auto origin_it = trace.info.find("origin");
+  const bool relay =
+      origin_it != trace.info.end() && origin_it->second == "relay";
+  const char* prefix = relay ? "net.relay." : "sim.coordinator.";
+
+  TraceDerivedStats total;
+  for (const TraceEvent& e : trace.events) {
+    switch (e.kind) {
+      case TraceEventKind::kRefreshArrived: ++total.refreshes; break;
+      case TraceEventKind::kRecomputeStart: ++total.recomputations; break;
+      case TraceEventKind::kDabChangeSent:
+        ++total.dab_change_messages;
+        break;
+      case TraceEventKind::kUserNotification:
+        ++total.user_notifications;
+        break;
+      case TraceEventKind::kRecomputeEnd:
+        if (e.flag == 0) ++total.solver_failures;
+        break;
+      case TraceEventKind::kAaoSolve:
+        if (e.flag == 0) ++total.solver_failures;
+        break;
+      default: break;
+    }
+  }
+  auto fail = [&](const std::string& what) {
+    ++report->failure_count;
+    if (report->failures.size() < options.max_failures) {
+      report->failures.push_back("run report: " + what);
+    }
+  };
+  auto diff_counter = [&](const char* metric, int64_t derived_value) {
+    const RunReport::Entry* e = rr.Find(std::string(prefix) + metric);
+    if (e == nullptr) {
+      fail(std::string("missing counter ") + prefix + metric);
+      return;
+    }
+    if (e->counter_value != derived_value) {
+      fail(std::string(prefix) + metric + " replayed as " +
+           std::to_string(derived_value) + " but reported as " +
+           std::to_string(e->counter_value));
+    }
+  };
+  diff_counter("refreshes", total.refreshes);
+  diff_counter("recomputations", total.recomputations);
+  diff_counter("dab_change_messages", total.dab_change_messages);
+  diff_counter("solver_failures", total.solver_failures);
+  if (!relay) diff_counter("user_notifications", total.user_notifications);
+
+  if (trace.summaries.size() == 1 && derived.size() == 1) {
+    const char* gauge_name = relay ? "net.relay.fidelity.mean_loss_pct"
+                                   : "sim.fidelity.mean_loss_pct";
+    const RunReport::Entry* g = rr.Find(gauge_name);
+    if (g == nullptr) {
+      fail(std::string("missing gauge ") + gauge_name);
+    } else if (g->gauge_value != derived[0].mean_fidelity_loss_pct) {
+      fail(std::string(gauge_name) + " replayed as " +
+           std::to_string(derived[0].mean_fidelity_loss_pct) +
+           " but reported as " + std::to_string(g->gauge_value));
+    }
+  }
+}
+
+double ResolveMu(const TraceFile& trace, const TraceCheckOptions& options) {
+  if (options.mu >= 0.0) return options.mu;
+  auto it = trace.info.find("mu");
+  if (it != trace.info.end()) {
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end != it->second.c_str() && v >= 0.0) return v;
+  }
+  return 5.0;  // the paper's default recomputation cost (core::kDefaultMu)
+}
+
+std::vector<TraceQueryCost> Attribute(const TraceFile& trace, double mu,
+                                      const Checker& /*checker*/) {
+  std::vector<TraceQueryCost> out;
+  out.reserve(trace.queries.size());
+  auto by_id = [&trace] {
+    std::unordered_map<uint64_t, const TraceEvent*> m;
+    m.reserve(trace.events.size());
+    for (const TraceEvent& e : trace.events) m.emplace(e.id, &e);
+    return m;
+  }();
+  // Root-cause chain of one recomputation: recompute_start -> violation
+  // (dual-DAB) -> arrival -> item, or recompute_start -> arrival -> item
+  // (single-DAB). AAO-caused recomputations have no root item.
+  auto root_item = [&by_id](const TraceEvent& start) -> int32_t {
+    auto it = by_id.find(start.cause);
+    if (it == by_id.end()) return -1;
+    const TraceEvent* c = it->second;
+    if (c->kind == TraceEventKind::kSecondaryViolation) {
+      auto it2 = by_id.find(c->cause);
+      if (it2 == by_id.end()) return c->item;
+      c = it2->second;
+    }
+    return c->kind == TraceEventKind::kRefreshArrived ? c->item : -1;
+  };
+
+  for (const TraceQueryInfo& qinfo : trace.queries) {
+    TraceQueryCost qc;
+    qc.query = qinfo.query;
+    qc.node = qinfo.node;
+    const std::set<int32_t> items(qinfo.items.begin(), qinfo.items.end());
+    std::map<int32_t, int64_t> roots;
+    for (const TraceEvent& e : trace.events) {
+      if (e.kind == TraceEventKind::kRefreshArrived &&
+          e.node == qinfo.node && items.count(e.item) != 0) {
+        ++qc.refreshes;
+      } else if (e.kind == TraceEventKind::kRecomputeStart &&
+                 e.node == qinfo.node && e.query == qinfo.query) {
+        ++qc.recomputations;
+        const int32_t item = root_item(e);
+        if (item >= 0) ++roots[item];
+      }
+    }
+    qc.cost = static_cast<double>(qc.refreshes) +
+              mu * static_cast<double>(qc.recomputations);
+    qc.root_items.assign(roots.begin(), roots.end());
+    std::sort(qc.root_items.begin(), qc.root_items.end(),
+              [](const auto& x, const auto& y) {
+                return x.second != y.second ? x.second > y.second
+                                            : x.first < y.first;
+              });
+    out.push_back(std::move(qc));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceCheckReport::ToText(const TraceFile& trace) const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "trace-check: %s  (%" PRId64 " events, %zu queries, %zu "
+                "run summaries, %" PRId64 " invariant failures)\n",
+                ok() ? "OK" : "FAILED", events, trace.queries.size(),
+                trace.summaries.size(), failure_count);
+  out += buf;
+  for (size_t i = 0; i < derived.size() && i < trace.summaries.size();
+       ++i) {
+    const TraceDerivedStats& d = derived[i];
+    std::snprintf(buf, sizeof(buf),
+                  "node %d: refreshes=%" PRId64 " recomputations=%" PRId64
+                  " dab_changes=%" PRId64 " notifications=%" PRId64
+                  " solver_failures=%" PRId64
+                  " fidelity_loss=%.4f%% cost=%.0f\n",
+                  trace.summaries[i].node, d.refreshes, d.recomputations,
+                  d.dab_change_messages, d.user_notifications,
+                  d.solver_failures, d.mean_fidelity_loss_pct,
+                  static_cast<double>(d.refreshes) +
+                      mu * static_cast<double>(d.recomputations));
+    out += buf;
+  }
+  if (!queries.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "per-query cost attribution (mu=%g):\n", mu);
+    out += buf;
+    for (const TraceQueryCost& q : queries) {
+      std::snprintf(buf, sizeof(buf),
+                    "  query %-4d node %-3d refreshes=%-6" PRId64
+                    " recomputations=%-5" PRId64 " cost=%-8.0f root items:",
+                    q.query, q.node, q.refreshes, q.recomputations,
+                    q.cost);
+      out += buf;
+      size_t shown = 0;
+      for (const auto& [item, count] : q.root_items) {
+        if (++shown > 3) break;
+        std::snprintf(buf, sizeof(buf), " %d(x%" PRId64 ")", item, count);
+        out += buf;
+      }
+      if (q.root_items.empty()) out += " -";
+      out += "\n";
+    }
+  }
+  for (const std::string& f : failures) {
+    out += "FAIL: " + f + "\n";
+  }
+  if (failure_count > static_cast<int64_t>(failures.size())) {
+    std::snprintf(buf, sizeof(buf), "... and %" PRId64 " more failures\n",
+                  failure_count - static_cast<int64_t>(failures.size()));
+    out += buf;
+  }
+  return out;
+}
+
+Result<TraceCheckReport> CheckTrace(const TraceFile& trace,
+                                    const TraceCheckOptions& options) {
+  if (trace.summaries.empty()) {
+    return Status::InvalidArgument(
+        "trace has no run_summary records (truncated run?)");
+  }
+  TraceCheckReport report;
+  report.events = static_cast<int64_t>(trace.events.size());
+  report.mu = ResolveMu(trace, options);
+
+  Checker checker(trace, options, &report);
+  checker.Run();
+
+  for (const TraceRunSummary& s : trace.summaries) {
+    TraceDerivedStats d = Derive(trace, s, checker);
+    // The summary's query count must cover exactly the query_info records
+    // in its scope, or the fidelity re-derivation is meaningless.
+    int64_t in_scope = 0;
+    for (const TraceQueryInfo& q : trace.queries) {
+      if (s.node == -1 || q.node == s.node) ++in_scope;
+    }
+    if (in_scope != s.queries) {
+      ++report.failure_count;
+      if (report.failures.size() < options.max_failures) {
+        report.failures.push_back(
+            "run_summary (node " + std::to_string(s.node) + "): claims " +
+            std::to_string(s.queries) + " queries but the trace has " +
+            std::to_string(in_scope) + " query_info records in scope");
+      }
+    }
+    DiffSummary(s, d, &report, options);
+    report.derived.push_back(d);
+  }
+  if (options.report != nullptr) {
+    DiffRunReport(trace, report.derived, *options.report, &report, options);
+  }
+  report.queries = Attribute(trace, report.mu, checker);
+  return report;
+}
+
+}  // namespace polydab::obs

@@ -1,0 +1,106 @@
+#ifndef POLYDAB_OBS_TRACE_CHECK_H_
+#define POLYDAB_OBS_TRACE_CHECK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+
+/// \file trace_check.h
+/// Offline replay verification of a causal event trace (trace.h). Given a
+/// TraceFile recorded by sim/simulation.cc (or net/relay.cc /
+/// net/dissemination.cc), CheckTrace independently:
+///
+///  (a) re-derives every SimMetrics field from the raw events and diffs
+///      the result against the trailing run_summary records (and, when
+///      provided, against a metrics run report from the same run);
+///  (b) checks the protocol invariants of §III-A.2 — every recomputation
+///      is caused by a recorded secondary-range violation (dual-DAB) or
+///      refresh arrival (single-DAB staleness) or AAO solve; violation
+///      values really lie outside the recorded secondary range; DAB
+///      changes install only after they were sent; every refresh emission
+///      really escaped the filter width installed at that moment;
+///  (c) attributes cost per query: refreshes on the query's items plus
+///      mu * its recomputations, with recomputations traced through the
+///      cause chain (recompute -> violation -> arrival -> item) to the
+///      root-cause items.
+///
+/// The replay is exact, not approximate: the JSONL doubles round-trip
+/// bit-identically (json_util.h) and the checker recomputes the very same
+/// floating-point expressions the simulator evaluated, so every
+/// comparison is == / strict >, never "close enough". This file lives in
+/// obs/ (below core/ and sim/ in the dependency order), so it describes
+/// runs purely in terms of the trace vocabulary.
+
+namespace polydab::obs {
+
+struct TraceCheckOptions {
+  /// Recomputation cost in refresh-message units for the cost
+  /// attribution. Negative (default) means: use the trace's `mu` info key
+  /// when present, else the paper's default of 5.
+  double mu = -1.0;
+  /// Optional telemetry run report from the same run; when set, the
+  /// derived totals are also diffed against the `sim.coordinator.*`
+  /// counters and the `sim.fidelity.mean_loss_pct` gauge.
+  const RunReport* report = nullptr;
+  /// Cap on the number of failure messages kept (failure_count still
+  /// counts all of them).
+  size_t max_failures = 64;
+};
+
+/// SimMetrics re-derived from raw events for one summary's scope.
+struct TraceDerivedStats {
+  int64_t refreshes = 0;
+  int64_t recomputations = 0;
+  int64_t dab_change_messages = 0;
+  int64_t user_notifications = 0;
+  int64_t solver_failures = 0;
+  double mean_fidelity_loss_pct = 0.0;
+};
+
+/// Per-query cost attribution.
+struct TraceQueryCost {
+  int32_t query = -1;
+  int32_t node = -1;
+  int64_t refreshes = 0;       ///< arrivals of the query's items at its node
+  int64_t recomputations = 0;  ///< recompute starts for this query
+  double cost = 0.0;           ///< refreshes + mu * recomputations
+  /// Root-cause attribution: item -> number of this query's
+  /// recomputations whose cause chain ends at a refresh of that item
+  /// (AAO-caused recomputations have no root item). Sorted by count,
+  /// descending.
+  std::vector<std::pair<int32_t, int64_t>> root_items;
+};
+
+struct TraceCheckReport {
+  /// Human-readable invariant violations, at most
+  /// TraceCheckOptions::max_failures of them.
+  std::vector<std::string> failures;
+  int64_t failure_count = 0;  ///< total, including unlisted
+  int64_t events = 0;
+  double mu = 0.0;  ///< the mu the attribution used
+  /// Derived stats per run summary, in summary order (node -1 covers
+  /// every event, as in the single-coordinator simulator).
+  std::vector<TraceDerivedStats> derived;
+  std::vector<TraceQueryCost> queries;
+
+  bool ok() const { return failure_count == 0; }
+  /// Multi-line rendering: verdict, per-summary replay diffs, failures,
+  /// per-query attribution table.
+  std::string ToText(const TraceFile& trace) const;
+};
+
+/// \brief Replay \p trace and verify it. Returns a non-OK status only
+/// when the trace is structurally unusable (no run_summary records);
+/// protocol violations are reported through TraceCheckReport::failures.
+Result<TraceCheckReport> CheckTrace(const TraceFile& trace,
+                                    const TraceCheckOptions& options = {});
+
+}  // namespace polydab::obs
+
+#endif  // POLYDAB_OBS_TRACE_CHECK_H_

@@ -10,6 +10,7 @@
 #include "core/multi_query.h"
 #include "core/query_index.h"
 #include "core/validator.h"
+#include "obs/json_util.h"
 
 #include "common/logging.h"
 
@@ -26,6 +27,11 @@ struct Event {
   EventType type;
   int item;
   double value;  // refresh: item value; dab-change: new filter width
+  // Causal-trace bookkeeping, 0 when tracing is off: the id of the
+  // refresh_emitted / dab_change_sent event this message corresponds to,
+  // and the total coordinator-queue wait accumulated across deferrals.
+  uint64_t trace_id = 0;
+  double wait = 0.0;
 
   bool operator>(const Event& other) const { return time > other.time; }
 };
@@ -168,6 +174,24 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     planner_cfg.dual.solver.registry = planner_cfg.registry;
   }
 
+  // Causal event trace (obs/trace.h): propagated into the planner like
+  // the registry. Every emission site below is one branch when off.
+  obs::TraceSink* const trace = config.trace;
+  const int32_t tnode = config.trace_node;
+  if (planner_cfg.trace == nullptr) {
+    planner_cfg.trace = trace;
+    planner_cfg.trace_node = tnode;
+  }
+  // Which source pushes an item's refreshes; purely an attribution label.
+  const int num_sources = std::max(1, config.num_sources);
+  if (trace != nullptr) {
+    trace->SetNow(0.0);
+    trace->SetInfo("origin", "sim");
+    trace->SetInfo("method", core::Name(planner_cfg.method));
+    trace->SetInfo("mu", obs::JsonNumber(planner_cfg.dual.mu));
+    trace->SetInfo("sim_config", config.Describe());
+  }
+
   State st;
   st.item_queries.resize(n_items);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -229,22 +253,64 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     st.min_primary[i] = ItemMinPrimary(st, static_cast<int>(i));
     st.installed_dab[i] = st.min_primary[i];
   }
+  if (trace != nullptr) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      obs::TraceQueryInfo info;
+      info.query = queries[qi].id;
+      info.node = tnode;
+      info.qab = queries[qi].qab;
+      for (VarId v : queries[qi].p.Variables()) {
+        info.items.push_back(static_cast<int32_t>(v));
+      }
+      trace->AddQueryInfo(std::move(info));
+    }
+    // The initial plan's filters install synchronously at time zero
+    // (cause 0); items no query uses keep an infinite width and never
+    // refresh, so they are not recorded.
+    for (size_t i = 0; i < n_items; ++i) {
+      if (std::isinf(st.installed_dab[i])) continue;
+      obs::TraceEvent e;
+      e.kind = obs::TraceEventKind::kDabChangeInstalled;
+      e.node = tnode;
+      e.item = static_cast<int32_t>(i);
+      e.a = st.installed_dab[i];
+      trace->Emit(e);
+    }
+  }
 
   // After part (qi, pi) was replanned at time `now`, refresh the EQI merge
-  // over its items and ship changed filters to the sources.
-  auto ship_dab_changes = [&](size_t qi, size_t pi, double now) {
+  // over its items and ship changed filters to the sources. `cause_id`
+  // links each sent filter to the recompute_end / aao_solve trace event
+  // that produced it (0 when tracing is off).
+  auto ship_dab_changes = [&](size_t qi, size_t pi, double now,
+                              uint64_t cause_id) {
     for (VarId v : st.plans[qi].parts[pi].dabs.vars) {
       const size_t item = static_cast<size_t>(v);
       const double fresh = ItemMinPrimary(st, static_cast<int>(item));
       if (std::fabs(fresh - st.min_primary[item]) >
           1e-9 * std::max(1.0, st.min_primary[item])) {
+        const double old_width = st.min_primary[item];
         st.min_primary[item] = fresh;
         ++metrics.dab_change_messages;
         if (ins.dab_change_messages != nullptr) ins.dab_change_messages->Inc();
         const double delay = delays.Check() + delays.Network();
         if (ins.message_delay != nullptr) ins.message_delay->Record(delay);
+        uint64_t sent_id = 0;
+        if (trace != nullptr) {
+          obs::TraceEvent e;
+          e.time = now;
+          e.kind = obs::TraceEventKind::kDabChangeSent;
+          e.node = tnode;
+          e.item = static_cast<int32_t>(item);
+          e.query = queries[qi].id;
+          e.part = static_cast<int32_t>(pi);
+          e.cause = cause_id;
+          e.a = fresh;
+          e.b = old_width;
+          sent_id = trace->Emit(e);
+        }
         st.events.push(Event{now + delay, EventType::kDabChange,
-                             static_cast<int>(item), fresh});
+                             static_cast<int>(item), fresh, sent_id, 0.0});
       }
     }
   };
@@ -285,6 +351,16 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
       st.events.pop();
       if (ev.type == EventType::kDabChange) {
         st.installed_dab[static_cast<size_t>(ev.item)] = ev.value;
+        if (trace != nullptr) {
+          obs::TraceEvent e;
+          e.time = ev.time;
+          e.kind = obs::TraceEventKind::kDabChangeInstalled;
+          e.node = tnode;
+          e.item = ev.item;
+          e.cause = ev.trace_id;
+          e.a = ev.value;
+          trace->Emit(e);
+        }
         continue;
       }
       // The coordinator is a serial resource: a refresh that arrives while
@@ -297,12 +373,27 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         }
         Event deferred = ev;
         deferred.time = st.coord_free_at;
+        deferred.wait += st.coord_free_at - ev.time;
         st.events.push(deferred);
         continue;
       }
       // Refresh processing begins.
       ++metrics.refreshes;
       if (ins.refreshes != nullptr) ins.refreshes->Inc();
+      uint64_t arrival_id = 0;
+      if (trace != nullptr) {
+        trace->SetNow(ev.time);
+        obs::TraceEvent e;
+        e.time = ev.time;
+        e.kind = obs::TraceEventKind::kRefreshArrived;
+        e.node = tnode;
+        e.source = ev.item % num_sources;
+        e.item = ev.item;
+        e.cause = ev.trace_id;
+        e.a = ev.value;
+        e.b = ev.wait;
+        arrival_id = trace->Emit(e);
+      }
       double busy = delays.Check();
       st.view[static_cast<size_t>(ev.item)] = ev.value;
       view_eval.Update(static_cast<VarId>(ev.item), ev.value);
@@ -310,11 +401,24 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         // Push the fresh result to the user when it drifted past the QAB
         // since the last notification.
         const double qv = view_eval.QueryValue(static_cast<size_t>(qi));
-        if (std::fabs(qv - last_user_value[static_cast<size_t>(qi)]) >
+        const double prev_user = last_user_value[static_cast<size_t>(qi)];
+        if (std::fabs(qv - prev_user) >
             queries[static_cast<size_t>(qi)].qab) {
           last_user_value[static_cast<size_t>(qi)] = qv;
           ++metrics.user_notifications;
           if (ins.user_notifications != nullptr) ins.user_notifications->Inc();
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.time = ev.time;
+            e.kind = obs::TraceEventKind::kUserNotification;
+            e.node = tnode;
+            e.item = ev.item;
+            e.query = queries[static_cast<size_t>(qi)].id;
+            e.cause = arrival_id;
+            e.a = qv;
+            e.b = prev_user;
+            trace->Emit(e);
+          }
           busy += delays.Push();
         }
         core::QueryPlan& plan = st.plans[static_cast<size_t>(qi)];
@@ -324,13 +428,31 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
           if (idx < 0) continue;
           // Value-independent assignments (LAQs) never go stale.
           if (part.dabs.never_stale) continue;
+          // Under Dual-DAB the recomputation's cause is the secondary
+          // violation; under single-DAB staleness it is the arrival
+          // itself.
+          uint64_t recompute_cause = arrival_id;
           if (!recompute_every_refresh) {
-            const double drift = std::fabs(
-                ev.value - st.anchors[static_cast<size_t>(qi)][pi]
-                                     [static_cast<size_t>(idx)]);
+            const double anchor = st.anchors[static_cast<size_t>(qi)][pi]
+                                            [static_cast<size_t>(idx)];
+            const double drift = std::fabs(ev.value - anchor);
             const double limit = part.dabs.secondary[static_cast<size_t>(idx)] *
                                  (1.0 + config.violation_tol);
             if (drift <= limit) continue;
+            if (trace != nullptr) {
+              obs::TraceEvent e;
+              e.time = ev.time;
+              e.kind = obs::TraceEventKind::kSecondaryViolation;
+              e.node = tnode;
+              e.item = ev.item;
+              e.query = queries[static_cast<size_t>(qi)].id;
+              e.part = static_cast<int32_t>(pi);
+              e.cause = arrival_id;
+              e.a = ev.value;
+              e.b = anchor;
+              e.c = part.dabs.secondary[static_cast<size_t>(idx)];
+              recompute_cause = trace->Emit(e);
+            }
           }
           // This part's assignment is stale (§I-B): recompute it.
           // Warm-starting from the previous assignment keeps each
@@ -342,8 +464,33 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
                                      : ins.cause_secondary_escape)
                 ->Inc();
           }
+          uint64_t start_id = 0;
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.time = ev.time;
+            e.kind = obs::TraceEventKind::kRecomputeStart;
+            e.node = tnode;
+            e.item = ev.item;
+            e.query = queries[static_cast<size_t>(qi)].id;
+            e.part = static_cast<int32_t>(pi);
+            e.cause = recompute_cause;
+            start_id = trace->Emit(e);
+          }
           busy += delays.RecomputeCpu();
           auto fresh = core::ReplanPart(part, st.view, rates, planner_cfg);
+          uint64_t end_id = 0;
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.time = ev.time;
+            e.kind = obs::TraceEventKind::kRecomputeEnd;
+            e.node = tnode;
+            e.item = ev.item;
+            e.query = queries[static_cast<size_t>(qi)].id;
+            e.part = static_cast<int32_t>(pi);
+            e.cause = start_id;
+            e.flag = fresh.ok() ? 1 : 0;
+            end_id = trace->Emit(e);
+          }
           if (!fresh.ok()) {
             ++metrics.solver_failures;
             if (ins.solver_failures != nullptr) ins.solver_failures->Inc();
@@ -357,7 +504,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
             POLYDAB_CHECK(valid.ok());
           }
           anchor_part(static_cast<size_t>(qi), pi);
-          ship_dab_changes(static_cast<size_t>(qi), pi, ev.time);
+          ship_dab_changes(static_cast<size_t>(qi), pi, ev.time, end_id);
         }
       }
       st.coord_free_at = ev.time + busy;
@@ -377,9 +524,20 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     // 2. Figure-7 mode: periodic joint AAO recomputation.
     if (aao_mode && tick >= aao_next_tick) {
       aao_next_tick += std::max(1, static_cast<int>(config.aao_period_s));
+      if (trace != nullptr) trace->SetNow(now);
       auto joint = core::SolveAao(queries, st.view, rates,
                                   planner_cfg.dual,
                                   have_aao ? &last_aao : nullptr);
+      uint64_t aao_id = 0;
+      if (trace != nullptr) {
+        obs::TraceEvent e;
+        e.time = now;
+        e.kind = obs::TraceEventKind::kAaoSolve;
+        e.node = tnode;
+        e.a = static_cast<double>(queries.size());
+        e.flag = joint.ok() ? 1 : 0;
+        aao_id = trace->Emit(e);
+      }
       if (!joint.ok()) {
         ++metrics.solver_failures;
         if (ins.solver_failures != nullptr) ins.solver_failures->Inc();
@@ -392,13 +550,27 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
             ins.recomputations->Inc();
             ins.cause_aao_periodic->Inc();
           }
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.time = now;
+            e.kind = obs::TraceEventKind::kRecomputeStart;
+            e.node = tnode;
+            e.query = queries[qi].id;
+            e.part = 0;
+            e.cause = aao_id;
+            const uint64_t start_id = trace->Emit(e);
+            e.kind = obs::TraceEventKind::kRecomputeEnd;
+            e.cause = start_id;
+            e.flag = 1;  // the joint solve already succeeded
+            trace->Emit(e);
+          }
           st.plans[qi].parts.assign(
               1, core::PlanPart{queries[qi], joint->per_query[qi]});
           st.anchors[qi].resize(1);
           anchor_part(qi, 0);
         }
         for (size_t qi = 0; qi < queries.size(); ++qi) {
-          ship_dab_changes(qi, 0, now);
+          ship_dab_changes(qi, 0, now, aao_id);
         }
       }
     }
@@ -410,11 +582,25 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
       const double dab = st.installed_dab[item];
       if (std::isinf(dab)) continue;  // item unused by any query
       if (std::fabs(st.source_value[item] - st.last_pushed[item]) > dab) {
+        uint64_t emit_id = 0;
+        if (trace != nullptr) {
+          obs::TraceEvent e;
+          e.time = now;
+          e.kind = obs::TraceEventKind::kRefreshEmitted;
+          e.node = tnode;
+          e.source = static_cast<int32_t>(item) % num_sources;
+          e.item = static_cast<int32_t>(item);
+          e.a = st.source_value[item];
+          e.b = dab;
+          e.c = st.last_pushed[item];
+          emit_id = trace->Emit(e);
+        }
         st.last_pushed[item] = st.source_value[item];
         const double delay = delays.Push() + delays.Network();
         if (ins.message_delay != nullptr) ins.message_delay->Record(delay);
         st.events.push(Event{now + delay, EventType::kRefresh,
-                             static_cast<int>(item), st.source_value[item]});
+                             static_cast<int>(item), st.source_value[item],
+                             emit_id, 0.0});
       }
     }
 
@@ -431,6 +617,17 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         if (std::fabs(at_source - at_coord) >
             queries[qi].qab * (1.0 + config.violation_tol)) {
           st.violated_time[qi] += config.fidelity_stride;
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.time = now;
+            e.kind = obs::TraceEventKind::kFidelityViolation;
+            e.node = tnode;
+            e.query = queries[qi].id;
+            e.a = at_source;
+            e.b = at_coord;
+            e.c = queries[qi].qab;
+            trace->Emit(e);
+          }
         }
       }
     }
@@ -462,6 +659,23 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         ->Set(static_cast<double>(total_ticks));
     config.registry->GetGauge("sim.fidelity.mean_loss_pct")
         ->Set(metrics.mean_fidelity_loss_pct);
+  }
+  if (trace != nullptr) {
+    // Trailing self-description: the replay verifier re-derives each of
+    // these fields from the raw events and demands exact equality.
+    obs::TraceRunSummary s;
+    s.node = tnode;
+    s.queries = static_cast<int64_t>(queries.size());
+    s.ticks = total_ticks;
+    s.fidelity_stride = config.fidelity_stride;
+    s.violation_tol = config.violation_tol;
+    s.refreshes = metrics.refreshes;
+    s.recomputations = metrics.recomputations;
+    s.dab_change_messages = metrics.dab_change_messages;
+    s.user_notifications = metrics.user_notifications;
+    s.solver_failures = metrics.solver_failures;
+    s.mean_fidelity_loss_pct = metrics.mean_fidelity_loss_pct;
+    trace->AddRunSummary(s);
   }
   return metrics;
 }

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/planner.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/delay_model.h"
 #include "workload/trace.h"
 
@@ -65,6 +66,20 @@ struct SimConfig {
   /// instrumented path behind a single branch with no other overhead.
   /// Not owned; must outlive the run.
   obs::MetricRegistry* registry = nullptr;
+  /// Optional causal event trace (obs/trace.h). When set, the run records
+  /// every protocol event — refresh emitted/arrived, secondary violation,
+  /// recompute start/end, DAB-change sent/installed, AAO solves, user
+  /// notifications, per-query fidelity violations — with cause links, a
+  /// query_info record per query, and a trailing run summary mirroring
+  /// the returned SimMetrics, so tools/polydab_tracecheck.cc can replay
+  /// and verify the run offline. The sink is propagated into the planner.
+  /// Null (the default) keeps every emission site behind one branch.
+  /// Not owned; must outlive the run.
+  obs::TraceSink* trace = nullptr;
+  /// Node id stamped on traced events; overlay drivers that run one
+  /// simulation per coordinator into a shared sink (net/dissemination.cc)
+  /// set it so the streams stay separable. -1 = single coordinator.
+  int32_t trace_node = -1;
 
   /// One-line rendering of the full configuration, for run reports and
   /// test-failure messages.

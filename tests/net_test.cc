@@ -2,6 +2,8 @@
 
 #include "net/dissemination.h"
 #include "net/relay.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
 #include "workload/query_gen.h"
 #include "workload/rate_estimator.h"
 
@@ -130,6 +132,58 @@ TEST_F(NetTest, RelayDualBeatsOptimalRefreshOnRecomputations) {
   ASSERT_TRUE(md.ok());
   ASSERT_TRUE(mo.ok());
   EXPECT_LT(md->recomputations, mo->recomputations);
+}
+
+TEST_F(NetTest, RelayTraceReplayVerifies) {
+  // The overlay's causal trace must satisfy the offline verifier's
+  // invariants, and the replayed totals must match RelayMetrics exactly.
+  RelayConfig rc;
+  rc.num_coordinators = 4;
+  rc.planner.method = core::AssignmentMethod::kDualDab;
+  rc.planner.dual.mu = 5.0;
+  obs::TraceSink sink;
+  rc.trace = &sink;
+  auto m = RunRelayOverlay(queries_, traces_, rates_, rc);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  const obs::TraceFile trace = sink.Collect();
+  ASSERT_EQ(trace.summaries.size(), 1u);
+  auto report = obs::CheckTrace(trace);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText(trace);
+  ASSERT_EQ(report->derived.size(), 1u);
+  EXPECT_EQ(report->derived[0].refreshes, m->refreshes);
+  EXPECT_EQ(report->derived[0].recomputations, m->recomputations);
+  EXPECT_EQ(report->derived[0].dab_change_messages, m->dab_change_messages);
+  EXPECT_EQ(report->derived[0].solver_failures, m->solver_failures);
+  EXPECT_EQ(report->derived[0].mean_fidelity_loss_pct,
+            m->mean_fidelity_loss_pct);
+}
+
+TEST_F(NetTest, DisseminationTraceHasOneSummaryPerCoordinator) {
+  // Sequential per-coordinator runs share one sink; node tags keep the
+  // interleaved streams separable and each coordinator self-validates.
+  DisseminationConfig dc;
+  dc.num_coordinators = 3;
+  dc.sim.planner.method = core::AssignmentMethod::kDualDab;
+  dc.sim.planner.dual.mu = 5.0;
+  obs::TraceSink sink;
+  dc.sim.trace = &sink;
+  auto m = RunDissemination(queries_, traces_, rates_, dc);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  const obs::TraceFile trace = sink.Collect();
+  ASSERT_EQ(trace.summaries.size(), 3u);
+  auto report = obs::CheckTrace(trace);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText(trace);
+  ASSERT_EQ(report->derived.size(), 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    const sim::SimMetrics& pc = m->per_coordinator[c];
+    EXPECT_EQ(report->derived[c].refreshes, pc.refreshes) << c;
+    EXPECT_EQ(report->derived[c].recomputations, pc.recomputations) << c;
+    EXPECT_EQ(report->derived[c].dab_change_messages,
+              pc.dab_change_messages)
+        << c;
+  }
 }
 
 TEST_F(NetTest, RelayAgreesWithApproximationOnOrdering) {

@@ -97,6 +97,31 @@ TEST(HistogramTest, SingleSampleQuantilesCollapseToIt) {
   }
 }
 
+TEST(HistogramTest, EmptyQuantileIsZeroForAnyQ) {
+  Histogram h;
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(h.Quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SingleSampleQuantileIgnoresBucketGeometry) {
+  // Regression: with one sample, interior quantiles used to fall through
+  // bucket interpolation (frac = 0 yields the bucket's lower bound). Any
+  // quantile of a single sample is that sample — even far outside the
+  // bucket range, where the containing bucket spans decades.
+  Histogram huge;
+  huge.Record(1e30);  // clamps into the last geometric bucket
+  EXPECT_DOUBLE_EQ(huge.Quantile(0.5), 1e30);
+  Histogram zero;
+  zero.Record(0.0);  // below kMinValue, lands in bucket 0
+  EXPECT_DOUBLE_EQ(zero.Quantile(0.5), 0.0);
+  Histogram tiny;
+  tiny.Record(3e-9);  // inside the geometric range
+  for (double q : {0.01, 0.37, 0.99}) {
+    EXPECT_DOUBLE_EQ(tiny.Quantile(q), 3e-9) << "q=" << q;
+  }
+}
+
 TEST(HistogramTest, NegativeAndNanSamplesClampToZero) {
   Histogram h;
   h.Record(-5.0);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.h"
+#include "obs/trace_check.h"
 #include "sim/simulation.h"
 #include "workload/query_gen.h"
 #include "workload/rate_estimator.h"
@@ -196,6 +198,80 @@ TEST_F(SimProtocolTest, UserNotificationsTrackQueryMovement) {
   EXPECT_LE(m->user_notifications, m->refreshes * 6);
 }
 
+
+// The traced run must satisfy every invariant of the offline verifier
+// (obs/trace_check.h), and the replay must re-derive each SimMetrics
+// field exactly — the correctness oracle future performance work has to
+// keep green.
+void RunAndCheckTrace(const std::vector<PolynomialQuery>& queries,
+                      const workload::TraceSet& traces, const Vector& rates,
+                      SimConfig config) {
+  obs::TraceSink sink;
+  config.trace = &sink;
+  auto m = RunSimulation(queries, traces, rates, config);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  const obs::TraceFile trace = sink.Collect();
+  ASSERT_EQ(trace.summaries.size(), 1u);
+  auto report = obs::CheckTrace(trace);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText(trace);
+  ASSERT_EQ(report->derived.size(), 1u);
+  const obs::TraceDerivedStats& d = report->derived[0];
+  EXPECT_EQ(d.refreshes, m->refreshes);
+  EXPECT_EQ(d.recomputations, m->recomputations);
+  EXPECT_EQ(d.dab_change_messages, m->dab_change_messages);
+  EXPECT_EQ(d.user_notifications, m->user_notifications);
+  EXPECT_EQ(d.solver_failures, m->solver_failures);
+  EXPECT_EQ(d.mean_fidelity_loss_pct, m->mean_fidelity_loss_pct);
+}
+
+TEST_F(SimProtocolTest, TraceReplayVerifiesDualDabRun) {
+  SimConfig c;
+  c.planner.method = core::AssignmentMethod::kDualDab;
+  c.planner.dual.mu = 5.0;
+  c.seed = 3;
+  RunAndCheckTrace(queries_, traces_, rates_, c);
+}
+
+TEST_F(SimProtocolTest, TraceReplayVerifiesWsDabRun) {
+  SimConfig c;
+  c.planner.method = core::AssignmentMethod::kWsDab;
+  c.planner.dual.mu = 5.0;
+  c.seed = 3;
+  RunAndCheckTrace(queries_, traces_, rates_, c);
+}
+
+TEST_F(SimProtocolTest, TraceReplayVerifiesAaoPeriodicRun) {
+  SimConfig c;
+  c.planner.method = core::AssignmentMethod::kDualDab;
+  c.planner.dual.mu = 5.0;
+  c.aao_period_s = 50.0;
+  c.seed = 3;
+  RunAndCheckTrace(queries_, traces_, rates_, c);
+}
+
+TEST_F(SimProtocolTest, TraceReplayCatchesTamperedTrace) {
+  SimConfig c;
+  c.planner.method = core::AssignmentMethod::kDualDab;
+  c.planner.dual.mu = 5.0;
+  c.seed = 3;
+  obs::TraceSink sink;
+  c.trace = &sink;
+  auto m = RunSimulation(queries_, traces_, rates_, c);
+  ASSERT_TRUE(m.ok());
+  obs::TraceFile trace = sink.Collect();
+  // Drop one refresh arrival: the causal chain and the replayed counter
+  // both break.
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    if (trace.events[i].kind == obs::TraceEventKind::kRefreshArrived) {
+      trace.events.erase(trace.events.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  auto report = obs::CheckTrace(trace);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+}
 
 TEST_F(SimProtocolTest, SurvivesSolverFailuresWithStalePlans) {
   // Failure injection: crippling the GP solver makes replans fail. The

@@ -1,0 +1,18 @@
+# Appends an orphan recompute_start (duplicate id, no causing violation)
+# to a valid trace and checks that polydab_tracecheck rejects the result
+# with a nonzero exit. Driven by ctest (tracecheck_rejects_corrupt).
+#
+# Expects: -DTRACE=<valid trace> -DTRACECHECK=<binary> -DOUT=<scratch path>
+
+file(READ ${TRACE} contents)
+file(WRITE ${OUT} "${contents}")
+file(APPEND ${OUT}
+  "{\"type\":\"event\",\"id\":1,\"t\":0,\"kind\":\"recompute_start\"}\n")
+
+execute_process(COMMAND ${TRACECHECK} ${OUT} --quiet
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(status EQUAL 0)
+  message(FATAL_ERROR "tracecheck accepted a corrupted trace:\n${out}${err}")
+endif()
+message(STATUS "tracecheck rejected corrupt trace (exit ${status})")

@@ -30,6 +30,10 @@
 //                    with solver/planner/simulator instruments — see
 //                    docs/OBSERVABILITY.md. GNU-style "--key=value"
 //                    spellings are accepted for every key.
+//   trace-out=FILE   stream a causal event trace (obs/trace.h) of the
+//                    whole run, with a trailing run summary for
+//                    self-validation; replay and verify it offline with
+//                    polydab_tracecheck.
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +42,7 @@
 #include <string>
 
 #include "obs/run_report.h"
+#include "obs/trace.h"
 #include "sim/simulation.h"
 #include "workload/query_gen.h"
 #include "workload/rate_estimator.h"
@@ -186,10 +191,34 @@ int main(int argc, char** argv) {
   obs::MetricRegistry registry;
   if (!metrics_out.empty()) config.registry = &registry;
 
+  // Causal event trace, streamed to disk as the run progresses
+  // (docs/OBSERVABILITY.md "Event tracing"); verify offline with
+  // polydab_tracecheck.
+  const std::string trace_out = Get(args, "trace_out", "");
+  obs::TraceSink sink;
+  if (!trace_out.empty()) {
+    Status streaming = sink.StreamTo(trace_out);
+    if (!streaming.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", streaming.ToString().c_str());
+      return 1;
+    }
+    sink.SetInfo("tool", "polydab_experiment");
+    sink.SetInfo("kind", kind);
+    config.trace = &sink;
+  }
+
   auto m = sim::RunSimulation(*queries, *traces, *rates, config);
   if (!m.ok()) {
     std::fprintf(stderr, "simulation: %s\n", m.status().ToString().c_str());
     return 1;
+  }
+
+  if (!trace_out.empty()) {
+    Status finished = sink.Finish();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", finished.ToString().c_str());
+      return 1;
+    }
   }
 
   if (!metrics_out.empty()) {
