@@ -1,0 +1,139 @@
+// Sharded-coordinator sweep: coord_shards x partition policy, under a
+// recomputation-heavy load where the coordinator queue actually matters.
+// Reports simulated fidelity/queueing (queue-wait and cross-lane dispatch
+// means from the obs instruments, barrier counts) plus harness wall-clock
+// per cell, and mirrors the table into BENCH_coord_shards.json so CI can
+// diff runs mechanically.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/simulation.h"
+
+namespace polydab::bench {
+namespace {
+
+struct Row {
+  const char* method;
+  const char* policy;
+  int shards;
+  int64_t refreshes;
+  int64_t recomputations;
+  int64_t barriers;
+  double loss_pct;
+  double queue_wait_mean_s;
+  double dispatch_wait_mean_s;
+  double wall_seconds;
+};
+
+void Run() {
+  const Universe u = MakeUniverse(workload::TraceKind::kGbmStock, 9001);
+  workload::QueryGenConfig qc;
+  Rng qrng(48);
+  const int nq = FullScale() ? 200 : 50;
+  auto queries = *workload::GeneratePortfolioQueries(nq, qc, u.initial,
+                                                     &qrng);
+
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  std::vector<Row> rows;
+  HarnessTimer timer;
+
+  for (core::AssignmentMethod method :
+       {core::AssignmentMethod::kDualDab,
+        core::AssignmentMethod::kOptimalRefresh}) {
+    for (sim::ShardPolicy policy :
+         {sim::ShardPolicy::kEqiComponents, sim::ShardPolicy::kQueryHash}) {
+      for (int shards : shard_counts) {
+        sim::SimConfig c;
+        c.planner.method = method;
+        c.planner.dual.mu = core::kDefaultMu;
+        // 20 ms per recomputation saturates the serial coordinator on
+        // this workload; the sweep shows how lanes drain the queue.
+        c.delays.recompute_cpu_s = 0.020;
+        c.coord_shards = shards;
+        c.shard_policy = policy;
+        c.seed = 99;
+        obs::MetricRegistry reg;
+        c.registry = &reg;
+        const std::string section = std::string("bench.run.") +
+                                    core::Name(method) + "." +
+                                    Name(policy) + "." +
+                                    std::to_string(shards);
+        sim::SimMetrics m;
+        {
+          auto t = timer.Section(section);
+          auto r = sim::RunSimulation(queries, u.traces, u.rates, c);
+          if (!r.ok()) {
+            std::fprintf(stderr, "%s: %s\n", section.c_str(),
+                         r.status().ToString().c_str());
+            continue;
+          }
+          m = *r;
+        }
+        const obs::Histogram* qw =
+            reg.GetHistogram("sim.coordinator.queue_wait_seconds");
+        const obs::Histogram* dw =
+            reg.GetHistogram("sim.coordinator.shard_dispatch_wait_seconds");
+        rows.push_back(Row{
+            core::Name(method), Name(policy), shards, m.refreshes,
+            m.recomputations,
+            reg.GetCounter("sim.coordinator.shard_barriers")->value(),
+            m.mean_fidelity_loss_pct,
+            qw->count() > 0 ? qw->mean() : 0.0,
+            dw->count() > 0 ? dw->mean() : 0.0,
+            timer.registry()->GetHistogram(section)->sum()});
+      }
+    }
+  }
+
+  Table t({"method", "policy", "shards", "refreshes", "recomps", "barriers",
+           "loss%", "queue_wait_ms", "dispatch_ms", "wall_s"});
+  for (const Row& r : rows) {
+    t.AddRow({r.method, r.policy, Fmt(static_cast<int64_t>(r.shards)),
+              Fmt(r.refreshes), Fmt(r.recomputations), Fmt(r.barriers),
+              Fmt(r.loss_pct, 3), Fmt(r.queue_wait_mean_s * 1000.0, 3),
+              Fmt(r.dispatch_wait_mean_s * 1000.0, 3),
+              Fmt(r.wall_seconds, 3)});
+  }
+  std::printf("=== Sharded coordinator sweep (%d PPQs, recompute 20 ms) "
+              "===\n",
+              nq);
+  t.Print();
+  timer.PrintSummary();
+
+  const char* path = "BENCH_coord_shards.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"method\": \"%s\", \"policy\": \"%s\", \"shards\": %d, "
+        "\"refreshes\": %lld, \"recomputations\": %lld, "
+        "\"shard_barriers\": %lld, \"mean_fidelity_loss_pct\": %.17g, "
+        "\"queue_wait_mean_s\": %.17g, \"dispatch_wait_mean_s\": %.17g, "
+        "\"wall_seconds\": %.6f}%s\n",
+        r.method, r.policy, r.shards, static_cast<long long>(r.refreshes),
+        static_cast<long long>(r.recomputations),
+        static_cast<long long>(r.barriers), r.loss_pct,
+        r.queue_wait_mean_s, r.dispatch_wait_mean_s, r.wall_seconds,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu rows)\n", path, rows.size());
+}
+
+}  // namespace
+}  // namespace polydab::bench
+
+int main() {
+  polydab::bench::Run();
+  return 0;
+}

@@ -4,15 +4,79 @@
 
 namespace polydab::core {
 
+namespace {
+
+/// splitmix64 finalizer. Query ids are typically small and dense;
+/// hashing them apart keeps the lane assignment balanced and independent
+/// of id numbering.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 QueryIndex::QueryIndex(const std::vector<PolynomialQuery>& queries,
                        size_t num_items)
     : item_queries_(num_items) {
+  query_ids_.reserve(queries.size());
+  for (const PolynomialQuery& q : queries) query_ids_.push_back(q.id);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     for (VarId v : queries[qi].p.Variables()) {
       POLYDAB_CHECK(static_cast<size_t>(v) < num_items);
       item_queries_[static_cast<size_t>(v)].push_back(static_cast<int>(qi));
     }
   }
+}
+
+std::vector<int> QueryIndex::ShardByQueryId(int num_shards) const {
+  POLYDAB_CHECK(num_shards >= 1);
+  std::vector<int> shard(query_ids_.size());
+  for (size_t qi = 0; qi < query_ids_.size(); ++qi) {
+    shard[qi] = static_cast<int>(Mix64(static_cast<uint64_t>(
+                    static_cast<int64_t>(query_ids_[qi]))) %
+                static_cast<uint64_t>(num_shards));
+  }
+  return shard;
+}
+
+std::vector<int> QueryIndex::ShardByComponent(int num_shards) const {
+  POLYDAB_CHECK(num_shards >= 1);
+  // Union-find over query indices; each item's fanout list is one clique.
+  std::vector<int> parent(query_ids_.size());
+  for (size_t qi = 0; qi < parent.size(); ++qi) parent[qi] = static_cast<int>(qi);
+  auto find = [&parent](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const auto& qs : item_queries_) {
+    for (size_t i = 1; i < qs.size(); ++i) {
+      const int a = find(qs[0]);
+      const int b = find(qs[i]);
+      if (a != b) parent[static_cast<size_t>(b)] = a;
+    }
+  }
+  // Hash each component by its smallest member's query id so the
+  // assignment is stable under query reordering.
+  std::vector<int32_t> min_id(query_ids_.size(), INT32_MAX);
+  for (size_t qi = 0; qi < query_ids_.size(); ++qi) {
+    const size_t root = static_cast<size_t>(find(static_cast<int>(qi)));
+    if (query_ids_[qi] < min_id[root]) min_id[root] = query_ids_[qi];
+  }
+  std::vector<int> shard(query_ids_.size());
+  for (size_t qi = 0; qi < query_ids_.size(); ++qi) {
+    const size_t root = static_cast<size_t>(find(static_cast<int>(qi)));
+    shard[qi] = static_cast<int>(Mix64(static_cast<uint64_t>(
+                    static_cast<int64_t>(min_id[root]))) %
+                static_cast<uint64_t>(num_shards));
+  }
+  return shard;
 }
 
 double QueryIndex::MeanFanout() const {

@@ -1,6 +1,7 @@
 #ifndef POLYDAB_CORE_QUERY_INDEX_H_
 #define POLYDAB_CORE_QUERY_INDEX_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -27,12 +28,29 @@ class QueryIndex {
   }
 
   size_t num_items() const { return item_queries_.size(); }
+  size_t num_queries() const { return query_ids_.size(); }
 
   /// Mean number of queries a single item update touches (load metric).
   double MeanFanout() const;
 
+  /// Partition the queries across \p num_shards coordinator lanes by a
+  /// mixed hash of the query id. Cheap and balanced, but two queries
+  /// sharing an item may land on different lanes, so per-item EQI merges
+  /// become cross-shard work. Returned vector is indexed like the
+  /// constructor's query vector; entries are in [0, num_shards).
+  std::vector<int> ShardByQueryId(int num_shards) const;
+
+  /// EQI-aware partition: queries connected through shared items (the
+  /// transitive closure of "references a common item") always land on the
+  /// same lane, so every per-item min-DAB merge is lane-local. Components
+  /// are hashed by their smallest query id; a workload that is one big
+  /// component degenerates to a single lane — by design, since such a
+  /// workload has no coordinator work that can proceed independently.
+  std::vector<int> ShardByComponent(int num_shards) const;
+
  private:
   std::vector<std::vector<int>> item_queries_;
+  std::vector<int32_t> query_ids_;  ///< PolynomialQuery::id by query index
 };
 
 /// \brief Maintains the value of every query under single-item updates.

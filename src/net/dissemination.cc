@@ -45,6 +45,9 @@ Result<DisseminationMetrics> RunDissemination(
     }
     if (mine.empty()) continue;
 
+    // Each coordinator runs its own (possibly sharded) lane set:
+    // sim.coord_shards and sim.shard_policy apply per coordinator, so a
+    // 4-coordinator / 2-shard overlay has 8 independent lanes in total.
     sim::SimConfig sc = config.sim;
     sc.seed = config.sim.seed * 1000003 + static_cast<uint64_t>(c);
     // Per-coordinator runs share one trace sink; tagging each run's
@@ -61,6 +64,7 @@ Result<DisseminationMetrics> RunDissemination(
     out.total.refreshes += m.refreshes;
     out.total.recomputations += m.recomputations;
     out.total.dab_change_messages += m.dab_change_messages;
+    out.total.user_notifications += m.user_notifications;
     out.total.solver_failures += m.solver_failures;
     out.total.mean_fidelity_loss_pct +=
         m.mean_fidelity_loss_pct * static_cast<double>(mine.size());

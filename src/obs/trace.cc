@@ -27,6 +27,7 @@ constexpr KindName kKindNames[] = {
     {TraceEventKind::kFidelityViolation, "fidelity_violation"},
     {TraceEventKind::kPlannerPlan, "planner_plan"},
     {TraceEventKind::kPlannerReplan, "planner_replan"},
+    {TraceEventKind::kShardBarrier, "shard_barrier"},
 };
 
 void AppendNumberField(std::string* out, const char* key, double v) {
@@ -62,6 +63,7 @@ void AppendEventLine(std::string* out, const TraceEvent& e) {
   if (e.item != -1) AppendIntField(out, "item", e.item);
   if (e.query != -1) AppendIntField(out, "query", e.query);
   if (e.part != -1) AppendIntField(out, "part", e.part);
+  if (e.shard != -1) AppendIntField(out, "shard", e.shard);
   if (e.cause != 0) {
     AppendIntField(out, "cause", static_cast<int64_t>(e.cause));
   }
@@ -76,6 +78,7 @@ void AppendQueryInfoLine(std::string* out, const TraceQueryInfo& q) {
   *out += "{\"type\":\"query_info\"";
   AppendIntField(out, "query", q.query);
   if (q.node != -1) AppendIntField(out, "node", q.node);
+  if (q.shard != -1) AppendIntField(out, "shard", q.shard);
   if (q.qab != 0.0) AppendNumberField(out, "qab", q.qab);
   std::string items;
   for (size_t i = 0; i < q.items.size(); ++i) {
@@ -160,6 +163,7 @@ Status ParseLineInto(const std::string& line, TraceFile* out) {
     POLYDAB_ASSIGN_OR_RETURN(double qid, f.Num("query"));
     q.query = static_cast<int32_t>(qid);
     q.node = static_cast<int32_t>(f.NumOr("node", -1.0));
+    q.shard = static_cast<int32_t>(f.NumOr("shard", -1.0));
     q.qab = f.NumOr("qab", 0.0);
     POLYDAB_ASSIGN_OR_RETURN(std::string items, f.Str("items"));
     const char* p = items.c_str();
@@ -191,6 +195,7 @@ Status ParseLineInto(const std::string& line, TraceFile* out) {
     e.item = static_cast<int32_t>(f.NumOr("item", -1.0));
     e.query = static_cast<int32_t>(f.NumOr("query", -1.0));
     e.part = static_cast<int32_t>(f.NumOr("part", -1.0));
+    e.shard = static_cast<int32_t>(f.NumOr("shard", -1.0));
     e.cause = static_cast<uint64_t>(f.NumOr("cause", 0.0));
     e.a = f.NumOr("a", 0.0);
     e.b = f.NumOr("b", 0.0);

@@ -55,6 +55,7 @@ enum class TraceEventKind : uint8_t {
   kFidelityViolation,   ///< per-tick sample found a query's QAB violated
   kPlannerPlan,         ///< planner built an initial plan (flag: outcome)
   kPlannerReplan,       ///< planner re-solved a part (flag: outcome)
+  kShardBarrier,        ///< coordinator lanes synchronized (sharded mode)
 };
 
 /// Serialization name, e.g. "refresh_arrived".
@@ -85,6 +86,18 @@ bool ParseTraceEventKind(const std::string& name, TraceEventKind* out);
 ///                         cause = the kRefreshArrived id.
 ///  * kFidelityViolation:  a = value at sources, b = value at the
 ///                         coordinator, c = the query's QAB.
+///  * kShardBarrier:       a = barrier time (the instant every involved
+///                         lane has drained the work queued before the
+///                         synchronization), b = number of lanes joined,
+///                         item = the EQI-merged item (-1: global / AAO
+///                         barrier), cause = the kRecomputeEnd /
+///                         kAaoSolve that required the merge.
+///
+/// Sharded-coordinator runs (sim/simulation.h, coord_shards > 1)
+/// additionally stamp `shard` — the coordinator lane an event was
+/// processed on — on arrivals, violations, recomputes, DAB-change sends
+/// and user notifications; serial runs leave it at -1 and emit byte-wise
+/// the same records as before the field existed.
 struct TraceEvent {
   uint64_t id = 0;      ///< assigned by the sink; strictly increasing from 1
   double time = 0.0;    ///< simulation seconds
@@ -94,6 +107,7 @@ struct TraceEvent {
   int32_t item = -1;    ///< data item
   int32_t query = -1;   ///< query id (PolynomialQuery::id, not index)
   int32_t part = -1;    ///< plan part index within the query
+  int32_t shard = -1;   ///< coordinator lane (-1: serial / not lane work)
   uint64_t cause = 0;   ///< id of the triggering event; 0 = none
   double a = 0.0;       ///< kind-specific payload (see above)
   double b = 0.0;
@@ -110,6 +124,7 @@ struct TraceEvent {
 struct TraceQueryInfo {
   int32_t query = -1;
   int32_t node = -1;
+  int32_t shard = -1;  ///< coordinator lane the query is pinned to (-1: serial)
   double qab = 0.0;
   std::vector<int32_t> items;
 

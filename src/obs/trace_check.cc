@@ -26,6 +26,19 @@ class Checker {
     for (const TraceQueryInfo& q : trace.queries) {
       query_info_[Key(q.node, q.query)] = &q;
     }
+    // Sharded-coordinator traces (coord_shards > 1) carry lane stamps;
+    // re-derive each item's home lane (the lane of the first query_info
+    // referencing it, matching the simulator's assignment) and the lane
+    // set touching it, so arrivals and cross-lane merges are checkable.
+    sharded_ = trace.info.find("coord_shards") != trace.info.end();
+    if (sharded_) {
+      for (const TraceQueryInfo& q : trace.queries) {
+        for (int32_t item : q.items) {
+          item_home_.emplace(Key(q.node, item), q.shard);  // first wins
+          item_lanes_[Key(q.node, item)].insert(q.shard);
+        }
+      }
+    }
     by_id_.reserve(trace.events.size());
     for (const TraceEvent& e : trace.events) by_id_.emplace(e.id, &e);
   }
@@ -141,6 +154,32 @@ class Checker {
       }
       it->second = e.time;
     }
+    // Each coordinator lane is itself a serial resource: its event stream
+    // must be time-monotonic on its own.
+    if (e.shard != -1) {
+      auto [sit, sfresh] =
+          last_time_shard_.emplace(Key(e.node, e.shard), e.time);
+      if (!sfresh) {
+        if (e.time < sit->second) {
+          FailEvent(e, "time goes backwards on lane " +
+                           std::to_string(e.shard) + " of node " +
+                           std::to_string(e.node));
+        }
+        sit->second = e.time;
+      }
+    }
+  }
+
+  /// Sharded traces: an event attributed to a query must carry the lane
+  /// that query is pinned to (query_info records the partition).
+  void CheckQueryLane(const TraceEvent& e) {
+    if (!sharded_) return;
+    auto it = query_info_.find(Key(e.node, e.query));
+    if (it != query_info_.end() && e.shard != it->second->shard) {
+      FailEvent(e, "lane " + std::to_string(e.shard) +
+                       " differs from query " + std::to_string(e.query) +
+                       "'s lane " + std::to_string(it->second->shard));
+    }
   }
 
   void CheckEvent(const TraceEvent& e) {
@@ -201,6 +240,16 @@ class Checker {
           }
         }
         if (e.b < 0.0) FailEvent(e, "negative queue wait");
+        if (sharded_) {
+          auto it = item_home_.find(Key(e.node, e.item));
+          if (it == item_home_.end()) {
+            FailEvent(e, "arrival for an item no query_info references");
+          } else if (e.shard != it->second) {
+            FailEvent(e, "arrival on lane " + std::to_string(e.shard) +
+                             " but item " + std::to_string(e.item) +
+                             "'s home lane is " + std::to_string(it->second));
+          }
+        }
         break;
       }
       case TraceEventKind::kSecondaryViolation: {
@@ -210,6 +259,7 @@ class Checker {
             (c->node != e.node || c->item != e.item || c->a != e.a)) {
           FailEvent(e, "violation does not match its arrival");
         }
+        CheckQueryLane(e);
         // The value must really lie outside the secondary range around
         // the anchor — the exact §III-A.2 test the coordinator ran.
         const double limit = e.c * (1.0 + TolFor(e.node));
@@ -241,6 +291,7 @@ class Checker {
           if (c->kind != TraceEventKind::kAaoSolve) ++starts_non_aao_;
         }
         if (e.query < 0) FailEvent(e, "recompute without a query id");
+        CheckQueryLane(e);
         ends_of_start_.emplace(e.id, 0);
         break;
       }
@@ -251,6 +302,11 @@ class Checker {
           if (c->query != e.query || c->part != e.part ||
               c->node != e.node) {
             FailEvent(e, "end does not match its start's query/part/node");
+          }
+          if (c->shard != e.shard) {
+            FailEvent(e, "end on lane " + std::to_string(e.shard) +
+                             " but its start ran on lane " +
+                             std::to_string(c->shard));
           }
           auto it = ends_of_start_.find(c->id);
           if (it != ends_of_start_.end() && ++it->second > 1) {
@@ -279,6 +335,28 @@ class Checker {
           }
         }
         if (e.item < 0) FailEvent(e, "DAB change without an item");
+        CheckQueryLane(e);
+        // A filter for an item whose queries span several lanes is the
+        // result of a cross-lane EQI merge: the merge must have gone
+        // through a shard barrier emitted after the change that triggered
+        // the send (per-item barrier, or the global AAO barrier).
+        if (sharded_) {
+          auto lanes = item_lanes_.find(Key(e.node, e.item));
+          if (lanes != item_lanes_.end() && lanes->second.size() > 1) {
+            uint64_t barrier = 0;
+            auto bit = latest_barrier_.find(Key(e.node, e.item));
+            if (bit != latest_barrier_.end()) barrier = bit->second;
+            bit = latest_barrier_.find(Key(e.node, -1));
+            if (bit != latest_barrier_.end()) {
+              barrier = std::max(barrier, bit->second);
+            }
+            if (barrier <= e.cause) {
+              FailEvent(e, "cross-lane DAB change for item " +
+                               std::to_string(e.item) +
+                               " without a shard barrier after its cause");
+            }
+          }
+        }
         break;
       }
       case TraceEventKind::kDabChangeInstalled: {
@@ -316,6 +394,7 @@ class Checker {
         if (c != nullptr && c->node != e.node) {
           FailEvent(e, "notification on a different node than its arrival");
         }
+        CheckQueryLane(e);
         auto it = query_info_.find(Key(e.node, e.query));
         if (it == query_info_.end()) {
           FailEvent(e, "notification for unknown query " +
@@ -355,6 +434,27 @@ class Checker {
         ++planner_events_;
         ++planner_replans_;
         break;
+      case TraceEventKind::kShardBarrier: {
+        if (!sharded_) {
+          FailEvent(e, "shard barrier in a trace without coord_shards info");
+        }
+        if (e.b < 2.0) {
+          FailEvent(e, "barrier joins " + std::to_string(e.b) +
+                           " lanes; a barrier needs at least 2");
+        }
+        if (e.a < e.time) {
+          FailEvent(e, "barrier time " + std::to_string(e.a) +
+                           " precedes the event time");
+        }
+        const TraceEvent* c = Cause(e);
+        if (c != nullptr && c->kind != TraceEventKind::kRecomputeEnd &&
+            c->kind != TraceEventKind::kAaoSolve) {
+          FailEvent(e, std::string("barrier caused by ") + Name(c->kind) +
+                           ", expected recompute_end or aao_solve");
+        }
+        latest_barrier_[Key(e.node, e.item)] = e.id;
+        break;
+      }
     }
   }
 
@@ -373,6 +473,11 @@ class Checker {
   std::map<int64_t, double> last_emitted_;     // push-chain edge -> value
   std::map<uint64_t, int> ends_of_start_;      // start id -> #ends
   std::map<int64_t, int64_t> fidelity_counts_; // (node,query) -> samples
+  bool sharded_ = false;
+  std::map<int64_t, int32_t> item_home_;          // (node,item) -> home lane
+  std::map<int64_t, std::set<int32_t>> item_lanes_;
+  std::map<int64_t, double> last_time_shard_;     // (node,lane) -> time
+  std::map<int64_t, uint64_t> latest_barrier_;    // (node,item) -> barrier id
   int64_t planner_events_ = 0;
   int64_t planner_replans_ = 0;
   int64_t starts_non_aao_ = 0;

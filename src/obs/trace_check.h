@@ -28,7 +28,16 @@
 ///  (c) attributes cost per query: refreshes on the query's items plus
 ///      mu * its recomputations, with recomputations traced through the
 ///      cause chain (recompute -> violation -> arrival -> item) to the
-///      root-cause items.
+///      root-cause items;
+///  (d) for sharded-coordinator traces (a `coord_shards` info key): each
+///      lane's event stream is time-monotonic on its own; every
+///      query-attributed event carries the lane its query is pinned to
+///      (from the query_info partition) and every arrival the item's home
+///      lane; a recompute ends on the lane it started; and a DAB change
+///      for an item whose queries span several lanes — a cross-lane EQI
+///      merge — only ships after a shard_barrier event later than the
+///      change that triggered it. Serial traces carry no lane stamps and
+///      skip these checks.
 ///
 /// The replay is exact, not approximate: the JSONL doubles round-trip
 /// bit-identically (json_util.h) and the checker recomputes the very same

@@ -53,9 +53,18 @@ struct State {
   std::vector<std::vector<Vector>> anchors;
   Vector min_primary;  // EQI merge target per item
 
+  // Coordinator lanes (sharded coordinator; one lane == the historical
+  // serial resource). Queries are pinned to lanes; an item's *home* lane
+  // is the lane of the first query referencing it (-1: unused item), and
+  // item_shards lists every lane with a query referencing the item, so
+  // cross-lane EQI merges know which lanes a barrier must join.
+  std::vector<int> query_shard;               // query index -> lane
+  std::vector<int> item_home_shard;           // item -> home lane
+  std::vector<std::vector<int>> item_shards;  // item -> sorted unique lanes
+  std::vector<double> shard_free_at;          // per-lane busy-until time
+
   // Bookkeeping.
   std::vector<double> violated_time;  // per query: fidelity loss
-  double coord_free_at = 0.0;         // coordinator busy-until time
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
 };
 
@@ -88,8 +97,10 @@ struct SimInstruments {
   obs::Counter* cause_secondary_escape = nullptr;
   obs::Counter* cause_single_dab_staleness = nullptr;
   obs::Counter* cause_aao_periodic = nullptr;
+  obs::Counter* shard_barriers = nullptr;
   obs::Histogram* message_delay = nullptr;
   obs::Histogram* queue_wait = nullptr;
+  obs::Histogram* shard_dispatch_wait = nullptr;
   obs::Histogram* tick_refreshes = nullptr;
   obs::Histogram* tick_recomputations = nullptr;
 
@@ -107,8 +118,11 @@ struct SimInstruments {
     cause_single_dab_staleness =
         reg->GetCounter("sim.recompute_cause.single_dab_staleness");
     cause_aao_periodic = reg->GetCounter("sim.recompute_cause.aao_periodic");
+    shard_barriers = reg->GetCounter("sim.coordinator.shard_barriers");
     message_delay = reg->GetHistogram("sim.net.message_delay_seconds");
     queue_wait = reg->GetHistogram("sim.coordinator.queue_wait_seconds");
+    shard_dispatch_wait =
+        reg->GetHistogram("sim.coordinator.shard_dispatch_wait_seconds");
     tick_refreshes = reg->GetHistogram("sim.tick.refreshes");
     tick_recomputations = reg->GetHistogram("sim.tick.recomputations");
   }
@@ -116,15 +130,27 @@ struct SimInstruments {
 
 }  // namespace
 
+const char* Name(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::kEqiComponents:
+      return "eqi_components";
+    case ShardPolicy::kQueryHash:
+      return "query_hash";
+  }
+  return "?";
+}
+
 std::string SimConfig::Describe() const {
-  char buf[352];
+  char buf[416];
   std::snprintf(
       buf, sizeof(buf),
-      "%s sources=%d seed=%llu aao_period_s=%g fidelity_stride=%d "
+      "%s sources=%d seed=%llu coord_shards=%d shard_policy=%s "
+      "aao_period_s=%g fidelity_stride=%d "
       "violation_tol=%g paranoid_validation=%s zero_delay=%s "
       "node_node_mean=%g check_mean=%g push_mean=%g recompute_cpu_s=%g",
       planner.Describe().c_str(), num_sources,
-      static_cast<unsigned long long>(seed), aao_period_s, fidelity_stride,
+      static_cast<unsigned long long>(seed), coord_shards, Name(shard_policy),
+      aao_period_s, fidelity_stride,
       violation_tol, paranoid_validation ? "true" : "false",
       delays.zero_delay ? "true" : "false", delays.node_node_mean,
       delays.check_mean, delays.push_mean, delays.recompute_cpu_s);
@@ -149,6 +175,11 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
   if (rates.size() < n_items) {
     return Status::InvalidArgument("rates vector smaller than item count");
   }
+  if (config.coord_shards < 1) {
+    return Status::InvalidArgument("coord_shards must be >= 1");
+  }
+  const int num_shards = config.coord_shards;
+  const bool sharded = num_shards > 1;
   const bool aao_mode = config.aao_period_s > 0.0;
   if (aao_mode) {
     for (const PolynomialQuery& q : queries) {
@@ -205,6 +236,35 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     }
   }
 
+  // Lane partition. With a single lane every query lands on lane 0 and
+  // the event loop below reduces to the historical serial coordinator
+  // (bit-identically: same iteration order, same RNG draw order, same
+  // floating-point accumulation sequence).
+  {
+    core::QueryIndex qindex(queries, n_items);
+    st.query_shard = config.shard_policy == ShardPolicy::kQueryHash
+                         ? qindex.ShardByQueryId(num_shards)
+                         : qindex.ShardByComponent(num_shards);
+  }
+  st.item_home_shard.assign(n_items, -1);
+  st.item_shards.resize(n_items);
+  for (size_t i = 0; i < n_items; ++i) {
+    const auto& qs = st.item_queries[i];
+    if (qs.empty()) continue;
+    st.item_home_shard[i] = st.query_shard[static_cast<size_t>(qs[0])];
+    auto& lanes = st.item_shards[i];
+    for (int qi : qs) {
+      lanes.push_back(st.query_shard[static_cast<size_t>(qi)]);
+    }
+    std::sort(lanes.begin(), lanes.end());
+    lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+  }
+  st.shard_free_at.assign(static_cast<size_t>(num_shards), 0.0);
+  if (trace != nullptr && sharded) {
+    trace->SetInfo("coord_shards", std::to_string(num_shards));
+    trace->SetInfo("shard_policy", Name(config.shard_policy));
+  }
+
   st.source_value = traces.Snapshot(0);
   st.last_pushed = st.source_value;
   st.view = st.source_value;
@@ -258,6 +318,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
       obs::TraceQueryInfo info;
       info.query = queries[qi].id;
       info.node = tnode;
+      if (sharded) info.shard = st.query_shard[qi];
       info.qab = queries[qi].qab;
       for (VarId v : queries[qi].p.Variables()) {
         info.items.push_back(static_cast<int32_t>(v));
@@ -278,12 +339,25 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     }
   }
 
+  // Per-service scratch for the lane clocks: busy time accrued on each
+  // lane while servicing one refresh, the pre-service lane clocks (the
+  // shard-barrier time payload — the instant every involved lane has
+  // drained its earlier work), and which lanes a barrier joined.
+  std::vector<double> lane_busy(static_cast<size_t>(num_shards), 0.0);
+  std::vector<double> pre_free(static_cast<size_t>(num_shards), 0.0);
+  std::vector<uint8_t> barrier_lane(static_cast<size_t>(num_shards), 0);
+  bool barrier_any = false;
+
   // After part (qi, pi) was replanned at time `now`, refresh the EQI merge
   // over its items and ship changed filters to the sources. `cause_id`
   // links each sent filter to the recompute_end / aao_solve trace event
-  // that produced it (0 when tracing is off).
+  // that produced it (0 when tracing is off). When a merged item's queries
+  // span several lanes, the merge reads plans owned by other lanes, so a
+  // shard barrier joins them first; the AAO path passes
+  // `emit_item_barriers` = false because it already synchronized every
+  // lane through one global barrier.
   auto ship_dab_changes = [&](size_t qi, size_t pi, double now,
-                              uint64_t cause_id) {
+                              uint64_t cause_id, bool emit_item_barriers) {
     for (VarId v : st.plans[qi].parts[pi].dabs.vars) {
       const size_t item = static_cast<size_t>(v);
       const double fresh = ItemMinPrimary(st, static_cast<int>(item));
@@ -291,6 +365,26 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
           1e-9 * std::max(1.0, st.min_primary[item])) {
         const double old_width = st.min_primary[item];
         st.min_primary[item] = fresh;
+        if (emit_item_barriers && sharded && st.item_shards[item].size() > 1) {
+          double bt = now;
+          for (int s : st.item_shards[item]) {
+            bt = std::max(bt, pre_free[static_cast<size_t>(s)]);
+            barrier_lane[static_cast<size_t>(s)] = 1;
+          }
+          barrier_any = true;
+          if (ins.shard_barriers != nullptr) ins.shard_barriers->Inc();
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.time = now;
+            e.kind = obs::TraceEventKind::kShardBarrier;
+            e.node = tnode;
+            e.item = static_cast<int32_t>(item);
+            e.cause = cause_id;
+            e.a = bt;
+            e.b = static_cast<double>(st.item_shards[item].size());
+            trace->Emit(e);
+          }
+        }
         ++metrics.dab_change_messages;
         if (ins.dab_change_messages != nullptr) ins.dab_change_messages->Inc();
         const double delay = delays.Check() + delays.Network();
@@ -304,6 +398,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
           e.item = static_cast<int32_t>(item);
           e.query = queries[qi].id;
           e.part = static_cast<int32_t>(pi);
+          if (sharded) e.shard = st.query_shard[qi];
           e.cause = cause_id;
           e.a = fresh;
           e.b = old_width;
@@ -363,21 +458,26 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         }
         continue;
       }
-      // The coordinator is a serial resource: a refresh that arrives while
-      // it is still busy (checking earlier refreshes, recomputing DABs)
-      // waits in its queue. This queueing is what turns recomputation
-      // volume into fidelity loss (§V-B.1).
-      if (ev.time < st.coord_free_at) {
-        if (ins.queue_wait != nullptr) {
-          ins.queue_wait->Record(st.coord_free_at - ev.time);
-        }
+      // Each coordinator lane is a serial resource: a refresh that arrives
+      // while its item's home lane is still busy (checking earlier
+      // refreshes, recomputing DABs) waits in that lane's queue. This
+      // queueing is what turns recomputation volume into fidelity loss
+      // (§V-B.1); with one lane, every refresh waits for everything.
+      const int home = st.item_home_shard[static_cast<size_t>(ev.item)];
+      const size_t home_lane = static_cast<size_t>(home < 0 ? 0 : home);
+      if (ev.time < st.shard_free_at[home_lane]) {
         Event deferred = ev;
-        deferred.time = st.coord_free_at;
-        deferred.wait += st.coord_free_at - ev.time;
+        deferred.time = st.shard_free_at[home_lane];
+        deferred.wait += st.shard_free_at[home_lane] - ev.time;
         st.events.push(deferred);
         continue;
       }
-      // Refresh processing begins.
+      // Refresh processing begins. The full queue wait — summed across
+      // every deferral this refresh went through — is recorded exactly
+      // once, now that it is known.
+      if (ins.queue_wait != nullptr && ev.wait > 0.0) {
+        ins.queue_wait->Record(ev.wait);
+      }
       ++metrics.refreshes;
       if (ins.refreshes != nullptr) ins.refreshes->Inc();
       uint64_t arrival_id = 0;
@@ -389,15 +489,22 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         e.node = tnode;
         e.source = ev.item % num_sources;
         e.item = ev.item;
+        if (sharded) e.shard = static_cast<int32_t>(home_lane);
         e.cause = ev.trace_id;
         e.a = ev.value;
         e.b = ev.wait;
         arrival_id = trace->Emit(e);
       }
-      double busy = delays.Check();
+      std::fill(lane_busy.begin(), lane_busy.end(), 0.0);
+      pre_free = st.shard_free_at;
+      std::fill(barrier_lane.begin(), barrier_lane.end(), 0);
+      barrier_any = false;
+      lane_busy[home_lane] = delays.Check();
       st.view[static_cast<size_t>(ev.item)] = ev.value;
       view_eval.Update(static_cast<VarId>(ev.item), ev.value);
       for (int qi : st.item_queries[static_cast<size_t>(ev.item)]) {
+        const size_t lane = static_cast<size_t>(st.query_shard[
+            static_cast<size_t>(qi)]);
         // Push the fresh result to the user when it drifted past the QAB
         // since the last notification.
         const double qv = view_eval.QueryValue(static_cast<size_t>(qi));
@@ -414,12 +521,13 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
             e.node = tnode;
             e.item = ev.item;
             e.query = queries[static_cast<size_t>(qi)].id;
+            if (sharded) e.shard = static_cast<int32_t>(lane);
             e.cause = arrival_id;
             e.a = qv;
             e.b = prev_user;
             trace->Emit(e);
           }
-          busy += delays.Push();
+          lane_busy[lane] += delays.Push();
         }
         core::QueryPlan& plan = st.plans[static_cast<size_t>(qi)];
         for (size_t pi = 0; pi < plan.parts.size(); ++pi) {
@@ -447,6 +555,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
               e.item = ev.item;
               e.query = queries[static_cast<size_t>(qi)].id;
               e.part = static_cast<int32_t>(pi);
+              if (sharded) e.shard = static_cast<int32_t>(lane);
               e.cause = arrival_id;
               e.a = ev.value;
               e.b = anchor;
@@ -473,10 +582,11 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
             e.item = ev.item;
             e.query = queries[static_cast<size_t>(qi)].id;
             e.part = static_cast<int32_t>(pi);
+            if (sharded) e.shard = static_cast<int32_t>(lane);
             e.cause = recompute_cause;
             start_id = trace->Emit(e);
           }
-          busy += delays.RecomputeCpu();
+          lane_busy[lane] += delays.RecomputeCpu();
           auto fresh = core::ReplanPart(part, st.view, rates, planner_cfg);
           uint64_t end_id = 0;
           if (trace != nullptr) {
@@ -487,6 +597,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
             e.item = ev.item;
             e.query = queries[static_cast<size_t>(qi)].id;
             e.part = static_cast<int32_t>(pi);
+            if (sharded) e.shard = static_cast<int32_t>(lane);
             e.cause = start_id;
             e.flag = fresh.ok() ? 1 : 0;
             end_id = trace->Emit(e);
@@ -504,10 +615,35 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
             POLYDAB_CHECK(valid.ok());
           }
           anchor_part(static_cast<size_t>(qi), pi);
-          ship_dab_changes(static_cast<size_t>(qi), pi, ev.time, end_id);
+          ship_dab_changes(static_cast<size_t>(qi), pi, ev.time, end_id,
+                           /*emit_item_barriers=*/true);
         }
       }
-      st.coord_free_at = ev.time + busy;
+      // End of service: the home lane ran from the arrival; a lane that
+      // got work dispatched from here starts once it drains its own
+      // earlier work. Lanes a barrier joined then advance together.
+      st.shard_free_at[home_lane] = ev.time + lane_busy[home_lane];
+      if (sharded) {
+        for (size_t s = 0; s < st.shard_free_at.size(); ++s) {
+          if (s == home_lane || lane_busy[s] == 0.0) continue;
+          const double start = std::max(ev.time, pre_free[s]);
+          if (ins.shard_dispatch_wait != nullptr && start > ev.time) {
+            ins.shard_dispatch_wait->Record(start - ev.time);
+          }
+          st.shard_free_at[s] = start + lane_busy[s];
+        }
+        if (barrier_any) {
+          double joined = 0.0;
+          for (size_t s = 0; s < st.shard_free_at.size(); ++s) {
+            if (barrier_lane[s] != 0) {
+              joined = std::max(joined, st.shard_free_at[s]);
+            }
+          }
+          for (size_t s = 0; s < st.shard_free_at.size(); ++s) {
+            if (barrier_lane[s] != 0) st.shard_free_at[s] = joined;
+          }
+        }
+      }
     }
   };
 
@@ -544,6 +680,24 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
       } else {
         last_aao = *joint;
         have_aao = true;
+        if (sharded) {
+          // The joint solve reads and replaces every query's plan: one
+          // global barrier joins every lane before any filter ships.
+          double joined = now;
+          for (double f : st.shard_free_at) joined = std::max(joined, f);
+          if (ins.shard_barriers != nullptr) ins.shard_barriers->Inc();
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.time = now;
+            e.kind = obs::TraceEventKind::kShardBarrier;
+            e.node = tnode;
+            e.cause = aao_id;
+            e.a = joined;
+            e.b = static_cast<double>(st.shard_free_at.size());
+            trace->Emit(e);
+          }
+          st.shard_free_at.assign(st.shard_free_at.size(), joined);
+        }
         for (size_t qi = 0; qi < queries.size(); ++qi) {
           ++metrics.recomputations;  // each query's DABs were recomputed
           if (ins.recomputations != nullptr) {
@@ -557,6 +711,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
             e.node = tnode;
             e.query = queries[qi].id;
             e.part = 0;
+            if (sharded) e.shard = st.query_shard[qi];
             e.cause = aao_id;
             const uint64_t start_id = trace->Emit(e);
             e.kind = obs::TraceEventKind::kRecomputeEnd;
@@ -570,7 +725,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
           anchor_part(qi, 0);
         }
         for (size_t qi = 0; qi < queries.size(); ++qi) {
-          ship_dab_changes(qi, 0, now, aao_id);
+          ship_dab_changes(qi, 0, now, aao_id, /*emit_item_barriers=*/false);
         }
       }
     }
@@ -657,6 +812,8 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         ->Set(static_cast<double>(n_items));
     config.registry->GetGauge("sim.run.ticks")
         ->Set(static_cast<double>(total_ticks));
+    config.registry->GetGauge("sim.run.coord_shards")
+        ->Set(static_cast<double>(num_shards));
     config.registry->GetGauge("sim.fidelity.mean_loss_pct")
         ->Set(metrics.mean_fidelity_loss_pct);
   }

@@ -37,6 +37,24 @@
 
 namespace polydab::sim {
 
+/// How queries are partitioned across coordinator lanes when
+/// SimConfig::coord_shards > 1.
+enum class ShardPolicy : uint8_t {
+  /// EQI-aware (default): queries connected through shared items land on
+  /// the same lane (core::QueryIndex::ShardByComponent), so every
+  /// per-item min-DAB merge is lane-local and the only cross-shard
+  /// synchronization left is the periodic AAO joint solve.
+  kEqiComponents,
+  /// Mixed hash of the query id (core::QueryIndex::ShardByQueryId):
+  /// balanced regardless of item-sharing structure, but queries sharing
+  /// an item may land on different lanes, so their EQI merges go through
+  /// explicit shard-barrier synchronization (traced as kShardBarrier).
+  kQueryHash,
+};
+
+/// Serialization name, e.g. "eqi_components".
+const char* Name(ShardPolicy policy);
+
 struct SimConfig {
   core::PlannerConfig planner;
   DelayConfig delays;
@@ -48,6 +66,16 @@ struct SimConfig {
   /// repaired with individual Dual-DAB solves. Each query refreshed by a
   /// joint solve counts as one recomputation.
   double aao_period_s = 0.0;
+  /// Coordinator lanes. 1 (the default) is the serial coordinator of
+  /// §V-B.1 — one busy-until clock, every recomputation blocks every
+  /// refresh — and is bit-identical to the historical implementation
+  /// (enforced by tests/coord_shard_diff_test.cc). With N > 1 the queries
+  /// are partitioned across N lanes per `shard_policy`; each lane has its
+  /// own busy-until clock and queue, a refresh waits only for its item's
+  /// home lane, and cross-lane work synchronizes through shard barriers
+  /// (see DESIGN.md, "Sharded coordinator").
+  int coord_shards = 1;
+  ShardPolicy shard_policy = ShardPolicy::kEqiComponents;
   /// Evaluate fidelity every N ticks (1 = every second).
   int fidelity_stride = 1;
   /// Relative slack when testing secondary-range violations, guarding

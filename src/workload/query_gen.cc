@@ -1,6 +1,8 @@
 #include "workload/query_gen.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 namespace polydab::workload {
 
@@ -100,6 +102,72 @@ Result<std::vector<PolynomialQuery>> GenerateArbitrageQueries(
     }
     q.qab = config.qab_fraction_pq *
             (p1.Evaluate(initial) + p2.Evaluate(initial));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<std::vector<PolynomialQuery>> GenerateMixedSignQueries(
+    int count, const QueryGenConfig& config, const Vector& initial,
+    Rng* rng) {
+  POLYDAB_RETURN_NOT_OK(ValidateConfig(config, initial));
+  std::vector<PolynomialQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int nterms = std::max(
+        2, static_cast<int>(
+               rng->UniformInt(config.min_pairs, config.max_pairs)));
+    std::vector<Monomial> terms;
+    terms.reserve(static_cast<size_t>(nterms));
+    double scale = 0.0;  // Σ |w · m(initial)|, the QAB anchor
+    for (int k = 0; k < nterms; ++k) {
+      double w = rng->Uniform(config.weight_lo, config.weight_hi);
+      // First two terms get opposite signs so the polynomial is always
+      // genuinely mixed-sign; the rest flip a fair coin.
+      const bool negative = k == 0   ? false
+                            : k == 1 ? true
+                                     : rng->Bernoulli(0.5);
+      if (negative) w = -w;
+      const VarId a = DrawItem(config, 0, config.num_items, rng);
+      VarId b = DrawItem(config, 0, config.num_items, rng);
+      for (int tries = 0; tries < 8 && b == a; ++tries) {
+        b = DrawItem(config, 0, config.num_items, rng);
+      }
+      std::vector<std::pair<VarId, int>> vars;
+      double mval = 1.0;
+      switch (rng->UniformInt(0, 3)) {
+        case 0:  // linear
+          vars = {{a, 1}};
+          mval = initial[static_cast<size_t>(a)];
+          break;
+        case 1:  // square
+          vars = {{a, 2}};
+          mval = initial[static_cast<size_t>(a)] *
+                 initial[static_cast<size_t>(a)];
+          break;
+        case 2:  // x² · y
+          vars = {{a, 2}, {b, 1}};
+          mval = initial[static_cast<size_t>(a)] *
+                 initial[static_cast<size_t>(a)] *
+                 initial[static_cast<size_t>(b)];
+          break;
+        default:  // bilinear, the paper's staple
+          vars = {{a, 1}, {b, 1}};
+          mval = initial[static_cast<size_t>(a)] *
+                 initial[static_cast<size_t>(b)];
+          break;
+      }
+      scale += std::abs(w) * std::abs(mval);
+      terms.emplace_back(w, std::move(vars));
+    }
+    PolynomialQuery q;
+    q.id = i;
+    q.p = Polynomial(std::move(terms));
+    if (q.p.IsZero() || scale <= 0.0) {
+      --i;  // like-term cancellation to exactly zero: regenerate
+      continue;
+    }
+    q.qab = config.qab_fraction_pq * scale;
     out.push_back(std::move(q));
   }
   return out;

@@ -47,6 +47,18 @@ Result<std::vector<PolynomialQuery>> GenerateArbitrageQueries(
     int count, const QueryGenConfig& config, const Vector& initial,
     bool dependent, Rng* rng);
 
+/// \brief Randomized mixed-sign general PQs for property testing the
+/// planning pipeline beyond the paper's two shapes. Each query draws
+/// min_pairs..max_pairs terms of varied shape — linear, bilinear, square
+/// x², and x²·y — with weights of random sign; the first two terms are
+/// forced to opposite signs so every query genuinely exercises the
+/// general-PQ (sign-split) path. The QAB is qab_fraction_pq times the sum
+/// of |term| values at \p initial, so it stays positive and meaningful
+/// even when cancellation puts the query value near zero.
+Result<std::vector<PolynomialQuery>> GenerateMixedSignQueries(
+    int count, const QueryGenConfig& config, const Vector& initial,
+    Rng* rng);
+
 }  // namespace polydab::workload
 
 #endif  // POLYDAB_WORKLOAD_QUERY_GEN_H_

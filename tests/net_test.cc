@@ -186,6 +186,32 @@ TEST_F(NetTest, DisseminationTraceHasOneSummaryPerCoordinator) {
   }
 }
 
+TEST_F(NetTest, ShardedDisseminationTraceReplayVerifies) {
+  // Each coordinator runs its own sharded lane set; the shared trace then
+  // interleaves several nodes' lane streams, and the verifier's per-lane
+  // and cross-shard checks must hold per node.
+  DisseminationConfig dc;
+  dc.num_coordinators = 3;
+  dc.sim.planner.method = core::AssignmentMethod::kDualDab;
+  dc.sim.planner.dual.mu = 5.0;
+  dc.sim.coord_shards = 2;
+  dc.sim.shard_policy = sim::ShardPolicy::kQueryHash;
+  obs::TraceSink sink;
+  dc.sim.trace = &sink;
+  auto m = RunDissemination(queries_, traces_, rates_, dc);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  const obs::TraceFile trace = sink.Collect();
+  auto report = obs::CheckTrace(trace);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText(trace);
+  int64_t notifications = 0;
+  for (const auto& pc : m->per_coordinator) {
+    notifications += pc.user_notifications;
+  }
+  EXPECT_EQ(m->total.user_notifications, notifications);
+  EXPECT_GT(notifications, 0);
+}
+
 TEST_F(NetTest, RelayAgreesWithApproximationOnOrdering) {
   // The fast depth-delay approximation (dissemination.h) and the faithful
   // relay must agree on the scheme ordering it is used to measure.

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/planner.h"
+#include "core/validator.h"
 #include "workload/query_gen.h"
 #include "workload/rate_estimator.h"
 #include "workload/trace.h"
@@ -339,6 +341,88 @@ TEST(TraceTest, JumpsProduceHeavyTails) {
   // ~1% of 50k ticks jump with magnitude >= 1.5%, far beyond 5 sigma of
   // the diffusive component.
   EXPECT_GT(big_moves, 200);
+}
+
+TEST(MixedSignGenTest, EveryQueryIsGenuinelyMixedSign) {
+  Rng rng(77);
+  QueryGenConfig qc;
+  qc.num_items = 30;
+  qc.min_pairs = 2;
+  qc.max_pairs = 5;
+  Vector initial(30, 100.0);
+  auto qs = GenerateMixedSignQueries(50, qc, initial, &rng);
+  ASSERT_TRUE(qs.ok());
+  ASSERT_EQ(qs->size(), 50u);
+  for (const PolynomialQuery& q : *qs) {
+    EXPECT_GT(q.qab, 0.0);
+    EXPECT_FALSE(q.p.IsZero());
+    // "Mixed sign" must survive canonicalization: at least one positive
+    // and one negative coefficient after like-term merging.
+    bool pos = false, neg = false;
+    for (const Monomial& m : q.p.terms()) {
+      pos |= m.coef() > 0.0;
+      neg |= m.coef() < 0.0;
+    }
+    EXPECT_TRUE(pos && neg) << "query " << q.id;
+    EXPECT_FALSE(q.p.IsPositiveCoefficient());
+    EXPECT_LE(q.p.Degree(), 3);
+    for (VarId v : q.p.Variables()) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(static_cast<int>(v), qc.num_items);
+    }
+  }
+}
+
+TEST(MixedSignGenTest, TwoHundredRandomPlansValidate) {
+  // Property sweep: every successfully planned mixed-sign query must pass
+  // the independent Condition-1 validator (the same check the simulator
+  // runs under paranoid_validation). This is the pipeline's fuzz oracle
+  // for shapes beyond the paper's portfolio/arbitrage templates.
+  Rng rng(78);
+  QueryGenConfig qc;
+  qc.num_items = 20;
+  qc.min_pairs = 2;
+  qc.max_pairs = 4;
+  Vector initial(20);
+  Vector rates(20);
+  for (size_t i = 0; i < initial.size(); ++i) {
+    initial[i] = rng.Uniform(20.0, 200.0);
+    rates[i] = rng.Uniform(1e-4, 5e-2);
+  }
+  const core::AssignmentMethod methods[] = {
+      core::AssignmentMethod::kDualDab,
+      core::AssignmentMethod::kOptimalRefresh,
+      core::AssignmentMethod::kWsDab,
+  };
+  const core::GeneralPqHeuristic heuristics[] = {
+      core::GeneralPqHeuristic::kDifferentSum,
+      core::GeneralPqHeuristic::kHalfAndHalf,
+  };
+  int planned = 0, attempted = 0;
+  for (const auto method : methods) {
+    for (const auto heuristic : heuristics) {
+      auto qs = GenerateMixedSignQueries(34, qc, initial, &rng);
+      ASSERT_TRUE(qs.ok());
+      core::PlannerConfig config;
+      config.method = method;
+      config.heuristic = heuristic;
+      for (const PolynomialQuery& q : *qs) {
+        ++attempted;
+        auto plan = core::PlanQueryParts(q, initial, rates, config);
+        if (!plan.ok()) continue;  // solver failure on a nasty draw is ok
+        ++planned;
+        Status valid = core::ValidatePlan(*plan, initial);
+        EXPECT_TRUE(valid.ok())
+            << "method=" << core::Name(method)
+            << " heuristic=" << core::Name(heuristic) << " query=" << q.id
+            << ": " << valid.ToString();
+      }
+    }
+  }
+  EXPECT_EQ(attempted, 204);
+  // The sweep only means something if the planner handles the bulk of the
+  // draws; solver failures must be the exception.
+  EXPECT_GE(planned, attempted * 3 / 4) << planned << "/" << attempted;
 }
 
 }  // namespace

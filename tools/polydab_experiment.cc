@@ -24,6 +24,9 @@
 //   delay_ms=X       mean node-node delay (110)
 //   recompute_ms=X   coordinator CPU per recomputation (2)
 //   aao_period=X     seconds between joint AAO solves; 0 = EQI (0)
+//   coord-shards=N   coordinator lanes; 1 = the serial coordinator (1)
+//   shard-policy=eqi|hash   query partition: EQI component grouping or
+//                    plain query-id hashing (eqi)
 //   seed=N           RNG seed (1)
 //   csv=0|1          print a CSV row instead of key=value (0)
 //   metrics-out=FILE write a JSON-lines telemetry run report (src/obs/)
@@ -183,6 +186,16 @@ int main(int argc, char** argv) {
   config.delays.recompute_cpu_s =
       GetDouble(args, "recompute_ms", 2.0) / 1000.0;
   config.aao_period_s = GetDouble(args, "aao_period", 0.0);
+  config.coord_shards = GetInt(args, "coord_shards", 1);
+  const std::string shard_policy = Get(args, "shard_policy", "eqi");
+  if (shard_policy == "eqi") {
+    config.shard_policy = sim::ShardPolicy::kEqiComponents;
+  } else if (shard_policy == "hash") {
+    config.shard_policy = sim::ShardPolicy::kQueryHash;
+  } else {
+    std::fprintf(stderr, "unknown shard-policy '%s'\n", shard_policy.c_str());
+    return 1;
+  }
   config.seed = seed;
 
   // Telemetry: attach a registry when a report was requested, so the run
