@@ -275,13 +275,30 @@ std::string TraceToJsonLines(const TraceFile& trace) {
 Result<TraceFile> ParseTraceJsonLines(const std::string& text) {
   TraceFile trace;
   size_t start = 0;
+  int64_t line_number = 0;
   while (start < text.size()) {
     size_t end = text.find('\n', start);
-    if (end == std::string::npos) end = text.size();
+    const bool terminated = end != std::string::npos;
+    if (!terminated) end = text.size();
     const std::string line = text.substr(start, end - start);
     start = end + 1;
+    ++line_number;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    POLYDAB_RETURN_NOT_OK(ParseLineInto(line, &trace));
+    if (!terminated) {
+      // Every writer (TraceToJsonLines, the streaming sink) terminates
+      // each record with '\n', so a non-empty unterminated final line can
+      // only be a partial write — truncation at EOF. Reject it even if
+      // the fragment happens to parse as a complete record.
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": truncated record at end of file (no trailing newline; "
+          "partial write?)");
+    }
+    Status parsed = ParseLineInto(line, &trace);
+    if (!parsed.ok()) {
+      return Status(parsed.code(), "line " + std::to_string(line_number) +
+                                       ": " + parsed.message());
+    }
   }
   return trace;
 }

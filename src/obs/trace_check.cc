@@ -496,19 +496,7 @@ TraceDerivedStats Derive(const TraceFile& trace, const TraceRunSummary& s,
   TraceDerivedStats d;
   for (const TraceEvent& e : trace.events) {
     if (!InScope(s, e)) continue;
-    switch (e.kind) {
-      case TraceEventKind::kRefreshArrived: ++d.refreshes; break;
-      case TraceEventKind::kRecomputeStart: ++d.recomputations; break;
-      case TraceEventKind::kDabChangeSent: ++d.dab_change_messages; break;
-      case TraceEventKind::kUserNotification: ++d.user_notifications; break;
-      case TraceEventKind::kRecomputeEnd:
-        if (e.flag == 0) ++d.solver_failures;
-        break;
-      case TraceEventKind::kAaoSolve:
-        if (e.flag == 0) ++d.solver_failures;
-        break;
-      default: break;
-    }
+    AccumulateDerivedStats(e, &d);
   }
   if (s.ticks >= 2 && s.queries > 0) {
     double loss_sum = 0.0;
@@ -570,26 +558,7 @@ void DiffRunReport(const TraceFile& trace,
       origin_it != trace.info.end() && origin_it->second == "relay";
   const char* prefix = relay ? "net.relay." : "sim.coordinator.";
 
-  TraceDerivedStats total;
-  for (const TraceEvent& e : trace.events) {
-    switch (e.kind) {
-      case TraceEventKind::kRefreshArrived: ++total.refreshes; break;
-      case TraceEventKind::kRecomputeStart: ++total.recomputations; break;
-      case TraceEventKind::kDabChangeSent:
-        ++total.dab_change_messages;
-        break;
-      case TraceEventKind::kUserNotification:
-        ++total.user_notifications;
-        break;
-      case TraceEventKind::kRecomputeEnd:
-        if (e.flag == 0) ++total.solver_failures;
-        break;
-      case TraceEventKind::kAaoSolve:
-        if (e.flag == 0) ++total.solver_failures;
-        break;
-      default: break;
-    }
-  }
+  const TraceDerivedStats total = DeriveTotalStats(trace);
   auto fail = [&](const std::string& what) {
     ++report->failure_count;
     if (report->failures.size() < options.max_failures) {
@@ -626,17 +595,6 @@ void DiffRunReport(const TraceFile& trace,
            " but reported as " + std::to_string(g->gauge_value));
     }
   }
-}
-
-double ResolveMu(const TraceFile& trace, const TraceCheckOptions& options) {
-  if (options.mu >= 0.0) return options.mu;
-  auto it = trace.info.find("mu");
-  if (it != trace.info.end()) {
-    char* end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end != it->second.c_str() && v >= 0.0) return v;
-  }
-  return 5.0;  // the paper's default recomputation cost (core::kDefaultMu)
 }
 
 std::vector<TraceQueryCost> Attribute(const TraceFile& trace, double mu,
@@ -695,6 +653,41 @@ std::vector<TraceQueryCost> Attribute(const TraceFile& trace, double mu,
 }
 
 }  // namespace
+
+double ResolveTraceMu(const TraceFile& trace, double mu_option) {
+  if (mu_option >= 0.0) return mu_option;
+  auto it = trace.info.find("mu");
+  if (it != trace.info.end()) {
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end != it->second.c_str() && v >= 0.0) return v;
+  }
+  return 5.0;  // the paper's default recomputation cost (core::kDefaultMu)
+}
+
+void AccumulateDerivedStats(const TraceEvent& e, TraceDerivedStats* d) {
+  switch (e.kind) {
+    case TraceEventKind::kRefreshArrived: ++d->refreshes; break;
+    case TraceEventKind::kRecomputeStart: ++d->recomputations; break;
+    case TraceEventKind::kDabChangeSent: ++d->dab_change_messages; break;
+    case TraceEventKind::kUserNotification: ++d->user_notifications; break;
+    case TraceEventKind::kRecomputeEnd:
+      if (e.flag == 0) ++d->solver_failures;
+      break;
+    case TraceEventKind::kAaoSolve:
+      if (e.flag == 0) ++d->solver_failures;
+      break;
+    default: break;
+  }
+}
+
+TraceDerivedStats DeriveTotalStats(const TraceFile& trace) {
+  TraceDerivedStats total;
+  for (const TraceEvent& e : trace.events) {
+    AccumulateDerivedStats(e, &total);
+  }
+  return total;
+}
 
 std::string TraceCheckReport::ToText(const TraceFile& trace) const {
   std::string out;
@@ -760,7 +753,7 @@ Result<TraceCheckReport> CheckTrace(const TraceFile& trace,
   }
   TraceCheckReport report;
   report.events = static_cast<int64_t>(trace.events.size());
-  report.mu = ResolveMu(trace, options);
+  report.mu = ResolveTraceMu(trace, options.mu);
 
   Checker checker(trace, options, &report);
   checker.Run();

@@ -72,6 +72,22 @@ struct TraceDerivedStats {
   double mean_fidelity_loss_pct = 0.0;
 };
 
+/// Recomputation price shared by the checker and the folder
+/// (trace_fold.h): an explicit non-negative \p mu_option wins, else the
+/// trace's `mu` info key, else the paper's default of 5.
+double ResolveTraceMu(const TraceFile& trace, double mu_option);
+
+/// Accumulate one event's contribution to the re-derived message counts
+/// (the kind -> SimMetrics-field mapping the replay uses everywhere).
+/// Shared with the flamegraph folder (trace_fold.h), whose conservation
+/// check must compare against exactly the totals this checker re-derives.
+void AccumulateDerivedStats(const TraceEvent& e, TraceDerivedStats* d);
+
+/// Message totals re-derived from the raw events across every node of the
+/// trace. mean_fidelity_loss_pct stays 0 — it is a per-summary quantity,
+/// not a message class.
+TraceDerivedStats DeriveTotalStats(const TraceFile& trace);
+
 /// Per-query cost attribution.
 struct TraceQueryCost {
   int32_t query = -1;

@@ -10,6 +10,14 @@
 /// paper) and averaging |ΔV| / interval over the whole trace. The paper's
 /// "L1" configuration ignores rates entirely (λ_i = 1 for all items) and
 /// is reproduced by UnitRates().
+///
+/// All three offline estimators share one sample sequence: |ΔV| / length
+/// over every full window of \p interval_ticks ticks, plus — when the
+/// trace does not end exactly on a window boundary — one trailing sample
+/// over the num_ticks % interval_ticks remainder, normalized by its
+/// actual (shorter) length. The remainder participates like any other
+/// sample (last into the EWMA, a member of the quantile's sample set), so
+/// movement in the final partial minute is never silently dropped.
 
 namespace polydab::workload {
 
@@ -29,8 +37,10 @@ Result<Vector> EstimateRatesEwma(const TraceSet& traces,
                                  double alpha = 0.1);
 
 /// \brief Conservative rate estimate: the \p quantile (default p95) of the
-/// per-interval rates instead of their mean. Over-estimating λ biases the
-/// optimizer toward wider filters on the jumpiest items.
+/// per-interval rates instead of their mean, picked by the nearest-rank
+/// rule (rank ceil(quantile * n), so 0.0 is the minimum, 1.0 the maximum,
+/// and 0.5 the lower middle of an even-sized sample). Over-estimating λ
+/// biases the optimizer toward wider filters on the jumpiest items.
 Result<Vector> EstimateRatesQuantile(const TraceSet& traces,
                                      int interval_ticks = 60,
                                      double quantile = 0.95);

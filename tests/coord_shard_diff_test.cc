@@ -86,29 +86,30 @@ struct Golden {
   double mean_fidelity_loss_pct;
 };
 
-// Captured from the serial (pre-coord_shards) coordinator at commit
-// 362624e with the fixture above. To regenerate after an *intentional*
-// protocol change: temporarily print the six SimMetrics fields
-// ("%lld ... %.17g" for the loss) for each case with coord_shards = 1 and
-// paste the values back here.
+// Captured from the serial coordinator with the fixture above, using the
+// tail-inclusive EstimateRates (the trailing num_ticks % interval_ticks
+// remainder participates as a final shorter sample). To regenerate after
+// an *intentional* protocol change: temporarily print the six SimMetrics
+// fields ("%lld ... %.17g" for the loss) for each case with
+// coord_shards = 1 and paste the values back here.
 constexpr double kAao = 120.0;
 const Golden kGolden[] = {
     {"dual_s3", core::AssignmentMethod::kDualDab, 5.0, 0.0, 3,
-     827, 60, 78, 440, 0, 0.4208416833667335},
+     821, 61, 80, 432, 0, 0.52104208416833664},
     {"dual_s11", core::AssignmentMethod::kDualDab, 5.0, 0.0, 11,
-     827, 60, 78, 428, 0, 0.4208416833667335},
+     821, 61, 79, 440, 0, 0.5410821643286573},
     {"optimal_s3", core::AssignmentMethod::kOptimalRefresh, 1.0, 0.0, 3,
-     765, 3174, 3709, 424, 0, 0.58116232464929851},
+     756, 3147, 3676, 419, 0, 0.5410821643286573},
     {"optimal_s11", core::AssignmentMethod::kOptimalRefresh, 1.0, 0.0, 11,
-     765, 3174, 3708, 422, 0, 0.58116232464929851},
+     756, 3147, 3676, 428, 0, 0.5410821643286573},
     {"wsdab_s3", core::AssignmentMethod::kWsDab, 1.0, 0.0, 3,
      886, 4195, 4766, 444, 0, 0.50100200400801609},
     {"wsdab_s11", core::AssignmentMethod::kWsDab, 1.0, 0.0, 11,
      886, 4189, 4757, 441, 0, 0.4208416833667335},
-    // The 32 solver failures are pinned behaviour: some periodic joint
+    // The 69 solver failures are pinned behaviour: some periodic joint
     // solves fail on this workload and the stale plans are kept.
     {"aao120_s3", core::AssignmentMethod::kDualDab, 5.0, kAao, 3,
-     752, 91, 65, 440, 32, 0.56112224448897796},
+     748, 125, 61, 443, 69, 0.62124248496993995},
 };
 
 void ExpectMetricsEqual(const SimMetrics& got, const SimMetrics& want,

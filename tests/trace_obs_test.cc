@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -108,6 +109,40 @@ TEST(TraceJsonTest, ParseRejectsCorruptInput) {
   const std::string text = TraceToJsonLines(MakeSampleFile());
   EXPECT_FALSE(
       ParseTraceJsonLines(text.substr(0, text.size() - 10)).ok());
+}
+
+TEST(TraceJsonTest, ParseNamesLineOfTruncationAndErrors) {
+  const std::string text = TraceToJsonLines(MakeSampleFile());
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  const std::string last_line = "line " + std::to_string(lines);
+
+  // Partial write at EOF: even when only the final newline is missing
+  // (the last record still parses), the writers always terminate lines,
+  // so the parser must reject — naming the truncated line — rather than
+  // silently accept a possibly-incomplete trace.
+  auto missing_newline = ParseTraceJsonLines(text.substr(0, text.size() - 1));
+  ASSERT_FALSE(missing_newline.ok());
+  EXPECT_NE(missing_newline.status().message().find(last_line),
+            std::string::npos)
+      << missing_newline.status().ToString();
+  EXPECT_NE(missing_newline.status().message().find("truncated"),
+            std::string::npos);
+
+  // Cut mid-record: same line named.
+  auto mid_record = ParseTraceJsonLines(text.substr(0, text.size() - 10));
+  ASSERT_FALSE(mid_record.ok());
+  EXPECT_NE(mid_record.status().message().find(last_line),
+            std::string::npos)
+      << mid_record.status().ToString();
+
+  // A malformed *interior* line is named too.
+  std::string broken = text;
+  const size_t first_newline = broken.find('\n');
+  broken.insert(first_newline + 1, "{\"type\":\"bogus\"}\n");
+  auto interior = ParseTraceJsonLines(broken);
+  ASSERT_FALSE(interior.ok());
+  EXPECT_NE(interior.status().message().find("line 2:"), std::string::npos)
+      << interior.status().ToString();
 }
 
 TEST(TraceSinkTest, CaptureModeAssignsSequentialIds) {

@@ -259,6 +259,79 @@ TEST(RateEstimatorTest, QuantileUpperBoundsMean) {
   EXPECT_FALSE(EstimateRatesQuantile(*set, 60, 1.5).ok());
 }
 
+TEST(RateEstimatorTest, TrailingRemainderParticipates) {
+  // 10 ticks sampled every 4: full windows [0,4] and [4,8], then a 1-tick
+  // remainder [8,9]. All movement sits in the remainder, which the
+  // pre-fix estimators silently dropped (every rate would be 0).
+  TraceSet set;
+  set.num_ticks = 10;
+  Vector v(10, 0.0);
+  v[9] = 5.0;
+  set.traces.push_back(std::move(v));
+
+  // Samples: 0, 0, then 5 / 1 tick = 5 for the remainder.
+  auto mean = EstimateRates(set, 4);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ((*mean)[0], 5.0 / 3.0);
+
+  // The remainder folds in last: 0 -> 0 -> 0.5 * 5 + 0.5 * 0.
+  auto ewma = EstimateRatesEwma(set, 4, 0.5);
+  ASSERT_TRUE(ewma.ok());
+  EXPECT_DOUBLE_EQ((*ewma)[0], 2.5);
+
+  // ...and joins the quantile's sample set as its maximum.
+  auto max = EstimateRatesQuantile(set, 4, 1.0);
+  ASSERT_TRUE(max.ok());
+  EXPECT_DOUBLE_EQ((*max)[0], 5.0);
+}
+
+TEST(RateEstimatorTest, ExactBoundaryAddsNoRemainderSample) {
+  // 9 ticks every 4: windows [0,4] and [4,8] land exactly on the last
+  // tick, so there is no remainder sample. Hand-computed:
+  // |8-0|/4 = 2 and |2-8|/4 = 1.5, mean 1.75.
+  TraceSet set;
+  set.num_ticks = 9;
+  Vector v(9, 0.0);
+  v[4] = 8.0;
+  v[8] = 2.0;
+  // Intermediate ticks are irrelevant to interval sampling.
+  set.traces.push_back(std::move(v));
+  auto mean = EstimateRates(set, 4);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ((*mean)[0], 1.75);
+}
+
+TEST(RateEstimatorTest, QuantileNearestRankBoundaries) {
+  // interval=1 makes each consecutive diff one sample: {1, 2, 3, 4}.
+  TraceSet set;
+  set.num_ticks = 5;
+  set.traces.push_back(Vector{0.0, 1.0, 3.0, 6.0, 10.0});
+
+  auto at = [&](double q) {
+    auto r = EstimateRatesQuantile(set, 1, q);
+    EXPECT_TRUE(r.ok());
+    return (*r)[0];
+  };
+  // Nearest rank: rank ceil(q * 4) clamped to [1, 4].
+  EXPECT_DOUBLE_EQ(at(0.0), 1.0);   // minimum
+  EXPECT_DOUBLE_EQ(at(0.25), 1.0);  // rank 1, not floor's samples[1]
+  EXPECT_DOUBLE_EQ(at(0.5), 2.0);   // even n: the lower middle
+  EXPECT_DOUBLE_EQ(at(0.75), 3.0);
+  EXPECT_DOUBLE_EQ(at(1.0), 4.0);   // maximum, without needing the clamp
+}
+
+TEST(RateEstimatorTest, QuantileSingleSample) {
+  // Two ticks, one sample: every quantile is that sample.
+  TraceSet set;
+  set.num_ticks = 2;
+  set.traces.push_back(Vector{0.0, 7.0});
+  for (double q : {0.0, 0.5, 1.0}) {
+    auto r = EstimateRatesQuantile(set, 1, q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ((*r)[0], 7.0) << "q=" << q;
+  }
+}
+
 TEST(RateEstimatorTest, OnlineTrackerConvergesToConstantRate) {
   OnlineRateTracker tracker(/*interval_seconds=*/60.0, /*alpha=*/0.2);
   EXPECT_DOUBLE_EQ(tracker.Rate(), 0.0);

@@ -1,0 +1,49 @@
+# Invalid polydab_experiment invocations must fail fast with exit 2 and a
+# diagnostic on stderr, before any simulation work; a valid invocation
+# must still succeed. Driven by ctest (experiment_rejects_bad_args).
+#
+# Expects: -DEXPERIMENT=<binary>
+
+# Each bad case: "<label>;<arg...>" — cmake lists are ';'-separated, so
+# multi-arg cases just add more elements after the label.
+set(bad_cases
+  "unknown key\;bogus-key=1"
+  "typo'd shard key\;coord-shard=4"
+  "malformed argument\;--queries"
+  "coord-shards=0\;coord-shards=0"
+  "negative coord-shards\;coord-shards=-2"
+  "non-numeric coord-shards\;coord-shards=four"
+  "bad shard policy\;shard-policy=roundrobin"
+  "bad rates\;rates=median"
+  "bad method\;method=greedy"
+  "non-numeric ticks\;ticks=12x"
+)
+
+foreach(case IN LISTS bad_cases)
+  list(POP_FRONT case label)
+  # Base args first: a repeated key keeps its last value, so the bad case
+  # must come after them to stay in effect.
+  execute_process(COMMAND ${EXPERIMENT} queries=2 items=4 ticks=80 ${case}
+                  RESULT_VARIABLE status
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT status EQUAL 2)
+    message(FATAL_ERROR
+      "experiment did not reject ${label} ('${case}'): exit ${status}\n"
+      "${out}${err}")
+  endif()
+  if(err STREQUAL "")
+    message(FATAL_ERROR
+      "experiment rejected ${label} ('${case}') silently (no stderr)")
+  endif()
+  message(STATUS "rejected ${label} (exit 2)")
+endforeach()
+
+# Sanity: a valid invocation with the same spellings still runs.
+execute_process(COMMAND ${EXPERIMENT} queries=2 items=4 ticks=80
+                coord-shards=2 shard-policy=hash
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "valid invocation failed (exit ${status}):\n${out}${err}")
+endif()
+message(STATUS "valid invocation accepted (exit 0)")

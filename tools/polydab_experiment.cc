@@ -24,7 +24,8 @@
 //   delay_ms=X       mean node-node delay (110)
 //   recompute_ms=X   coordinator CPU per recomputation (2)
 //   aao_period=X     seconds between joint AAO solves; 0 = EQI (0)
-//   coord-shards=N   coordinator lanes; 1 = the serial coordinator (1)
+//   coord-shards=N   coordinator lanes, >= 1; 1 = the serial
+//                    coordinator (1)
 //   shard-policy=eqi|hash   query partition: EQI component grouping or
 //                    plain query-id hashing (eqi)
 //   seed=N           RNG seed (1)
@@ -37,15 +38,31 @@
 //                    whole run, with a trailing run summary for
 //                    self-validation; replay and verify it offline with
 //                    polydab_tracecheck.
+//   flame-out=FILE   fold the run's trace into cost-attribution
+//                    flamegraph stacks (obs/trace_fold.h) and write the
+//                    Brendan Gregg folded-stack lines; works with or
+//                    without trace-out (without, the trace is captured in
+//                    memory just for the folding). The folding verifies
+//                    conservation against the run totals and fails the
+//                    run if it does not hold.
+//   flame-group-by=query|item|lane     identity frame that roots the
+//                    folded stacks (query)
+//
+// Arguments are validated before any work happens: a malformed argument
+// (no '='), an unknown key, a non-numeric value for a numeric key, an
+// unknown enum value, or coord-shards < 1 all fail fast with a message
+// on stderr and exit status 2. Runtime failures exit 1; success exits 0.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "obs/trace_fold.h"
 #include "sim/simulation.h"
 #include "workload/query_gen.h"
 #include "workload/rate_estimator.h"
@@ -55,6 +72,28 @@ using namespace polydab;
 
 namespace {
 
+/// Usage / validation failure: message on stderr, exit 2 — before any
+/// simulation work or output file is touched.
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "polydab_experiment: %s\n", message.c_str());
+  std::exit(2);
+}
+
+/// Every key ParseArgs accepts, post-normalization ('-' -> '_'). A key
+/// outside this set is a typo that would otherwise silently fall back to
+/// the default (e.g. "coord-shard=4" running serially).
+const std::set<std::string>& KnownKeys() {
+  static const std::set<std::string> keys = {
+      "queries",      "kind",         "dependent",  "method",
+      "heuristic",    "ddm",          "mu",         "rates",
+      "items",        "ticks",        "traces",     "delay_ms",
+      "recompute_ms", "aao_period",   "coord_shards",
+      "shard_policy", "seed",         "csv",        "metrics_out",
+      "trace_out",    "flame_out",    "flame_group_by",
+  };
+  return keys;
+}
+
 std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
   std::map<std::string, std::string> out;
   for (int i = 1; i < argc; ++i) {
@@ -62,12 +101,16 @@ std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
     while (*arg == '-') ++arg;  // accept --key=value spellings
     const char* eq = std::strchr(arg, '=');
     if (eq == nullptr || eq == arg) {
-      std::fprintf(stderr, "ignoring malformed argument '%s'\n", argv[i]);
-      continue;
+      Die("malformed argument '" + std::string(argv[i]) +
+          "' (want key=value)");
     }
     std::string key(arg, static_cast<size_t>(eq - arg));
     for (char& c : key) {
       if (c == '-') c = '_';  // metrics-out == metrics_out
+    }
+    if (KnownKeys().count(key) == 0) {
+      Die("unknown key '" + key + "' in argument '" + std::string(argv[i]) +
+          "'");
     }
     out[std::move(key)] = std::string(eq + 1);
   }
@@ -83,13 +126,25 @@ std::string Get(const std::map<std::string, std::string>& args,
 int GetInt(const std::map<std::string, std::string>& args,
            const std::string& key, int dflt) {
   auto it = args.find(key);
-  return it == args.end() ? dflt : std::atoi(it->second.c_str());
+  if (it == args.end()) return dflt;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end == nullptr || *end != '\0') {
+    Die("invalid integer '" + it->second + "' for " + key);
+  }
+  return static_cast<int>(v);
 }
 
 double GetDouble(const std::map<std::string, std::string>& args,
                  const std::string& key, double dflt) {
   auto it = args.find(key);
-  return it == args.end() ? dflt : std::atof(it->second.c_str());
+  if (it == args.end()) return dflt;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || end == nullptr || *end != '\0') {
+    Die("invalid number '" + it->second + "' for " + key);
+  }
+  return v;
 }
 
 }  // namespace
@@ -100,6 +155,47 @@ int main(int argc, char** argv) {
   const int num_items = GetInt(args, "items", 100);
   const int ticks = GetInt(args, "ticks", 2000);
   const uint64_t seed = static_cast<uint64_t>(GetInt(args, "seed", 1));
+  if (num_queries < 1) Die("queries must be >= 1");
+  if (num_items < 1) Die("items must be >= 1");
+  if (ticks < 2) Die("ticks must be >= 2");
+
+  // Validate every enum knob before any simulation work, so a typo fails
+  // in milliseconds instead of after the trace generation.
+  const std::string rates_kind = Get(args, "rates", "mean");
+  if (rates_kind != "mean" && rates_kind != "ewma" && rates_kind != "p95" &&
+      rates_kind != "unit") {
+    Die("unknown rates '" + rates_kind + "' (want mean|ewma|p95|unit)");
+  }
+  const std::string kind = Get(args, "kind", "ppq");
+  if (kind != "ppq" && kind != "pq") {
+    Die("unknown kind '" + kind + "' (want ppq|pq)");
+  }
+  const std::string method = Get(args, "method", "dual");
+  if (method != "dual" && method != "optimal" && method != "wsdab") {
+    Die("unknown method '" + method + "' (want dual|optimal|wsdab)");
+  }
+  const std::string heuristic = Get(args, "heuristic", "ds");
+  if (heuristic != "ds" && heuristic != "hh") {
+    Die("unknown heuristic '" + heuristic + "' (want ds|hh)");
+  }
+  const std::string ddm = Get(args, "ddm", "mono");
+  if (ddm != "mono" && ddm != "walk") {
+    Die("unknown ddm '" + ddm + "' (want mono|walk)");
+  }
+  const int coord_shards = GetInt(args, "coord_shards", 1);
+  if (coord_shards < 1) {
+    Die("coord-shards must be >= 1, got " + std::to_string(coord_shards));
+  }
+  const std::string shard_policy = Get(args, "shard_policy", "eqi");
+  if (shard_policy != "eqi" && shard_policy != "hash") {
+    Die("unknown shard-policy '" + shard_policy + "' (want eqi|hash)");
+  }
+  obs::FoldGroupBy flame_group_by = obs::FoldGroupBy::kQuery;
+  if (!obs::ParseFoldGroupBy(Get(args, "flame_group_by", "query"),
+                             &flame_group_by)) {
+    Die("unknown flame-group-by '" + Get(args, "flame_group_by", "") +
+        "' (want query|item|lane)");
+  }
 
   // Universe: synthesize traces, or replay a CSV (traces=path) with one
   // column per item and one row per second, e.g. real quote data.
@@ -120,7 +216,6 @@ int main(int argc, char** argv) {
   }
 
   // Rates.
-  const std::string rates_kind = Get(args, "rates", "mean");
   Result<Vector> rates = Status::Internal("unset");
   if (rates_kind == "mean") {
     rates = workload::EstimateRates(*traces, 60);
@@ -128,11 +223,8 @@ int main(int argc, char** argv) {
     rates = workload::EstimateRatesEwma(*traces, 60, 0.1);
   } else if (rates_kind == "p95") {
     rates = workload::EstimateRatesQuantile(*traces, 60, 0.95);
-  } else if (rates_kind == "unit") {
-    rates = workload::UnitRates(traces->num_items());
   } else {
-    std::fprintf(stderr, "unknown rates '%s'\n", rates_kind.c_str());
-    return 1;
+    rates = workload::UnitRates(traces->num_items());
   }
   if (!rates.ok()) {
     std::fprintf(stderr, "rates: %s\n", rates.status().ToString().c_str());
@@ -143,17 +235,13 @@ int main(int argc, char** argv) {
   workload::QueryGenConfig qc;
   qc.num_items = num_items;
   Result<std::vector<PolynomialQuery>> queries = Status::Internal("unset");
-  const std::string kind = Get(args, "kind", "ppq");
   if (kind == "ppq") {
     queries = workload::GeneratePortfolioQueries(num_queries, qc,
                                                  traces->Snapshot(0), &rng);
-  } else if (kind == "pq") {
+  } else {
     queries = workload::GenerateArbitrageQueries(
         num_queries, qc, traces->Snapshot(0), GetInt(args, "dependent", 0) != 0,
         &rng);
-  } else {
-    std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
-    return 1;
   }
   if (!queries.ok()) {
     std::fprintf(stderr, "queries: %s\n",
@@ -163,22 +251,15 @@ int main(int argc, char** argv) {
 
   // Simulation config.
   sim::SimConfig config;
-  const std::string method = Get(args, "method", "dual");
-  if (method == "dual") {
-    config.planner.method = core::AssignmentMethod::kDualDab;
-  } else if (method == "optimal") {
-    config.planner.method = core::AssignmentMethod::kOptimalRefresh;
-  } else if (method == "wsdab") {
-    config.planner.method = core::AssignmentMethod::kWsDab;
-  } else {
-    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
-    return 1;
-  }
-  const std::string heuristic = Get(args, "heuristic", "ds");
+  config.planner.method = method == "dual"
+                              ? core::AssignmentMethod::kDualDab
+                              : method == "optimal"
+                                    ? core::AssignmentMethod::kOptimalRefresh
+                                    : core::AssignmentMethod::kWsDab;
   config.planner.heuristic = heuristic == "hh"
                                  ? core::GeneralPqHeuristic::kHalfAndHalf
                                  : core::GeneralPqHeuristic::kDifferentSum;
-  config.planner.dual.ddm = Get(args, "ddm", "mono") == "walk"
+  config.planner.dual.ddm = ddm == "walk"
                                 ? core::DataDynamicsModel::kRandomWalk
                                 : core::DataDynamicsModel::kMonotonic;
   config.planner.dual.mu = GetDouble(args, "mu", core::kDefaultMu);
@@ -186,16 +267,10 @@ int main(int argc, char** argv) {
   config.delays.recompute_cpu_s =
       GetDouble(args, "recompute_ms", 2.0) / 1000.0;
   config.aao_period_s = GetDouble(args, "aao_period", 0.0);
-  config.coord_shards = GetInt(args, "coord_shards", 1);
-  const std::string shard_policy = Get(args, "shard_policy", "eqi");
-  if (shard_policy == "eqi") {
-    config.shard_policy = sim::ShardPolicy::kEqiComponents;
-  } else if (shard_policy == "hash") {
-    config.shard_policy = sim::ShardPolicy::kQueryHash;
-  } else {
-    std::fprintf(stderr, "unknown shard-policy '%s'\n", shard_policy.c_str());
-    return 1;
-  }
+  config.coord_shards = coord_shards;
+  config.shard_policy = shard_policy == "hash"
+                            ? sim::ShardPolicy::kQueryHash
+                            : sim::ShardPolicy::kEqiComponents;
   config.seed = seed;
 
   // Telemetry: attach a registry when a report was requested, so the run
@@ -206,8 +281,10 @@ int main(int argc, char** argv) {
 
   // Causal event trace, streamed to disk as the run progresses
   // (docs/OBSERVABILITY.md "Event tracing"); verify offline with
-  // polydab_tracecheck.
+  // polydab_tracecheck. flame-out needs the events too: with trace-out it
+  // re-reads the streamed file, without it the sink captures in memory.
   const std::string trace_out = Get(args, "trace_out", "");
+  const std::string flame_out = Get(args, "flame_out", "");
   obs::TraceSink sink;
   if (!trace_out.empty()) {
     Status streaming = sink.StreamTo(trace_out);
@@ -215,6 +292,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "trace-out: %s\n", streaming.ToString().c_str());
       return 1;
     }
+  }
+  if (!trace_out.empty() || !flame_out.empty()) {
     sink.SetInfo("tool", "polydab_experiment");
     sink.SetInfo("kind", kind);
     config.trace = &sink;
@@ -230,6 +309,50 @@ int main(int argc, char** argv) {
     Status finished = sink.Finish();
     if (!finished.ok()) {
       std::fprintf(stderr, "trace-out: %s\n", finished.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!flame_out.empty()) {
+    obs::TraceFile trace;
+    if (!trace_out.empty()) {
+      Result<obs::TraceFile> loaded = obs::LoadTraceFile(trace_out);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "flame-out: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      trace = std::move(loaded).value();
+    } else {
+      trace = sink.Collect();
+    }
+    obs::TraceFoldOptions fold_options;
+    fold_options.group_by = flame_group_by;
+    Result<obs::TraceFoldReport> folded =
+        obs::FoldTrace(trace, fold_options);
+    if (!folded.ok()) {
+      std::fprintf(stderr, "flame-out: %s\n",
+                   folded.status().ToString().c_str());
+      return 1;
+    }
+    const std::string text = folded->ToFolded();
+    std::FILE* f = std::fopen(flame_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "flame-out: cannot open '%s'\n",
+                   flame_out.c_str());
+      return 1;
+    }
+    const size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+    if (wrote != text.size() || std::fclose(f) != 0) {
+      std::fprintf(stderr, "flame-out: write error on '%s'\n",
+                   flame_out.c_str());
+      return 1;
+    }
+    if (!folded->ok()) {
+      for (const std::string& failure : folded->conservation_failures) {
+        std::fprintf(stderr, "flame-out: conservation: %s\n",
+                     failure.c_str());
+      }
       return 1;
     }
   }

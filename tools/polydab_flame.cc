@@ -1,0 +1,128 @@
+// polydab_flame: cost-attribution flamegraphs from a causal event trace.
+//
+// Loads a trace written by `polydab_experiment trace-out=FILE` (or any
+// TraceSink user) and folds every message along its cause chain into
+// weighted stacks — q<query>;i<item>;L<lane>;refresh;violation;recompute;
+// dab_change — in the Brendan Gregg folded-stack format, plus per-query /
+// per-item / per-lane attribution tables. The folding self-verifies
+// conservation: the folded per-class counts must equal the totals the
+// offline replay (polydab_tracecheck) re-derives from the same events.
+// See docs/OBSERVABILITY.md ("Flamegraphs").
+//
+// Usage:
+//   polydab_flame TRACE.jsonl [--group-by=query|item|lane] [--mu=X]
+//                             [--folded-out=FILE] [--json-out=FILE]
+//                             [--quiet]
+//
+//   --group-by=G      identity frame that roots the stacks (default query)
+//   --mu=X            recomputation cost in refresh units (default: the
+//                     trace's mu info key, else 5)
+//   --folded-out=FILE write the folded stacks ("frames weight" lines,
+//                     ready for flamegraph.pl); '-' for stdout
+//   --json-out=FILE   write the JSON-lines summary (stacks + attribution
+//                     tables + totals); '-' for stdout
+//   --quiet           print no human-readable summary on success
+//
+// Exit status: 0 when the trace parses and conservation holds, 1 when any
+// folded class count disagrees with the replay-derived or recorded
+// totals, 2 on unreadable/malformed input or output I/O failure.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/trace.h"
+#include "obs/trace_fold.h"
+
+using namespace polydab;
+
+namespace {
+
+int WriteOutput(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return 2;
+  }
+  const size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+  const bool error = wrote != text.size() || std::fclose(f) != 0;
+  if (error) {
+    std::fprintf(stderr, "write error on '%s'\n", path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string folded_out;
+  std::string json_out;
+  obs::TraceFoldOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--group-by=", 11) == 0) {
+      if (!obs::ParseFoldGroupBy(arg + 11, &options.group_by)) {
+        std::fprintf(stderr,
+                     "unknown --group-by '%s' (want query|item|lane)\n",
+                     arg + 11);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--mu=", 5) == 0) {
+      options.mu = std::atof(arg + 5);
+    } else if (std::strncmp(arg, "--folded-out=", 13) == 0) {
+      folded_out = arg + 13;
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      json_out = arg + 11;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (arg[0] == '-' && std::strcmp(arg, "-") != 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg);
+      return 2;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected extra argument '%s'\n", arg);
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: polydab_flame TRACE.jsonl "
+                 "[--group-by=query|item|lane] [--mu=X] "
+                 "[--folded-out=FILE] [--json-out=FILE] [--quiet]\n");
+    return 2;
+  }
+
+  Result<obs::TraceFile> trace = obs::LoadTraceFile(trace_path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace: %s\n", trace.status().ToString().c_str());
+    return 2;
+  }
+
+  Result<obs::TraceFoldReport> folded = obs::FoldTrace(*trace, options);
+  if (!folded.ok()) {
+    std::fprintf(stderr, "trace-fold: %s\n",
+                 folded.status().ToString().c_str());
+    return 2;
+  }
+  if (!folded_out.empty()) {
+    const int rc = WriteOutput(folded_out, folded->ToFolded());
+    if (rc != 0) return rc;
+  }
+  if (!json_out.empty()) {
+    const int rc = WriteOutput(json_out, folded->ToJson());
+    if (rc != 0) return rc;
+  }
+  if (!quiet || !folded->ok()) {
+    const std::string text = folded->ToText();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  }
+  return folded->ok() ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+# Simulates a partial write at EOF: strips the final newline (and a few
+# bytes of the last record) from a valid trace and checks that
+# polydab_tracecheck rejects the result with exit 2 and a diagnostic
+# naming the line number. Driven by ctest (tracecheck_rejects_truncated).
+#
+# Expects: -DTRACE=<valid trace> -DTRACECHECK=<binary> -DOUT=<scratch path>
+
+file(READ ${TRACE} contents)
+string(LENGTH "${contents}" full_length)
+
+# Count the lines of the intact trace; the diagnostic must name the last.
+string(REGEX MATCHALL "\n" newlines "${contents}")
+list(LENGTH newlines num_lines)
+
+# Case 1: only the trailing newline is missing — the final record still
+# parses, but no writer ever leaves a line unterminated, so this is a
+# truncation and must NOT be silently accepted.
+math(EXPR keep "${full_length} - 1")
+string(SUBSTRING "${contents}" 0 ${keep} truncated)
+file(WRITE ${OUT} "${truncated}")
+execute_process(COMMAND ${TRACECHECK} ${OUT} --quiet
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 2)
+  message(FATAL_ERROR
+    "tracecheck accepted a trace missing its final newline "
+    "(exit ${status}):\n${out}${err}")
+endif()
+if(NOT err MATCHES "line ${num_lines}")
+  message(FATAL_ERROR
+    "truncation diagnostic does not name line ${num_lines}:\n${err}")
+endif()
+message(STATUS "rejected missing final newline, naming line ${num_lines}")
+
+# Case 2: the final record is cut mid-JSON.
+math(EXPR keep "${full_length} - 10")
+string(SUBSTRING "${contents}" 0 ${keep} truncated)
+file(WRITE ${OUT} "${truncated}")
+execute_process(COMMAND ${TRACECHECK} ${OUT} --quiet
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 2)
+  message(FATAL_ERROR
+    "tracecheck accepted a mid-record truncation (exit ${status}):\n"
+    "${out}${err}")
+endif()
+if(NOT err MATCHES "line ${num_lines}")
+  message(FATAL_ERROR
+    "mid-record diagnostic does not name line ${num_lines}:\n${err}")
+endif()
+message(STATUS "rejected mid-record truncation, naming line ${num_lines}")
