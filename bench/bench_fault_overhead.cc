@@ -1,0 +1,83 @@
+// A/B measurement of the fault-model overhead (sim/fault_model.h), in
+// the style of bench_trace_overhead: the same simulation run with no
+// FaultConfig (the inactive default — one predictable branch per
+// message site), with protocol-only mode (acks/retransmit/lease
+// machinery armed but nothing injected), and with a representative
+// chaos mix. The inactive-vs-baseline delta is the number quoted in
+// docs/ROBUSTNESS.md ("Overhead"): an inactive FaultConfig must add no
+// measurable cost to a fault-free run.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "sim/simulation.h"
+
+namespace polydab::bench {
+namespace {
+
+struct SimSetup {
+  Universe universe;
+  std::vector<PolynomialQuery> queries;
+  sim::SimConfig config;
+};
+
+/// The same mid-sized dual-DAB run bench_trace_overhead measures.
+SimSetup MakeSimSetup() {
+  SimSetup s;
+  s.universe = MakeUniverse(workload::TraceKind::kGbmStock, 5001,
+                            /*num_items=*/60, /*num_ticks=*/500);
+  workload::QueryGenConfig qc;
+  qc.num_items = 60;
+  Rng qrng(42);
+  s.queries = *workload::GeneratePortfolioQueries(25, qc,
+                                                  s.universe.initial, &qrng);
+  s.config.planner.method = core::AssignmentMethod::kDualDab;
+  s.config.planner.dual.mu = core::kDefaultMu;
+  s.config.seed = 99;
+  return s;
+}
+
+void RunOnce(benchmark::State& state, const SimSetup& s,
+             const sim::SimConfig& config) {
+  auto m = sim::RunSimulation(s.queries, s.universe.traces,
+                              s.universe.rates, config);
+  if (!m.ok()) state.SkipWithError("simulation failed");
+  benchmark::DoNotOptimize(m);
+}
+
+void BM_SimNoFaultConfig(benchmark::State& state) {
+  const SimSetup s = MakeSimSetup();
+  for (auto _ : state) {
+    RunOnce(state, s, s.config);  // config.fault stays inactive
+  }
+}
+BENCHMARK(BM_SimNoFaultConfig)->Unit(benchmark::kMillisecond);
+
+void BM_SimFaultProtocolOnly(benchmark::State& state) {
+  const SimSetup s = MakeSimSetup();
+  sim::SimConfig config = s.config;
+  config.fault.protocol_only = true;
+  for (auto _ : state) {
+    RunOnce(state, s, config);
+  }
+}
+BENCHMARK(BM_SimFaultProtocolOnly)->Unit(benchmark::kMillisecond);
+
+void BM_SimFaultChaos(benchmark::State& state) {
+  const SimSetup s = MakeSimSetup();
+  sim::SimConfig config = s.config;
+  config.fault.drop_prob = 0.1;
+  config.fault.dup_prob = 0.05;
+  config.fault.crash_prob = 0.005;
+  config.fault.retx_timeout_s = 1.0;
+  config.fault.lease_s = 8.0;
+  for (auto _ : state) {
+    RunOnce(state, s, config);
+  }
+}
+BENCHMARK(BM_SimFaultChaos)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace polydab::bench
+
+BENCHMARK_MAIN();

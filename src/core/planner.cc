@@ -1,5 +1,6 @@
 #include "core/planner.h"
 
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 
@@ -204,6 +205,26 @@ Result<QueryDabs> ReplanPart(const PlanPart& part, const Vector& values,
   TracePlannerEvent(config, obs::TraceEventKind::kPlannerReplan,
                     part.subquery.id, result.ok());
   return result;
+}
+
+StalenessWidening WideningFor(const PolynomialQuery& query, VarId item,
+                              const Vector& view) {
+  StalenessWidening w;
+  Polynomial d = query.p.PartialDerivative(item);
+  if (d.IsZero()) {
+    // The query does not read the item at all: no widening needed.
+    w.boundable = true;
+    w.sensitivity = 0.0;
+    return w;
+  }
+  // Boundable iff dQ/d(item) is itself independent of the item, i.e. the
+  // query has degree <= 1 in it. Then the error contributed by serving
+  // the stale view value is exactly sensitivity * drift, whatever the
+  // (unknown) live value does; with a higher degree the derivative
+  // depends on the lost value and no finite widening is sound.
+  w.boundable = d.PartialDerivative(item).IsZero();
+  w.sensitivity = w.boundable ? std::fabs(d.Evaluate(view)) : 0.0;
+  return w;
 }
 
 }  // namespace polydab::core

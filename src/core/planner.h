@@ -104,6 +104,24 @@ Result<QueryDabs> ReplanPart(const PlanPart& part, const Vector& values,
                              const Vector& rates,
                              const PlannerConfig& config);
 
+/// Staleness-aware bound widening (the robustness protocol's graceful
+/// degradation, docs/ROBUSTNESS.md): when an item's source lease expires,
+/// the coordinator can keep serving the query under a widened bound only
+/// when the query's dependence on the dead item is linear — degree <= 1
+/// in that item, so dQ/d(item) does not itself depend on the unknown
+/// stale value and the worst-case error grows exactly as
+/// sensitivity * drift. Higher-degree dependence is unboundable without
+/// the live value and the query must be marked degraded instead.
+struct StalenessWidening {
+  bool boundable = false;    ///< query has degree <= 1 in the item
+  double sensitivity = 0.0;  ///< |dQ/d(item)| at the view; 0 if unboundable
+};
+
+/// Widening of \p query per unit of worst-case drift of \p item,
+/// evaluated at the coordinator's current \p view.
+StalenessWidening WideningFor(const PolynomialQuery& query, VarId item,
+                              const Vector& view);
+
 }  // namespace polydab::core
 
 #endif  // POLYDAB_CORE_PLANNER_H_

@@ -66,6 +66,11 @@ Result<DisseminationMetrics> RunDissemination(
     out.total.dab_change_messages += m.dab_change_messages;
     out.total.user_notifications += m.user_notifications;
     out.total.solver_failures += m.solver_failures;
+    out.total.fault_drops += m.fault_drops;
+    out.total.retransmits += m.retransmits;
+    out.total.duplicates_suppressed += m.duplicates_suppressed;
+    out.total.lease_expiries += m.lease_expiries;
+    out.total.degraded_query_seconds += m.degraded_query_seconds;
     out.total.mean_fidelity_loss_pct +=
         m.mean_fidelity_loss_pct * static_cast<double>(mine.size());
   }

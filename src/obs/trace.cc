@@ -28,6 +28,16 @@ constexpr KindName kKindNames[] = {
     {TraceEventKind::kPlannerPlan, "planner_plan"},
     {TraceEventKind::kPlannerReplan, "planner_replan"},
     {TraceEventKind::kShardBarrier, "shard_barrier"},
+    {TraceEventKind::kFaultDrop, "fault_drop"},
+    {TraceEventKind::kRetransmit, "retransmit"},
+    {TraceEventKind::kAck, "ack"},
+    {TraceEventKind::kDupSuppressed, "dup_suppressed"},
+    {TraceEventKind::kHeartbeat, "heartbeat"},
+    {TraceEventKind::kCrash, "crash"},
+    {TraceEventKind::kLeaseExpire, "lease_expire"},
+    {TraceEventKind::kDegrade, "degrade"},
+    {TraceEventKind::kRecover, "recover"},
+    {TraceEventKind::kLaneStall, "lane_stall"},
 };
 
 void AppendNumberField(std::string* out, const char* key, double v) {
@@ -101,6 +111,20 @@ void AppendSummaryLine(std::string* out, const TraceRunSummary& s) {
   AppendIntField(out, "user_notifications", s.user_notifications);
   AppendIntField(out, "solver_failures", s.solver_failures);
   AppendNumberField(out, "mean_fidelity_loss_pct", s.mean_fidelity_loss_pct);
+  // Fault-mode counters, omitted at zero so fault-free summaries keep
+  // their exact historical bytes.
+  if (s.fault_drops != 0) AppendIntField(out, "fault_drops", s.fault_drops);
+  if (s.retransmits != 0) AppendIntField(out, "retransmits", s.retransmits);
+  if (s.duplicates_suppressed != 0) {
+    AppendIntField(out, "duplicates_suppressed", s.duplicates_suppressed);
+  }
+  if (s.lease_expiries != 0) {
+    AppendIntField(out, "lease_expiries", s.lease_expiries);
+  }
+  if (s.degraded_query_seconds != 0.0) {
+    AppendNumberField(out, "degraded_query_seconds",
+                      s.degraded_query_seconds);
+  }
   *out += "}\n";
 }
 
@@ -228,6 +252,12 @@ Status ParseLineInto(const std::string& line, TraceFile* out) {
     s.solver_failures = static_cast<int64_t>(failures);
     POLYDAB_ASSIGN_OR_RETURN(s.mean_fidelity_loss_pct,
                              f.Num("mean_fidelity_loss_pct"));
+    s.fault_drops = static_cast<int64_t>(f.NumOr("fault_drops", 0.0));
+    s.retransmits = static_cast<int64_t>(f.NumOr("retransmits", 0.0));
+    s.duplicates_suppressed =
+        static_cast<int64_t>(f.NumOr("duplicates_suppressed", 0.0));
+    s.lease_expiries = static_cast<int64_t>(f.NumOr("lease_expiries", 0.0));
+    s.degraded_query_seconds = f.NumOr("degraded_query_seconds", 0.0);
     out->summaries.push_back(s);
     return Status::OK();
   }

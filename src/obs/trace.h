@@ -56,6 +56,19 @@ enum class TraceEventKind : uint8_t {
   kPlannerPlan,         ///< planner built an initial plan (flag: outcome)
   kPlannerReplan,       ///< planner re-solved a part (flag: outcome)
   kShardBarrier,        ///< coordinator lanes synchronized (sharded mode)
+  // Fault-injection + reliability-protocol events (sim/fault_model.h,
+  // docs/ROBUSTNESS.md). Only emitted when the run's FaultConfig is
+  // active; fault-free traces are byte-identical to earlier formats.
+  kFaultDrop,           ///< injected loss of a message (b: message class)
+  kRetransmit,          ///< source retransmitted an unacked refresh
+  kAck,                 ///< coordinator acked a delivered refresh seq
+  kDupSuppressed,       ///< coordinator ignored an already-delivered seq
+  kHeartbeat,           ///< source liveness heartbeat arrived
+  kCrash,               ///< a source crashed (a: outage duration)
+  kLeaseExpire,         ///< an item's source lease lapsed at the coordinator
+  kDegrade,             ///< a query entered degraded service (flag: boundable)
+  kRecover,             ///< a query left degraded service
+  kLaneStall,           ///< injected coordinator lane stall (a: duration)
 };
 
 /// Serialization name, e.g. "refresh_arrived".
@@ -92,6 +105,39 @@ bool ParseTraceEventKind(const std::string& name, TraceEventKind* out);
 ///                         item = the EQI-merged item (-1: global / AAO
 ///                         barrier), cause = the kRecomputeEnd /
 ///                         kAaoSolve that required the merge.
+///
+/// Fault-mode events (docs/ROBUSTNESS.md). In fault mode data refreshes
+/// additionally carry their sequence number in `flag` (seqs start at 1;
+/// fault-free refreshes keep flag = 0 and their bytes unchanged):
+///  * kFaultDrop:          an injected loss. flag = seq (data messages),
+///                         a = the value carried, b = message class
+///                         (0 first copy, 1 retransmit, 2 ack,
+///                         3 heartbeat), cause = the emission (class 0/1)
+///                         or the ack'd arrival (class 2); 0 for
+///                         heartbeats.
+///  * kRetransmit:         a = value, b = attempt number (>= 1),
+///                         flag = seq, cause = the previous emission
+///                         (kRefreshEmitted or kRetransmit) of this seq.
+///  * kAck:                flag = seq, cause = the kRefreshArrived or
+///                         kDupSuppressed being acknowledged.
+///  * kDupSuppressed:      a = value, flag = seq (<= the delivered seq),
+///                         cause = the emission of the suppressed copy.
+///  * kHeartbeat:          source liveness signal arriving at the
+///                         coordinator (source = the source).
+///  * kCrash:              a = outage duration in seconds; the source
+///                         emits nothing in [time, time + a).
+///  * kLeaseExpire:        a = the source's last contact time, b = the
+///                         deadline that lapsed (>= lease_s).
+///  * kDegrade:            query enters degraded service. item = the
+///                         expired item that tipped it, a = widening
+///                         sensitivity |dQ/d(item)|, b = the item's drift
+///                         rate, flag = 1 if the bound widens gracefully
+///                         (degree <= 1 in the item), 0 if unboundable,
+///                         cause = the kLeaseExpire id.
+///  * kRecover:            query leaves degraded service (every expired
+///                         item heard from again), source = the last
+///                         recovering source, cause = the contact event.
+///  * kLaneStall:          a = injected stall duration, shard = the lane.
 ///
 /// Sharded-coordinator runs (sim/simulation.h, coord_shards > 1)
 /// additionally stamp `shard` — the coordinator lane an event was
@@ -147,6 +193,13 @@ struct TraceRunSummary {
   int64_t user_notifications = 0;
   int64_t solver_failures = 0;
   double mean_fidelity_loss_pct = 0.0;
+  /// Fault-mode counters (docs/ROBUSTNESS.md), written omit-at-zero so
+  /// fault-free summaries keep their exact historical bytes.
+  int64_t fault_drops = 0;
+  int64_t retransmits = 0;
+  int64_t duplicates_suppressed = 0;
+  int64_t lease_expiries = 0;
+  double degraded_query_seconds = 0.0;
 
   bool operator==(const TraceRunSummary&) const = default;
 };

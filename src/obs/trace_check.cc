@@ -39,6 +39,26 @@ class Checker {
         }
       }
     }
+    // Fault-mode traces (docs/ROBUSTNESS.md) self-describe the protocol
+    // constants and the item -> source mapping the reliability checks
+    // need; fault events in a trace without the key are themselves
+    // invariant violations.
+    fault_mode_ = trace.info.find("fault_config") != trace.info.end();
+    if (fault_mode_) {
+      num_sources_ = static_cast<int64_t>(InfoNum("num_sources", 0.0));
+      lease_s_ = InfoNum("fault_lease_s", 0.0);
+      retx_timeout_s_ = InfoNum("fault_retx_timeout_s", 0.0);
+      for (const TraceQueryInfo& q : trace.queries) {
+        for (int32_t item : q.items) {
+          item_queries_[Key(q.node, item)].push_back(q.query);
+          if (num_sources_ > 0) {
+            source_items_[Key(q.node, static_cast<int32_t>(
+                                          item % num_sources_))]
+                .insert(item);
+          }
+        }
+      }
+    }
     by_id_.reserve(trace.events.size());
     for (const TraceEvent& e : trace.events) by_id_.emplace(e.id, &e);
   }
@@ -67,12 +87,84 @@ class Checker {
            " != non-AAO recompute_start count " +
            std::to_string(starts_non_aao_));
     }
+    // Every degrade / recover the state machine required must have been
+    // emitted (the matching events claim their transition as they pass).
+    for (const auto& [id, qkeys] : pending_degrade_) {
+      for (int64_t qk : qkeys) {
+        Fail("lease_expire #" + std::to_string(id) + " degraded query " +
+             std::to_string(static_cast<int32_t>(qk)) +
+             " without a degrade event");
+      }
+    }
+    for (const auto& [id, qkeys] : pending_recover_) {
+      for (int64_t qk : qkeys) {
+        Fail("contact #" + std::to_string(id) + " recovered query " +
+             std::to_string(static_cast<int32_t>(qk)) +
+             " without a recover event");
+      }
+    }
+    CheckDropResolution();
+  }
+
+  /// Every dropped data copy must be resolved — retransmitted at/above
+  /// its seq, superseded by a newer emission, delivered through another
+  /// copy, or lease-expired. Amnesty when the trace ends before the
+  /// protocol had time: the retransmit gap is capped at 8x the timeout,
+  /// extended by the source's crash outages after the drop, plus slack.
+  void CheckDropResolution() {
+    for (const DataDrop& d : data_drops_) {
+      auto ri = resolutions_.find(Key(d.node, d.item));
+      bool resolved = false;
+      if (ri != resolutions_.end()) {
+        for (const Resolution& r : ri->second) {
+          if (r.kind == kResDelivered) {
+            if (r.seq >= d.seq) { resolved = true; break; }
+          } else if (r.id > d.id) {
+            if ((r.kind == kResRetransmit && r.seq >= d.seq) ||
+                (r.kind == kResEmitted && r.seq > d.seq) ||
+                r.kind == kResLease) {
+              resolved = true;
+              break;
+            }
+          }
+        }
+      }
+      if (resolved) continue;
+      double deadline =
+          d.time + 8.0 * (retx_timeout_s_ > 0.0 ? retx_timeout_s_ : 2.0) +
+          2.0;
+      if (num_sources_ > 0) {
+        auto cw = crash_windows_.find(
+            Key(d.node, static_cast<int32_t>(d.item % num_sources_)));
+        if (cw != crash_windows_.end()) {
+          for (const auto& [start, dur] : cw->second) {
+            if (start + dur > d.time) deadline += dur;
+          }
+        }
+      }
+      auto lt = last_time_.find(d.node);
+      if (lt == last_time_.end() || deadline >= lt->second) continue;
+      Fail("fault_drop #" + std::to_string(d.id) + " (item " +
+           std::to_string(d.item) + ", seq " + std::to_string(d.seq) +
+           ", t=" + std::to_string(d.time) +
+           ") was never retransmitted, superseded, delivered or "
+           "lease-expired");
+    }
   }
 
   /// Number of fidelity-violation samples recorded for (node, query).
   int64_t FidelityViolations(int32_t node, int32_t query) const {
     auto it = fidelity_counts_.find(Key(node, query));
     return it == fidelity_counts_.end() ? 0 : it->second;
+  }
+
+  /// Degrade/recover transitions for (node, query) as (time, state) in
+  /// event order, or null when the query never degraded. Drives the
+  /// degraded_query_seconds re-derivation in Derive().
+  const std::vector<std::pair<double, int>>* DegradeDeltas(
+      int32_t node, int32_t query) const {
+    auto it = degrade_deltas_.find(Key(node, query));
+    return it == degrade_deltas_.end() ? nullptr : &it->second;
   }
 
  private:
@@ -98,6 +190,50 @@ class Checker {
   bool MethodKnown() const { return method_it_ != trace_.info.end(); }
   bool MethodIsDual() const {
     return MethodKnown() && method_it_->second == "dual";
+  }
+
+  /// Numeric info key, or \p dflt when absent/unparsable.
+  double InfoNum(const char* key, double dflt) const {
+    auto it = trace_.info.find(key);
+    if (it == trace_.info.end()) return dflt;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    return end == it->second.c_str() ? dflt : v;
+  }
+
+  /// The source of \p e is mid-crash iff the latest recorded crash window
+  /// still covers e.time — the exact float comparison the simulator ran.
+  void CheckNotCrashed(const TraceEvent& e) {
+    auto it = crash_state_.find(Key(e.node, e.source));
+    if (it != crash_state_.end() && it->second.first > e.time) {
+      FailEvent(e, "source " + std::to_string(e.source) +
+                       " emitted inside its crash window (until " +
+                       std::to_string(it->second.first) + ")");
+    }
+  }
+
+  /// A message from source e.source reached the coordinator (arrival,
+  /// suppressed duplicate, or heartbeat): refresh the lease clock and
+  /// un-expire the source's items, recovering queries whose degraded-item
+  /// count drops to zero — mirroring the simulator's record_contact.
+  void FaultContact(const TraceEvent& e) {
+    const int64_t skey = Key(e.node, e.source);
+    contact_[skey] = {e.time, e.id};
+    auto si = source_items_.find(skey);
+    if (si == source_items_.end()) return;
+    for (int32_t item : si->second) {
+      auto xi = item_expired_.find(Key(e.node, item));
+      if (xi == item_expired_.end() || !xi->second) continue;
+      xi->second = false;
+      for (int32_t q : item_queries_[Key(e.node, item)]) {
+        const int64_t qkey = Key(e.node, q);
+        if (--degraded_count_[qkey] == 0) {
+          pending_recover_[e.id].insert(qkey);
+          degrade_id_[qkey] = 0;
+          degrade_deltas_[qkey].push_back({e.time, 0});
+        }
+      }
+    }
   }
 
   /// The violation tolerance the producing run used for this node's
@@ -221,11 +357,35 @@ class Checker {
           }
           it2->second = e.a;
         }
+        // Fault mode: emissions are sequence-numbered 1, 2, 3, ... per
+        // (node, item), and a crashed source emits nothing.
+        if (fault_mode_ && e.flag != 0) {
+          auto& last = last_emit_seq_[Key(e.node, e.item)];
+          if (e.flag != last + 1) {
+            FailEvent(e, "refresh seq " + std::to_string(e.flag) +
+                             " does not follow the previous seq " +
+                             std::to_string(last));
+          }
+          last = e.flag;
+          CheckNotCrashed(e);
+          resolutions_[Key(e.node, e.item)].push_back(
+              {e.id, e.time, e.flag, kResEmitted});
+        }
         break;
       }
       case TraceEventKind::kRefreshArrived: {
-        const TraceEvent* c =
-            CauseOfKind(e, TraceEventKind::kRefreshEmitted);
+        const TraceEvent* c = Cause(e);
+        if (c != nullptr) {
+          // In fault mode a delivered copy may also be a retransmission.
+          if (c->kind != TraceEventKind::kRefreshEmitted &&
+              !(fault_mode_ && c->kind == TraceEventKind::kRetransmit)) {
+            FailEvent(e, std::string("cause #") + std::to_string(c->id) +
+                             " has kind " + Name(c->kind) +
+                             ", expected refresh_emitted" +
+                             (fault_mode_ ? " or retransmit" : ""));
+            c = nullptr;
+          }
+        }
         if (c != nullptr) {
           if (c->node != e.node || c->item != e.item) {
             FailEvent(e, "arrival does not match its emission's node/item");
@@ -238,8 +398,27 @@ class Checker {
           if (c->time > e.time) {
             FailEvent(e, "arrival precedes its emission");
           }
+          if (fault_mode_ && e.flag != 0 && c->flag != e.flag) {
+            FailEvent(e, "arrival seq " + std::to_string(e.flag) +
+                             " differs from its emission's seq " +
+                             std::to_string(c->flag));
+          }
         }
         if (e.b < 0.0) FailEvent(e, "negative queue wait");
+        if (fault_mode_ && e.flag != 0) {
+          const int64_t ikey = Key(e.node, e.item);
+          auto& delivered = delivered_seq_[ikey];
+          if (e.flag <= delivered) {
+            FailEvent(e, "seq " + std::to_string(e.flag) +
+                             " delivered twice (already at " +
+                             std::to_string(delivered) +
+                             "); should have been dup_suppressed");
+          }
+          delivered = e.flag;
+          resolutions_[ikey].push_back(
+              {e.id, e.time, e.flag, kResDelivered});
+          FaultContact(e);
+        }
         if (sharded_) {
           auto it = item_home_.find(Key(e.node, e.item));
           if (it == item_home_.end()) {
@@ -424,6 +603,57 @@ class Checker {
                            "| does not exceed the QAB limit " +
                            std::to_string(limit));
         }
+        // Fault mode: re-derive the violation's attribution from the
+        // reliability state at this point of the stream and demand the
+        // recorded stamp (flag 1 = degraded, 2 = fault-caused, 0 = benign;
+        // cause = the blamed event) matches. A mismatch means the
+        // simulator blamed the wrong thing — a protocol bug, not a fault.
+        if (fault_mode_) {
+          int32_t want_flag = 0;
+          uint64_t want_cause = 0;
+          auto dc = degraded_count_.find(Key(e.node, e.query));
+          if (dc != degraded_count_.end() && dc->second > 0) {
+            want_flag = 1;
+            auto di = degrade_id_.find(Key(e.node, e.query));
+            if (di != degrade_id_.end()) want_cause = di->second;
+          } else if (it != query_info_.end()) {
+            // The simulator's blame scan, item for item: an item's source
+            // mid-crash, else an outstanding dropped refresh above the
+            // delivered seq. First hit wins.
+            for (int32_t item : it->second->items) {
+              if (num_sources_ > 0) {
+                auto cs = crash_state_.find(
+                    Key(e.node,
+                        static_cast<int32_t>(item % num_sources_)));
+                if (cs != crash_state_.end() &&
+                    cs->second.first > e.time) {
+                  want_flag = 2;
+                  want_cause = cs->second.second;
+                  break;
+                }
+              }
+              auto ds = drop_state_.find(Key(e.node, item));
+              if (ds != drop_state_.end()) {
+                auto del = delivered_seq_.find(Key(e.node, item));
+                const int64_t delivered =
+                    del == delivered_seq_.end() ? 0 : del->second;
+                if (ds->second.first > delivered) {
+                  want_flag = 2;
+                  want_cause = ds->second.second;
+                  break;
+                }
+              }
+            }
+          }
+          if (e.flag != want_flag || e.cause != want_cause) {
+            FailEvent(e, "fault attribution mismatch: recorded flag " +
+                             std::to_string(e.flag) + " cause #" +
+                             std::to_string(e.cause) +
+                             " but replay derives flag " +
+                             std::to_string(want_flag) + " cause #" +
+                             std::to_string(want_cause));
+          }
+        }
         ++fidelity_counts_[Key(e.node, e.query)];
         break;
       }
@@ -455,6 +685,252 @@ class Checker {
         latest_barrier_[Key(e.node, e.item)] = e.id;
         break;
       }
+      case TraceEventKind::kFaultDrop: {
+        if (!fault_mode_) {
+          FailEvent(e, "fault event in a trace without fault_config info");
+          break;
+        }
+        const int klass = static_cast<int>(e.b);
+        if (klass == 0 || klass == 1) {
+          // A dropped data copy links back to the emission (or
+          // retransmission) whose copy was lost.
+          const TraceEvent* c = Cause(e);
+          if (c != nullptr) {
+            const bool emitted =
+                c->kind == TraceEventKind::kRefreshEmitted ||
+                c->kind == TraceEventKind::kRetransmit;
+            if (!emitted || c->node != e.node || c->item != e.item ||
+                c->flag != e.flag) {
+              FailEvent(e, "dropped data copy does not match its emission");
+            }
+          }
+          drop_state_[Key(e.node, e.item)] = {e.flag, e.id};
+          data_drops_.push_back({e.node, e.item, e.flag, e.time, e.id});
+        } else if (klass == 2) {
+          const TraceEvent* c = CauseOfKind(e, TraceEventKind::kAck);
+          if (c != nullptr && (c->node != e.node || c->item != e.item ||
+                               c->flag != e.flag)) {
+            FailEvent(e, "dropped ack does not match the ack it lost");
+          }
+        } else if (klass == 3) {
+          // Heartbeats are fire-and-forget; the loss has no cause link.
+        } else {
+          FailEvent(e, "unknown dropped-message class " +
+                           std::to_string(e.b));
+        }
+        break;
+      }
+      case TraceEventKind::kRetransmit: {
+        if (!fault_mode_) {
+          FailEvent(e, "fault event in a trace without fault_config info");
+          break;
+        }
+        const TraceEvent* c = Cause(e);
+        if (c != nullptr) {
+          const bool emitted =
+              c->kind == TraceEventKind::kRefreshEmitted ||
+              c->kind == TraceEventKind::kRetransmit;
+          if (!emitted || c->node != e.node || c->item != e.item ||
+              c->flag != e.flag || c->a != e.a) {
+            FailEvent(e, "retransmit does not chain back to the previous "
+                         "emission of its seq");
+          }
+        }
+        if (e.b < 1.0) FailEvent(e, "retransmit attempt must be >= 1");
+        CheckNotCrashed(e);
+        resolutions_[Key(e.node, e.item)].push_back(
+            {e.id, e.time, e.flag, kResRetransmit});
+        break;
+      }
+      case TraceEventKind::kAck: {
+        if (!fault_mode_) {
+          FailEvent(e, "fault event in a trace without fault_config info");
+          break;
+        }
+        // No ack without a delivered (or duplicate-suppressed) refresh of
+        // exactly this seq.
+        const TraceEvent* c = Cause(e);
+        if (c != nullptr) {
+          if (c->kind != TraceEventKind::kRefreshArrived &&
+              c->kind != TraceEventKind::kDupSuppressed) {
+            FailEvent(e, std::string("ack caused by ") + Name(c->kind) +
+                             ", expected a delivered or suppressed "
+                             "refresh");
+          } else if (c->node != e.node || c->item != e.item ||
+                     c->flag != e.flag) {
+            FailEvent(e, "ack does not match the delivery it "
+                         "acknowledges");
+          }
+        }
+        break;
+      }
+      case TraceEventKind::kDupSuppressed: {
+        if (!fault_mode_) {
+          FailEvent(e, "fault event in a trace without fault_config info");
+          break;
+        }
+        const TraceEvent* c = Cause(e);
+        if (c != nullptr) {
+          const bool emitted =
+              c->kind == TraceEventKind::kRefreshEmitted ||
+              c->kind == TraceEventKind::kRetransmit;
+          if (!emitted || c->node != e.node || c->item != e.item ||
+              c->flag != e.flag || c->a != e.a) {
+            FailEvent(e, "suppressed copy does not match its emission");
+          }
+        }
+        const int64_t ikey = Key(e.node, e.item);
+        auto di = delivered_seq_.find(ikey);
+        if (di == delivered_seq_.end() || e.flag > di->second) {
+          FailEvent(e, "suppressed seq " + std::to_string(e.flag) +
+                           " above the delivered seq " +
+                           std::to_string(di == delivered_seq_.end()
+                                              ? 0
+                                              : di->second));
+        }
+        resolutions_[ikey].push_back(
+            {e.id, e.time, e.flag, kResDelivered});
+        FaultContact(e);
+        break;
+      }
+      case TraceEventKind::kHeartbeat: {
+        if (!fault_mode_) {
+          FailEvent(e, "fault event in a trace without fault_config info");
+          break;
+        }
+        if (e.source < 0) {
+          FailEvent(e, "heartbeat without a source");
+          break;
+        }
+        FaultContact(e);
+        break;
+      }
+      case TraceEventKind::kCrash: {
+        if (!fault_mode_) {
+          FailEvent(e, "fault event in a trace without fault_config info");
+          break;
+        }
+        if (!(e.a > 0.0)) {
+          FailEvent(e, "crash with a non-positive outage duration");
+          break;
+        }
+        auto [it, fresh] = crash_state_.emplace(
+            Key(e.node, e.source),
+            std::pair<double, uint64_t>{e.time + e.a, e.id});
+        if (!fresh) {
+          if (it->second.first > e.time) {
+            FailEvent(e, "crash overlaps the source's previous crash "
+                         "window");
+          }
+          it->second = {e.time + e.a, e.id};
+        }
+        crash_windows_[Key(e.node, e.source)].push_back({e.time, e.a});
+        break;
+      }
+      case TraceEventKind::kLeaseExpire: {
+        if (!fault_mode_) {
+          FailEvent(e, "fault event in a trace without fault_config info");
+          break;
+        }
+        if (num_sources_ > 0 && e.item % num_sources_ != e.source) {
+          FailEvent(e, "item " + std::to_string(e.item) +
+                           " does not belong to source " +
+                           std::to_string(e.source));
+        }
+        // The recorded last-contact time must be the replay's, the lease
+        // must genuinely be past its deadline, and the deadline can only
+        // widen the base lease (drift allowance is never negative).
+        auto ci = contact_.find(Key(e.node, e.source));
+        const double last_contact =
+            ci == contact_.end() ? 0.0 : ci->second.first;
+        if (e.a != last_contact) {
+          FailEvent(e, "recorded last-contact " + std::to_string(e.a) +
+                           " differs from the replayed " +
+                           std::to_string(last_contact));
+        }
+        if (!(e.time - e.a > e.b)) {
+          FailEvent(e, "lease is not past its deadline (" +
+                           std::to_string(e.time - e.a) +
+                           " <= " + std::to_string(e.b) + ")");
+        }
+        if (lease_s_ > 0.0 && e.b < lease_s_) {
+          FailEvent(e, "deadline " + std::to_string(e.b) +
+                           " below the base lease " +
+                           std::to_string(lease_s_));
+        }
+        auto [xi, xfresh] =
+            item_expired_.emplace(Key(e.node, e.item), true);
+        if (!xfresh) {
+          if (xi->second) {
+            FailEvent(e, "lease expired twice without an intervening "
+                         "contact");
+          }
+          xi->second = true;
+        }
+        for (int32_t q : item_queries_[Key(e.node, e.item)]) {
+          const int64_t qkey = Key(e.node, q);
+          if (degraded_count_[qkey]++ == 0) {
+            pending_degrade_[e.id].insert(qkey);
+          }
+        }
+        resolutions_[Key(e.node, e.item)].push_back(
+            {e.id, e.time, 0, kResLease});
+        break;
+      }
+      case TraceEventKind::kDegrade: {
+        if (!fault_mode_) {
+          FailEvent(e, "fault event in a trace without fault_config info");
+          break;
+        }
+        const TraceEvent* c = CauseOfKind(e, TraceEventKind::kLeaseExpire);
+        if (c != nullptr && (c->node != e.node || c->item != e.item)) {
+          FailEvent(e, "degrade does not match its lease expiry's "
+                       "node/item");
+        }
+        if (e.flag != 0 && e.flag != 1) {
+          FailEvent(e, "degrade flag must be 0 (unboundable) or 1 "
+                       "(boundable)");
+        }
+        const int64_t qkey = Key(e.node, e.query);
+        auto pi = pending_degrade_.find(e.cause);
+        if (pi == pending_degrade_.end() || pi->second.erase(qkey) == 0) {
+          FailEvent(e, "degrade without a matching 0 -> 1 expired-item "
+                       "transition for query " + std::to_string(e.query));
+        }
+        degrade_id_[qkey] = e.id;
+        degrade_deltas_[qkey].push_back({e.time, 1});
+        break;
+      }
+      case TraceEventKind::kRecover: {
+        if (!fault_mode_) {
+          FailEvent(e, "fault event in a trace without fault_config info");
+          break;
+        }
+        const TraceEvent* c = Cause(e);
+        if (c != nullptr && c->kind != TraceEventKind::kRefreshArrived &&
+            c->kind != TraceEventKind::kDupSuppressed &&
+            c->kind != TraceEventKind::kHeartbeat) {
+          FailEvent(e, std::string("recover caused by ") + Name(c->kind) +
+                           ", expected a coordinator contact");
+        }
+        const int64_t qkey = Key(e.node, e.query);
+        auto pi = pending_recover_.find(e.cause);
+        if (pi == pending_recover_.end() || pi->second.erase(qkey) == 0) {
+          FailEvent(e, "recover without a matching -> 0 expired-item "
+                       "transition for query " + std::to_string(e.query));
+        }
+        break;
+      }
+      case TraceEventKind::kLaneStall: {
+        if (!fault_mode_) {
+          FailEvent(e, "fault event in a trace without fault_config info");
+          break;
+        }
+        if (!(e.a > 0.0)) {
+          FailEvent(e, "lane stall with a non-positive duration");
+        }
+        break;
+      }
     }
   }
 
@@ -481,6 +957,57 @@ class Checker {
   int64_t planner_events_ = 0;
   int64_t planner_replans_ = 0;
   int64_t starts_non_aao_ = 0;
+
+  // --- Fault-mode reliability state (docs/ROBUSTNESS.md) ---
+  /// A dropped data copy (class 0/1) awaiting resolution.
+  struct DataDrop {
+    int32_t node;
+    int32_t item;
+    int64_t seq;
+    double time;
+    uint64_t id;
+  };
+  enum ResolutionKind {
+    kResRetransmit,  ///< re-sent at seq >= the dropped one
+    kResEmitted,     ///< superseded by a strictly newer seq
+    kResDelivered,   ///< another copy (or dup) of seq >= it got through
+    kResLease,       ///< the item's lease expired — degradation took over
+  };
+  struct Resolution {
+    uint64_t id;
+    double time;
+    int64_t seq;
+    ResolutionKind kind;
+  };
+  bool fault_mode_ = false;
+  int64_t num_sources_ = 0;
+  double lease_s_ = 0.0;
+  double retx_timeout_s_ = 0.0;
+  std::map<int64_t, int64_t> last_emit_seq_;  // (node,item) -> last seq
+  std::map<int64_t, int64_t> delivered_seq_;  // (node,item) -> delivered
+  /// (node,item) -> latest outstanding drop {seq, drop event id}.
+  std::map<int64_t, std::pair<int64_t, uint64_t>> drop_state_;
+  /// (node,source) -> {end of latest crash window, crash event id}.
+  std::map<int64_t, std::pair<double, uint64_t>> crash_state_;
+  /// (node,source) -> every crash window as (start, duration).
+  std::map<int64_t, std::vector<std::pair<double, double>>> crash_windows_;
+  /// (node,source) -> {time, event id} of the last coordinator contact.
+  std::map<int64_t, std::pair<double, uint64_t>> contact_;
+  std::map<int64_t, bool> item_expired_;      // (node,item) -> lease lapsed
+  std::map<int64_t, int64_t> degraded_count_; // (node,query) -> expired items
+  std::map<int64_t, uint64_t> degrade_id_;    // (node,query) -> degrade event
+  /// lease_expire id -> (node,query) keys whose degrade event is still owed.
+  std::map<uint64_t, std::set<int64_t>> pending_degrade_;
+  /// contact event id -> (node,query) keys whose recover event is still owed.
+  std::map<uint64_t, std::set<int64_t>> pending_recover_;
+  std::map<int64_t, std::vector<int32_t>> item_queries_;  // (node,item)
+  std::map<int64_t, std::set<int32_t>> source_items_;     // (node,source)
+  /// (node,query) -> (time, state 1=degraded/0=recovered) transitions, in
+  /// event order. Exposed through DegradeDeltas for the
+  /// degraded_query_seconds re-derivation.
+  std::map<int64_t, std::vector<std::pair<double, int>>> degrade_deltas_;
+  std::vector<DataDrop> data_drops_;
+  std::map<int64_t, std::vector<Resolution>> resolutions_;  // (node,item)
 };
 
 bool InScope(const TraceRunSummary& s, const TraceEvent& e) {
@@ -510,6 +1037,32 @@ TraceDerivedStats Derive(const TraceFile& trace, const TraceRunSummary& s,
       loss_sum += 100.0 * violated_time / static_cast<double>(s.ticks - 1);
     }
     d.mean_fidelity_loss_pct = loss_sum / static_cast<double>(s.queries);
+  }
+  // Fault mode: replay each query's degrade/recover transitions against
+  // the fidelity sample grid. The simulator charges fidelity_stride
+  // seconds per sample tick a query spends degraded; leases are scanned
+  // before the fidelity pass each tick, so the state at sample tick t is
+  // the last transition with time <= t.
+  if (s.ticks >= 2 && s.fidelity_stride > 0) {
+    for (const TraceQueryInfo& q : trace.queries) {
+      if (s.node != -1 && q.node != s.node) continue;
+      const auto* deltas = checker.DegradeDeltas(q.node, q.query);
+      if (deltas == nullptr) continue;
+      size_t di = 0;
+      int state = 0;
+      int64_t degraded_ticks = 0;
+      for (int64_t t = s.fidelity_stride; t <= s.ticks - 1;
+           t += s.fidelity_stride) {
+        const double tt = static_cast<double>(t);
+        while (di < deltas->size() && (*deltas)[di].first <= tt) {
+          state = (*deltas)[di].second;
+          ++di;
+        }
+        if (state != 0) ++degraded_ticks;
+      }
+      d.degraded_query_seconds +=
+          static_cast<double>(degraded_ticks * s.fidelity_stride);
+    }
   }
   return d;
 }
@@ -542,6 +1095,16 @@ void DiffSummary(const TraceRunSummary& s, const TraceDerivedStats& d,
     fail("mean_fidelity_loss_pct replayed as " +
          std::to_string(d.mean_fidelity_loss_pct) + " but recorded as " +
          std::to_string(s.mean_fidelity_loss_pct));
+  }
+  diff_count("fault_drops", d.fault_drops, s.fault_drops);
+  diff_count("retransmits", d.retransmits, s.retransmits);
+  diff_count("duplicates_suppressed", d.duplicates_suppressed,
+             s.duplicates_suppressed);
+  diff_count("lease_expiries", d.lease_expiries, s.lease_expiries);
+  if (d.degraded_query_seconds != s.degraded_query_seconds) {
+    fail("degraded_query_seconds replayed as " +
+         std::to_string(d.degraded_query_seconds) + " but recorded as " +
+         std::to_string(s.degraded_query_seconds));
   }
 }
 
@@ -582,6 +1145,35 @@ void DiffRunReport(const TraceFile& trace,
   diff_counter("dab_change_messages", total.dab_change_messages);
   diff_counter("solver_failures", total.solver_failures);
   if (!relay) diff_counter("user_notifications", total.user_notifications);
+
+  // Fault-mode runs register the sim.fault.* counters; their values must
+  // mirror the replayed totals exactly (conservation, satellite (f) of
+  // docs/ROBUSTNESS.md). degraded_query_seconds is summed over the
+  // per-summary derivations, since it needs each summary's sample grid.
+  if (!relay && trace.info.find("fault_config") != trace.info.end()) {
+    auto diff_fault = [&](const char* metric, int64_t derived_value) {
+      const RunReport::Entry* e =
+          rr.Find(std::string("sim.fault.") + metric);
+      if (e == nullptr) {
+        fail(std::string("missing counter sim.fault.") + metric);
+        return;
+      }
+      if (e->counter_value != derived_value) {
+        fail(std::string("sim.fault.") + metric + " replayed as " +
+             std::to_string(derived_value) + " but reported as " +
+             std::to_string(e->counter_value));
+      }
+    };
+    diff_fault("drops", total.fault_drops);
+    diff_fault("retransmits", total.retransmits);
+    diff_fault("duplicates_suppressed", total.duplicates_suppressed);
+    diff_fault("lease_expiries", total.lease_expiries);
+    double degraded = 0.0;
+    for (const TraceDerivedStats& d : derived) {
+      degraded += d.degraded_query_seconds;
+    }
+    diff_fault("degraded_query_seconds", static_cast<int64_t>(degraded));
+  }
 
   if (trace.summaries.size() == 1 && derived.size() == 1) {
     const char* gauge_name = relay ? "net.relay.fidelity.mean_loss_pct"
@@ -677,6 +1269,12 @@ void AccumulateDerivedStats(const TraceEvent& e, TraceDerivedStats* d) {
     case TraceEventKind::kAaoSolve:
       if (e.flag == 0) ++d->solver_failures;
       break;
+    case TraceEventKind::kFaultDrop: ++d->fault_drops; break;
+    case TraceEventKind::kRetransmit: ++d->retransmits; break;
+    case TraceEventKind::kDupSuppressed:
+      ++d->duplicates_suppressed;
+      break;
+    case TraceEventKind::kLeaseExpire: ++d->lease_expiries; break;
     default: break;
   }
 }
@@ -712,6 +1310,20 @@ std::string TraceCheckReport::ToText(const TraceFile& trace) const {
                   static_cast<double>(d.refreshes) +
                       mu * static_cast<double>(d.recomputations));
     out += buf;
+    // Fault-mode line, only when anything fault-related happened, so
+    // fault-free renderings stay byte-identical.
+    if (d.fault_drops != 0 || d.retransmits != 0 ||
+        d.duplicates_suppressed != 0 || d.lease_expiries != 0 ||
+        d.degraded_query_seconds != 0.0) {
+      std::snprintf(buf, sizeof(buf),
+                    "node %d faults: drops=%" PRId64 " retransmits=%" PRId64
+                    " dups_suppressed=%" PRId64 " lease_expiries=%" PRId64
+                    " degraded_query_seconds=%.0f\n",
+                    trace.summaries[i].node, d.fault_drops, d.retransmits,
+                    d.duplicates_suppressed, d.lease_expiries,
+                    d.degraded_query_seconds);
+      out += buf;
+    }
   }
   if (!queries.empty()) {
     std::snprintf(buf, sizeof(buf),

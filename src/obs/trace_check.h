@@ -37,7 +37,21 @@
 ///      for an item whose queries span several lanes — a cross-lane EQI
 ///      merge — only ships after a shard_barrier event later than the
 ///      change that triggered it. Serial traces carry no lane stamps and
-///      skip these checks.
+///      skip these checks;
+///  (e) for fault-mode traces (a `fault_config` info key,
+///      docs/ROBUSTNESS.md): sequence numbers increase strictly per item;
+///      no ack without a delivered (or duplicate-suppressed) refresh of
+///      that seq; duplicates are only suppressed at or below the
+///      delivered seq; retransmit chains link back to the original
+///      emission; no source emits inside one of its recorded crash
+///      windows; every dropped data message is eventually retransmitted,
+///      superseded by a newer seq, re-delivered, or lease-expired (with
+///      end-of-trace amnesty); lease expiries quote the source's true
+///      last-contact time; the degrade/recover state machine transitions
+///      exactly on 0 -> 1 / -> 0 expired-item counts; and every fidelity
+///      violation's fault attribution (degraded / fault-caused / benign,
+///      with its cause id) is re-derived and must match — a mismatch is a
+///      protocol bug, not a fault.
 ///
 /// The replay is exact, not approximate: the JSONL doubles round-trip
 /// bit-identically (json_util.h) and the checker recomputes the very same
@@ -70,6 +84,15 @@ struct TraceDerivedStats {
   int64_t user_notifications = 0;
   int64_t solver_failures = 0;
   double mean_fidelity_loss_pct = 0.0;
+  // Fault-mode counters (docs/ROBUSTNESS.md); all zero for fault-free
+  // traces. degraded_query_seconds is re-derived from the degrade /
+  // recover state machine sampled at the run's fidelity stride, exactly
+  // as the simulator accumulated it.
+  int64_t fault_drops = 0;
+  int64_t retransmits = 0;
+  int64_t duplicates_suppressed = 0;
+  int64_t lease_expiries = 0;
+  double degraded_query_seconds = 0.0;
 };
 
 /// Recomputation price shared by the checker and the folder

@@ -160,6 +160,45 @@ class Folder {
         ++barrier_events_;
         break;
       }
+      // Fault-mode events (docs/ROBUSTNESS.md) fold into stacks only —
+      // they are reliability overhead, not the paper's message classes,
+      // so the attribution tables stay untouched (field = nullptr) and
+      // fault-free renderings stay byte-identical.
+      case TraceEventKind::kFaultDrop: {
+        const int klass = static_cast<int>(e.b);
+        Chain chain = klass == 0   ? Chain{{"refresh", "drop"}, e.item}
+                      : klass == 1 ? Chain{{"refresh", "retransmit",
+                                            "drop"}, e.item}
+                      : klass == 2 ? Chain{{"ack", "drop"}, e.item}
+                                   : Chain{{"heartbeat", "drop"}, -1};
+        Add(klass == 3 ? -1 : OwnerOf(e), /*global=*/false, chain.item,
+            e.shard, chain, 1.0, nullptr);
+        ++attributed_.fault_drops;
+        break;
+      }
+      case TraceEventKind::kRetransmit: {
+        Add(OwnerOf(e), /*global=*/false, e.item, e.shard,
+            {{"refresh", "retransmit"}, e.item}, 1.0, nullptr);
+        ++attributed_.retransmits;
+        break;
+      }
+      case TraceEventKind::kDupSuppressed: {
+        Add(OwnerOf(e), /*global=*/false, e.item, e.shard,
+            {{"refresh", "dup_suppressed"}, e.item}, 1.0, nullptr);
+        ++attributed_.duplicates_suppressed;
+        break;
+      }
+      case TraceEventKind::kLeaseExpire: {
+        Add(OwnerOf(e), /*global=*/false, e.item, e.shard,
+            {{"lease_expire"}, e.item}, 1.0, nullptr);
+        ++attributed_.lease_expiries;
+        break;
+      }
+      case TraceEventKind::kDegrade: {
+        Add(e.query, /*global=*/false, e.item, e.shard,
+            {{"lease_expire", "degrade"}, e.item}, 1.0, nullptr);
+        break;
+      }
       default:
         // Emissions are the source side of the refresh counted at
         // arrival; installs the receive side of the send; violations and
@@ -169,8 +208,15 @@ class Folder {
     }
   }
 
+  /// Owning query of an event's item (first query_info referencing it).
+  int32_t OwnerOf(const TraceEvent& e) const {
+    auto it = item_owner_.find(Key(e.node, e.item));
+    return it == item_owner_.end() ? -1 : it->second;
+  }
+
   /// Record one message: one stack (identity frames per group_by, then the
-  /// cause chain) and one row increment in each attribution table.
+  /// cause chain) and one row increment in each attribution table. A null
+  /// \p field records the stack only, leaving every table untouched.
   void Add(int32_t query, bool global, int32_t item, int32_t lane,
            const Chain& chain, double weight,
            int64_t FoldAttributionRow::* field) {
@@ -201,6 +247,7 @@ class Folder {
     if (stack.frames.empty()) stack.frames = frames;
     ++stack.count;
     stack.weight += weight;
+    if (field == nullptr) return;
 
     auto bump = [&](std::map<int32_t, FoldAttributionRow>& table,
                     int32_t key) {
@@ -238,6 +285,11 @@ class Folder {
          d.dab_change_messages);
     diff("user_notifications", attributed_.user_notifications,
          d.user_notifications);
+    diff("fault_drops", attributed_.fault_drops, d.fault_drops);
+    diff("retransmits", attributed_.retransmits, d.retransmits);
+    diff("duplicates_suppressed", attributed_.duplicates_suppressed,
+         d.duplicates_suppressed);
+    diff("lease_expiries", attributed_.lease_expiries, d.lease_expiries);
     if (!trace_.summaries.empty()) {
       TraceDerivedStats s;
       for (const TraceRunSummary& rs : trace_.summaries) {
@@ -245,6 +297,10 @@ class Folder {
         s.recomputations += rs.recomputations;
         s.dab_change_messages += rs.dab_change_messages;
         s.user_notifications += rs.user_notifications;
+        s.fault_drops += rs.fault_drops;
+        s.retransmits += rs.retransmits;
+        s.duplicates_suppressed += rs.duplicates_suppressed;
+        s.lease_expiries += rs.lease_expiries;
       }
       auto diff_summary = [&](const char* what, int64_t folded,
                               int64_t recorded) {
@@ -259,6 +315,13 @@ class Folder {
                    s.dab_change_messages);
       diff_summary("user_notifications", attributed_.user_notifications,
                    s.user_notifications);
+      diff_summary("fault_drops", attributed_.fault_drops, s.fault_drops);
+      diff_summary("retransmits", attributed_.retransmits, s.retransmits);
+      diff_summary("duplicates_suppressed",
+                   attributed_.duplicates_suppressed,
+                   s.duplicates_suppressed);
+      diff_summary("lease_expiries", attributed_.lease_expiries,
+                   s.lease_expiries);
     }
   }
 

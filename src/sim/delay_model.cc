@@ -1,4 +1,50 @@
 #include "sim/delay_model.h"
 
-// DelayModel is header-only today; this translation unit anchors the
-// library target and keeps a stable home for future out-of-line logic.
+#include <cmath>
+#include <cstdio>
+
+namespace polydab::sim {
+
+namespace {
+
+Status BadField(const char* field, double value, const char* want) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "DelayConfig.%s = %g: %s", field, value,
+                want);
+  return Status::InvalidArgument(buf);
+}
+
+}  // namespace
+
+Status DelayConfig::Validate() const {
+  struct MeanField {
+    const char* name;
+    double value;
+  };
+  const MeanField means[] = {{"node_node_mean", node_node_mean},
+                             {"check_mean", check_mean},
+                             {"push_mean", push_mean}};
+  for (const MeanField& m : means) {
+    if (!(std::isfinite(m.value) && m.value >= 0.0)) {
+      return BadField(m.name, m.value, "want a finite delay >= 0 seconds");
+    }
+    if (!zero_delay && m.value <= 0.0) {
+      return BadField(m.name, m.value,
+                      "want > 0 (Pareto sampling needs a positive mean; "
+                      "use zero_delay for the idealized setting)");
+    }
+  }
+  if (!(std::isfinite(recompute_cpu_s) && recompute_cpu_s >= 0.0)) {
+    return BadField("recompute_cpu_s", recompute_cpu_s,
+                    "want a finite CPU time >= 0 seconds");
+  }
+  if (!std::isfinite(pareto_shape) ||
+      (!zero_delay && pareto_shape <= 1.0)) {
+    return BadField("pareto_shape", pareto_shape,
+                    "want a finite shape > 1 (the Pareto mean diverges "
+                    "at shape <= 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace polydab::sim

@@ -2,6 +2,7 @@
 #define POLYDAB_SIM_DELAY_MODEL_H_
 
 #include "common/rng.h"
+#include "common/status.h"
 
 /// \file delay_model.h
 /// §V-A "Delays": communication delays drawn from a heavy-tailed Pareto
@@ -25,6 +26,15 @@ struct DelayConfig {
   /// the load on the coordinator ... leading to better fidelity").
   double recompute_cpu_s = 0.002;
   double pareto_shape = 2.5;
+
+  /// Reject negative or non-finite fields with a diagnostic naming the
+  /// field (a NaN mean would silently poison every sampled delay; a
+  /// non-positive Pareto mean would abort mid-run inside Rng::Pareto).
+  /// Zero delay means and shape <= 1 are only rejected when zero_delay is
+  /// false — with zero_delay the samplers never run, so the idealized
+  /// configs stay expressible. recompute_cpu_s = 0 stays legal either
+  /// way (RecomputeCpu treats it as "free recomputation").
+  Status Validate() const;
 };
 
 /// Stateful sampler for the three delay kinds.

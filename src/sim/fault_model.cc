@@ -1,0 +1,62 @@
+#include "sim/fault_model.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace polydab::sim {
+
+namespace {
+
+Status BadField(const char* field, double value, const char* want) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "FaultConfig.%s = %g: %s", field, value,
+                want);
+  return Status::InvalidArgument(buf);
+}
+
+Status CheckProb(const char* field, double v) {
+  if (!(std::isfinite(v) && v >= 0.0 && v <= 1.0)) {
+    return BadField(field, v, "want a probability in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status CheckDuration(const char* field, double v) {
+  if (!(std::isfinite(v) && v > 0.0)) {
+    return BadField(field, v, "want a positive finite duration in seconds");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultConfig::Validate() const {
+  POLYDAB_RETURN_NOT_OK(CheckProb("drop_prob", drop_prob));
+  POLYDAB_RETURN_NOT_OK(CheckProb("dup_prob", dup_prob));
+  POLYDAB_RETURN_NOT_OK(CheckProb("reorder_prob", reorder_prob));
+  POLYDAB_RETURN_NOT_OK(CheckProb("delay_spike_prob", delay_spike_prob));
+  POLYDAB_RETURN_NOT_OK(CheckProb("crash_prob", crash_prob));
+  POLYDAB_RETURN_NOT_OK(CheckProb("stall_prob", stall_prob));
+  POLYDAB_RETURN_NOT_OK(CheckDuration("reorder_s", reorder_s));
+  POLYDAB_RETURN_NOT_OK(CheckDuration("delay_spike_s", delay_spike_s));
+  POLYDAB_RETURN_NOT_OK(CheckDuration("crash_recovery_s", crash_recovery_s));
+  POLYDAB_RETURN_NOT_OK(CheckDuration("stall_s", stall_s));
+  POLYDAB_RETURN_NOT_OK(CheckDuration("retx_timeout_s", retx_timeout_s));
+  POLYDAB_RETURN_NOT_OK(CheckDuration("heartbeat_s", heartbeat_s));
+  POLYDAB_RETURN_NOT_OK(CheckDuration("lease_s", lease_s));
+  return Status::OK();
+}
+
+std::string FaultConfig::Describe() const {
+  char buf[352];
+  std::snprintf(
+      buf, sizeof(buf),
+      "drop=%g dup=%g reorder=%g/%gs spike=%g/%gs crash=%g/%gs "
+      "stall=%g/%gs retx_timeout_s=%g heartbeat_s=%g lease_s=%g",
+      drop_prob, dup_prob, reorder_prob, reorder_s, delay_spike_prob,
+      delay_spike_s, crash_prob, crash_recovery_s, stall_prob, stall_s,
+      retx_timeout_s, heartbeat_s, lease_s);
+  return buf;
+}
+
+}  // namespace polydab::sim

@@ -1,0 +1,131 @@
+#ifndef POLYDAB_SIM_FAULT_MODEL_H_
+#define POLYDAB_SIM_FAULT_MODEL_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/delay_model.h"
+
+/// \file fault_model.h
+/// Seeded fault injection plus the knobs of the reliability protocol that
+/// survives it (docs/ROBUSTNESS.md). The paper's correctness condition
+/// (§III: every QAB holds because every DAB violation is pushed) assumes
+/// a lossless, live network; FaultConfig drops/duplicates/reorders
+/// individual messages, crashes whole sources and stalls coordinator
+/// lanes, all driven by a dedicated RNG stream forked from the run seed —
+/// so every chaos run replays bit-identically and a null config perturbs
+/// nothing (the simulator's existing RNG draw order is untouched).
+///
+/// The protocol knobs (retransmit timeout, heartbeat period, lease
+/// duration) govern the reliability layer the simulator runs whenever the
+/// config is active: sequence-numbered refreshes acked by the
+/// coordinator and retransmitted with exponential backoff, per-source
+/// heartbeats, and per-item leases whose expiry degrades the affected
+/// queries instead of silently serving stale values as in-bound.
+
+namespace polydab::sim {
+
+struct FaultConfig {
+  // --- Injection knobs. All zero (the default) = no faults injected. ---
+  double drop_prob = 0.0;        ///< per message: silently dropped
+  double dup_prob = 0.0;         ///< per data message: a second copy sent
+  double reorder_prob = 0.0;     ///< per message: held back ~reorder_s
+  double reorder_s = 0.5;        ///< mean extra holding delay
+  double delay_spike_prob = 0.0; ///< per message: a long delay spike
+  double delay_spike_s = 2.0;    ///< mean spike duration
+  double crash_prob = 0.0;       ///< per source per tick: crash starts
+  double crash_recovery_s = 30.0;///< mean crash outage duration
+  double stall_prob = 0.0;       ///< per lane per tick: lane stalls
+  double stall_s = 1.0;          ///< mean stall duration
+
+  // --- Reliability-protocol knobs (used whenever the config is active). ---
+  /// Base ack timeout before a source retransmits an unacked refresh;
+  /// doubles per attempt, capped at 8x.
+  double retx_timeout_s = 2.0;
+  /// Period of per-source liveness heartbeats to the coordinator.
+  double heartbeat_s = 5.0;
+  /// Base per-item lease: the coordinator declares an item's source dead
+  /// after lease_s plus the item's worst-case drift time (from its
+  /// installed DAB and ddm rate) without any contact from the source.
+  double lease_s = 15.0;
+
+  /// Run the reliability protocol (seq/ack/retransmit/lease) even with
+  /// zero injection probabilities — for differential tests that need the
+  /// protocol path exercised under fault-free conditions.
+  bool protocol_only = false;
+
+  /// Any injection probability set?
+  bool injects() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || reorder_prob > 0.0 ||
+           delay_spike_prob > 0.0 || crash_prob > 0.0 || stall_prob > 0.0;
+  }
+  /// Anything to do at all? false = the null config: the simulator takes
+  /// no fault branch, draws nothing from the fault RNG stream and emits
+  /// byte-identical traces to a build without this layer.
+  bool active() const { return injects() || protocol_only; }
+
+  /// Reject probabilities outside [0,1] and negative or non-finite
+  /// durations with a diagnostic naming the field.
+  Status Validate() const;
+
+  /// One-line rendering of the non-default knobs, for run reports.
+  std::string Describe() const;
+};
+
+/// Stateful fault sampler. Owns the dedicated fault RNG stream so that
+/// injection decisions never perturb the simulator's delay or workload
+/// draws: a run with faults enabled but zero probabilities produces the
+/// same data-path timings as a fault-free run.
+class FaultModel {
+ public:
+  FaultModel(const FaultConfig& config, Rng rng)
+      : config_(config), rng_(std::move(rng)) {}
+
+  bool DropMessage() { return rng_.Bernoulli(config_.drop_prob); }
+  bool DuplicateMessage() { return rng_.Bernoulli(config_.dup_prob); }
+  bool CrashNow() { return rng_.Bernoulli(config_.crash_prob); }
+  bool StallNow() { return rng_.Bernoulli(config_.stall_prob); }
+
+  /// Extra in-flight delay from reordering holds and delay spikes;
+  /// 0 when neither fires.
+  double ExtraDelay() {
+    double d = 0.0;
+    if (config_.reorder_prob > 0.0 && rng_.Bernoulli(config_.reorder_prob)) {
+      d += rng_.Uniform(0.5 * config_.reorder_s, 1.5 * config_.reorder_s);
+    }
+    if (config_.delay_spike_prob > 0.0 &&
+        rng_.Bernoulli(config_.delay_spike_prob)) {
+      d += rng_.Uniform(0.5 * config_.delay_spike_s,
+                        1.5 * config_.delay_spike_s);
+    }
+    return d;
+  }
+
+  double CrashDuration() {
+    return rng_.Uniform(0.5 * config_.crash_recovery_s,
+                        1.5 * config_.crash_recovery_s);
+  }
+  double StallDuration() {
+    return rng_.Uniform(0.5 * config_.stall_s, 1.5 * config_.stall_s);
+  }
+
+  /// Network delay for protocol-generated messages (acks, heartbeats,
+  /// retransmitted copies), drawn from the fault RNG so the count of
+  /// protocol messages never shifts the main delay stream.
+  double ProtocolDelay(const DelayConfig& delays) {
+    return delays.zero_delay
+               ? 0.0
+               : rng_.Pareto(delays.node_node_mean, delays.pareto_shape);
+  }
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+};
+
+}  // namespace polydab::sim
+
+#endif  // POLYDAB_SIM_FAULT_MODEL_H_

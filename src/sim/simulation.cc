@@ -20,20 +20,40 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-enum class EventType { kRefresh, kDabChange };
+enum class EventType {
+  kRefresh,
+  kDabChange,
+  kAckArrive,   // fault mode: coordinator ack reaching the source
+  kHeartbeat,   // fault mode: source liveness signal reaching C
+};
 
 struct Event {
   double time;
   EventType type;
-  int item;
+  int item;      // kHeartbeat: the source id
   double value;  // refresh: item value; dab-change: new filter width
   // Causal-trace bookkeeping, 0 when tracing is off: the id of the
   // refresh_emitted / dab_change_sent event this message corresponds to,
   // and the total coordinator-queue wait accumulated across deferrals.
   uint64_t trace_id = 0;
   double wait = 0.0;
+  // Fault mode: the refresh/ack sequence number; 0 = unsequenced
+  // (fault-free runs, DAB changes).
+  int64_t seq = 0;
 
   bool operator>(const Event& other) const { return time > other.time; }
+};
+
+/// Fault mode: a source's latest unacked refresh of one item, kept for
+/// timeout retransmission. Replaced wholesale when a newer value pushes
+/// (the newer seq supersedes the older one).
+struct PendingRefresh {
+  int64_t seq = 0;
+  double value = 0.0;
+  uint64_t emit_id = 0;   // latest emission (refresh_emitted / retransmit)
+  double next_retx = 0.0;
+  int attempts = 0;
+  bool live = false;
 };
 
 /// Whole simulation state; method-free aggregation kept local to this TU.
@@ -98,14 +118,31 @@ struct SimInstruments {
   obs::Counter* cause_single_dab_staleness = nullptr;
   obs::Counter* cause_aao_periodic = nullptr;
   obs::Counter* shard_barriers = nullptr;
+  // `sim.fault.*`, mirroring the SimMetrics fault counters. Registered
+  // only when the run's FaultConfig is active so fault-free runs keep
+  // their historical registry contents (and run-report bytes) unchanged.
+  obs::Counter* fault_drops = nullptr;
+  obs::Counter* retransmits = nullptr;
+  obs::Counter* duplicates_suppressed = nullptr;
+  obs::Counter* lease_expiries = nullptr;
+  obs::Counter* degraded_query_seconds = nullptr;
   obs::Histogram* message_delay = nullptr;
   obs::Histogram* queue_wait = nullptr;
   obs::Histogram* shard_dispatch_wait = nullptr;
   obs::Histogram* tick_refreshes = nullptr;
   obs::Histogram* tick_recomputations = nullptr;
 
-  explicit SimInstruments(obs::MetricRegistry* reg) {
+  SimInstruments(obs::MetricRegistry* reg, bool fault_active) {
     if (reg == nullptr) return;
+    if (fault_active) {
+      fault_drops = reg->GetCounter("sim.fault.drops");
+      retransmits = reg->GetCounter("sim.fault.retransmits");
+      duplicates_suppressed =
+          reg->GetCounter("sim.fault.duplicates_suppressed");
+      lease_expiries = reg->GetCounter("sim.fault.lease_expiries");
+      degraded_query_seconds =
+          reg->GetCounter("sim.fault.degraded_query_seconds");
+    }
     refreshes = reg->GetCounter("sim.coordinator.refreshes");
     recomputations = reg->GetCounter("sim.coordinator.recomputations");
     dab_change_messages =
@@ -154,7 +191,14 @@ std::string SimConfig::Describe() const {
       violation_tol, paranoid_validation ? "true" : "false",
       delays.zero_delay ? "true" : "false", delays.node_node_mean,
       delays.check_mean, delays.push_mean, delays.recompute_cpu_s);
-  return buf;
+  std::string out = buf;
+  if (fault.active()) {
+    out += " fault{";
+    out += fault.Describe();
+    if (fault.protocol_only) out += " protocol_only";
+    out += "}";
+  }
+  return out;
 }
 
 std::ostream& operator<<(std::ostream& os, const SimConfig& config) {
@@ -178,6 +222,11 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
   if (config.coord_shards < 1) {
     return Status::InvalidArgument("coord_shards must be >= 1");
   }
+  // A malformed delay or fault config would otherwise surface as a NaN
+  // epidemic or a hard CHECK abort deep inside a run; reject it up front
+  // with a diagnostic naming the field.
+  POLYDAB_RETURN_NOT_OK(config.delays.Validate());
+  POLYDAB_RETURN_NOT_OK(config.fault.Validate());
   const int num_shards = config.coord_shards;
   const bool sharded = num_shards > 1;
   const bool aao_mode = config.aao_period_s > 0.0;
@@ -192,11 +241,17 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
 
   Rng master(config.seed);
   DelayModel delays(config.delays, master.Fork());
+  // The fault layer owns a second forked stream: injection decisions and
+  // protocol-message delays never perturb the main delay draws, so a
+  // zero-probability (protocol_only) chaos run keeps the data path's
+  // timings, and an inactive config takes no fault branch at all.
+  FaultModel faults(config.fault, master.Fork());
+  const bool fault_mode = config.fault.active();
 
   // Telemetry: cache instruments once and propagate the registry into the
   // planner (and through it the GP solver) so one SimConfig::registry
   // assignment instruments the whole stack.
-  SimInstruments ins(config.registry);
+  SimInstruments ins(config.registry, fault_mode);
   core::PlannerConfig planner_cfg = config.planner;
   if (planner_cfg.registry == nullptr) {
     planner_cfg.registry = config.registry;
@@ -221,6 +276,18 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     trace->SetInfo("method", core::Name(planner_cfg.method));
     trace->SetInfo("mu", obs::JsonNumber(planner_cfg.dual.mu));
     trace->SetInfo("sim_config", config.Describe());
+    if (fault_mode) {
+      // The offline verifier needs the item -> source mapping and the
+      // protocol constants to re-derive crash windows, retransmit chains
+      // and lease deadlines (obs/trace_check.cc).
+      trace->SetInfo("fault_config", config.fault.Describe());
+      trace->SetInfo("num_sources", std::to_string(num_sources));
+      trace->SetInfo("fault_retx_timeout_s",
+                     obs::JsonNumber(config.fault.retx_timeout_s));
+      trace->SetInfo("fault_heartbeat_s",
+                     obs::JsonNumber(config.fault.heartbeat_s));
+      trace->SetInfo("fault_lease_s", obs::JsonNumber(config.fault.lease_s));
+    }
   }
 
   State st;
@@ -273,6 +340,163 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
   st.violated_time.assign(queries.size(), 0.0);
 
   SimMetrics metrics;
+
+  // --- Fault-mode protocol state (docs/ROBUSTNESS.md). Sized only when
+  // the fault layer is active; every use below is behind `fault_mode`. ---
+  std::vector<int64_t> next_seq;          // item -> next refresh seq (from 1)
+  std::vector<PendingRefresh> pending;    // item -> latest unacked refresh
+  std::vector<int64_t> delivered_seq;     // item -> highest seq delivered at C
+  std::vector<double> crashed_until;      // source -> down until this time
+  std::vector<uint64_t> crash_event;      // source -> trace id of the crash
+  std::vector<double> next_heartbeat;     // source -> next heartbeat time
+  std::vector<double> last_contact;       // source -> last contact seen at C
+  std::vector<uint64_t> contact_event;    // source -> trace id of the contact
+  std::vector<uint8_t> item_expired;      // item -> lease currently lapsed?
+  std::vector<uint64_t> expire_event;     // item -> trace id of the expiry
+  std::vector<int64_t> drop_seq;          // item -> max dropped data seq
+  std::vector<uint64_t> drop_eid;         // item -> trace id of that drop
+  std::vector<int> degraded_items;        // query -> # of its expired items
+  std::vector<uint64_t> degrade_event;    // query -> trace id of the degrade
+  std::vector<std::vector<int>> source_items;  // source -> its queried items
+  if (fault_mode) {
+    next_seq.assign(n_items, 1);
+    pending.assign(n_items, PendingRefresh{});
+    delivered_seq.assign(n_items, 0);
+    drop_seq.assign(n_items, 0);
+    drop_eid.assign(n_items, 0);
+    item_expired.assign(n_items, 0);
+    expire_event.assign(n_items, 0);
+    const size_t ns = static_cast<size_t>(num_sources);
+    crashed_until.assign(ns, 0.0);
+    crash_event.assign(ns, 0);
+    next_heartbeat.assign(ns, 0.0);  // first heartbeat fires at tick 1
+    last_contact.assign(ns, 0.0);    // t=0 install counts as contact
+    contact_event.assign(ns, 0);
+    source_items.resize(ns);
+    for (size_t i = 0; i < n_items; ++i) {
+      if (!st.item_queries[i].empty()) {
+        source_items[i % ns].push_back(static_cast<int>(i));
+      }
+    }
+    degraded_items.assign(queries.size(), 0);
+    degrade_event.assign(queries.size(), 0);
+  }
+
+  // Contact from source `s` observed at the coordinator (a delivered or
+  // suppressed refresh, or a heartbeat): refresh the lease and recover
+  // any of the source's items whose lease had lapsed. A query leaves
+  // degraded service once every one of its expired items recovered.
+  auto record_contact = [&](int s, double t, uint64_t cid) {
+    const size_t ss = static_cast<size_t>(s);
+    last_contact[ss] = t;
+    contact_event[ss] = cid;
+    for (int item : source_items[ss]) {
+      const size_t it = static_cast<size_t>(item);
+      if (item_expired[it] == 0) continue;
+      item_expired[it] = 0;
+      expire_event[it] = 0;
+      for (int qi : st.item_queries[it]) {
+        const size_t q = static_cast<size_t>(qi);
+        if (--degraded_items[q] == 0) {
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.time = t;
+            e.kind = obs::TraceEventKind::kRecover;
+            e.node = tnode;
+            e.source = s;
+            e.query = queries[q].id;
+            e.cause = cid;
+            trace->Emit(e);
+          }
+          degrade_event[q] = 0;
+        }
+      }
+    }
+  };
+
+  // Send one data-refresh copy (klass 0: first copy, 1: retransmit)
+  // through the fault layer. The first copy draws its delay from the main
+  // stream — exactly the draws a fault-free run makes — so protocol_only
+  // runs keep the data path's timings; retransmit copies and all
+  // injected extras draw from the fault stream.
+  auto send_data = [&](size_t item, double value, int64_t seq,
+                       uint64_t emit_id, int klass, double now) {
+    if (faults.DropMessage()) {
+      ++metrics.fault_drops;
+      if (ins.fault_drops != nullptr) ins.fault_drops->Inc();
+      // Per-item send seqs are non-decreasing (pending holds only the
+      // latest), so this drop is the item's newest outstanding loss.
+      drop_seq[item] = seq;
+      if (trace != nullptr) {
+        obs::TraceEvent e;
+        e.time = now;
+        e.kind = obs::TraceEventKind::kFaultDrop;
+        e.node = tnode;
+        e.source = static_cast<int32_t>(item) % num_sources;
+        e.item = static_cast<int32_t>(item);
+        e.cause = emit_id;
+        e.a = value;
+        e.b = static_cast<double>(klass);
+        e.flag = static_cast<int32_t>(seq);
+        drop_eid[item] = trace->Emit(e);
+      }
+      return;
+    }
+    double delay = klass == 0 ? delays.Push() + delays.Network()
+                              : faults.ProtocolDelay(config.delays);
+    delay += faults.ExtraDelay();
+    if (ins.message_delay != nullptr) ins.message_delay->Record(delay);
+    if (klass == 0 && faults.DuplicateMessage()) {
+      // The duplicate copy races the original on its own delay draw.
+      const double dup_delay =
+          faults.ProtocolDelay(config.delays) + faults.ExtraDelay();
+      Event dup{now + dup_delay, EventType::kRefresh,
+                static_cast<int>(item), value, emit_id, 0.0};
+      dup.seq = seq;
+      st.events.push(dup);
+    }
+    Event ev{now + delay, EventType::kRefresh, static_cast<int>(item),
+             value, emit_id, 0.0};
+    ev.seq = seq;
+    st.events.push(ev);
+  };
+
+  // Coordinator acks delivered (or suppressed-duplicate) seq `seq` of
+  // `item` back to its source; the ack itself can be dropped.
+  auto send_ack = [&](int item, int64_t seq, double now, uint64_t cause_id) {
+    uint64_t ack_id = 0;
+    if (trace != nullptr) {
+      obs::TraceEvent e;
+      e.time = now;
+      e.kind = obs::TraceEventKind::kAck;
+      e.node = tnode;
+      e.item = item;
+      e.cause = cause_id;
+      e.flag = static_cast<int32_t>(seq);
+      ack_id = trace->Emit(e);
+    }
+    if (faults.DropMessage()) {
+      ++metrics.fault_drops;
+      if (ins.fault_drops != nullptr) ins.fault_drops->Inc();
+      if (trace != nullptr) {
+        obs::TraceEvent e;
+        e.time = now;
+        e.kind = obs::TraceEventKind::kFaultDrop;
+        e.node = tnode;
+        e.source = item % num_sources;
+        e.item = item;
+        e.cause = ack_id;
+        e.b = 2.0;  // message class: ack
+        e.flag = static_cast<int32_t>(seq);
+        trace->Emit(e);
+      }
+      return;
+    }
+    Event ack{now + faults.ProtocolDelay(config.delays) + faults.ExtraDelay(),
+              EventType::kAckArrive, item, 0.0, ack_id, 0.0};
+    ack.seq = seq;
+    st.events.push(ack);
+  };
 
   auto anchor_part = [&](size_t qi, size_t pi) {
     const core::PlanPart& part = st.plans[qi].parts[pi];
@@ -458,6 +682,29 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         }
         continue;
       }
+      if (ev.type == EventType::kAckArrive) {
+        // Source side: the ack clears the retransmit obligation for this
+        // seq and anything older (a newer pending seq stays live).
+        PendingRefresh& p = pending[static_cast<size_t>(ev.item)];
+        if (p.live && ev.seq >= p.seq) p.live = false;
+        continue;
+      }
+      if (ev.type == EventType::kHeartbeat) {
+        // Liveness only: heartbeats cost the coordinator nothing and do
+        // not queue behind lane work. Event.item carries the source id.
+        uint64_t hb_id = 0;
+        if (trace != nullptr) {
+          trace->SetNow(ev.time);
+          obs::TraceEvent e;
+          e.time = ev.time;
+          e.kind = obs::TraceEventKind::kHeartbeat;
+          e.node = tnode;
+          e.source = ev.item;
+          hb_id = trace->Emit(e);
+        }
+        record_contact(ev.item, ev.time, hb_id);
+        continue;
+      }
       // Each coordinator lane is a serial resource: a refresh that arrives
       // while its item's home lane is still busy (checking earlier
       // refreshes, recomputing DABs) waits in that lane's queue. This
@@ -470,6 +717,35 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         deferred.time = st.shard_free_at[home_lane];
         deferred.wait += st.shard_free_at[home_lane] - ev.time;
         st.events.push(deferred);
+        continue;
+      }
+      if (fault_mode && ev.seq != 0 &&
+          ev.seq <= delivered_seq[static_cast<size_t>(ev.item)]) {
+        // An already-delivered seq (injected duplicate, or a retransmit
+        // that raced its own ack): suppressed without the QAB-check cost,
+        // but still a liveness contact, and re-acked in case the earlier
+        // ack was the casualty.
+        ++metrics.duplicates_suppressed;
+        if (ins.duplicates_suppressed != nullptr) {
+          ins.duplicates_suppressed->Inc();
+        }
+        uint64_t dup_id = 0;
+        if (trace != nullptr) {
+          trace->SetNow(ev.time);
+          obs::TraceEvent e;
+          e.time = ev.time;
+          e.kind = obs::TraceEventKind::kDupSuppressed;
+          e.node = tnode;
+          e.source = ev.item % num_sources;
+          e.item = ev.item;
+          if (sharded) e.shard = static_cast<int32_t>(home_lane);
+          e.cause = ev.trace_id;
+          e.a = ev.value;
+          e.flag = static_cast<int32_t>(ev.seq);
+          dup_id = trace->Emit(e);
+        }
+        record_contact(ev.item % num_sources, ev.time, dup_id);
+        send_ack(ev.item, ev.seq, ev.time, dup_id);
         continue;
       }
       // Refresh processing begins. The full queue wait — summed across
@@ -493,7 +769,13 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
         e.cause = ev.trace_id;
         e.a = ev.value;
         e.b = ev.wait;
+        if (ev.seq != 0) e.flag = static_cast<int32_t>(ev.seq);
         arrival_id = trace->Emit(e);
+      }
+      if (fault_mode && ev.seq != 0) {
+        delivered_seq[static_cast<size_t>(ev.item)] = ev.seq;
+        record_contact(ev.item % num_sources, ev.time, arrival_id);
+        send_ack(ev.item, ev.seq, ev.time, arrival_id);
       }
       std::fill(lane_busy.begin(), lane_busy.end(), 0.0);
       pre_free = st.shard_free_at;
@@ -657,6 +939,28 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     // 1. Deliver everything that arrived since the last tick.
     deliver_until(now);
 
+    // 1a. Injected coordinator-lane stalls: the lane's busy-until clock
+    //     jumps forward, so queued refreshes defer behind the outage.
+    //     After delivery — messages already in by `now` predate the
+    //     stall, and the trace stays time-monotonic.
+    if (fault_mode && config.fault.stall_prob > 0.0) {
+      for (size_t s = 0; s < st.shard_free_at.size(); ++s) {
+        if (!faults.StallNow()) continue;
+        const double dur = faults.StallDuration();
+        st.shard_free_at[s] = std::max(st.shard_free_at[s], now) + dur;
+        if (trace != nullptr) {
+          trace->SetNow(now);
+          obs::TraceEvent e;
+          e.time = now;
+          e.kind = obs::TraceEventKind::kLaneStall;
+          e.node = tnode;
+          if (sharded) e.shard = static_cast<int32_t>(s);
+          e.a = dur;
+          trace->Emit(e);
+        }
+      }
+    }
+
     // 2. Figure-7 mode: periodic joint AAO recomputation.
     if (aao_mode && tick >= aao_next_tick) {
       aao_next_tick += std::max(1, static_cast<int>(config.aao_period_s));
@@ -731,12 +1035,42 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     }
 
     // 3. Sources advance to this tick's trace values and push filtered
-    //    changes.
+    //    changes. Fault mode first settles which sources are down this
+    //    tick: a crashed source keeps drifting but emits nothing (pushes,
+    //    retransmits, heartbeats) until its outage window passes.
+    if (fault_mode && config.fault.crash_prob > 0.0) {
+      for (int s = 0; s < num_sources; ++s) {
+        const size_t ss = static_cast<size_t>(s);
+        if (crashed_until[ss] > now) continue;  // already down
+        if (!faults.CrashNow()) continue;
+        const double dur = faults.CrashDuration();
+        crashed_until[ss] = now + dur;
+        if (trace != nullptr) {
+          trace->SetNow(now);
+          obs::TraceEvent e;
+          e.time = now;
+          e.kind = obs::TraceEventKind::kCrash;
+          e.node = tnode;
+          e.source = s;
+          e.a = dur;
+          crash_event[ss] = trace->Emit(e);
+        }
+      }
+    }
     for (size_t item = 0; item < n_items; ++item) {
       st.source_value[item] = traces.ValueAt(item, tick);
       const double dab = st.installed_dab[item];
       if (std::isinf(dab)) continue;  // item unused by any query
       if (std::fabs(st.source_value[item] - st.last_pushed[item]) > dab) {
+        int64_t seq = 0;
+        if (fault_mode) {
+          // A crashed source neither pushes nor records the value as
+          // pushed: the drift persists, so recovery pushes immediately.
+          if (crashed_until[item % static_cast<size_t>(num_sources)] > now) {
+            continue;
+          }
+          seq = next_seq[item]++;
+        }
         uint64_t emit_id = 0;
         if (trace != nullptr) {
           obs::TraceEvent e;
@@ -748,14 +1082,88 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
           e.a = st.source_value[item];
           e.b = dab;
           e.c = st.last_pushed[item];
+          if (seq != 0) e.flag = static_cast<int32_t>(seq);
           emit_id = trace->Emit(e);
         }
         st.last_pushed[item] = st.source_value[item];
-        const double delay = delays.Push() + delays.Network();
-        if (ins.message_delay != nullptr) ins.message_delay->Record(delay);
-        st.events.push(Event{now + delay, EventType::kRefresh,
-                             static_cast<int>(item), st.source_value[item],
-                             emit_id, 0.0});
+        if (fault_mode) {
+          // Register the retransmit obligation before the send: the
+          // source cannot know the copy will be lost.
+          pending[item] =
+              PendingRefresh{seq, st.source_value[item], emit_id,
+                             now + config.fault.retx_timeout_s, 0, true};
+          send_data(item, st.source_value[item], seq, emit_id,
+                    /*klass=*/0, now);
+        } else {
+          const double delay = delays.Push() + delays.Network();
+          if (ins.message_delay != nullptr) ins.message_delay->Record(delay);
+          st.events.push(Event{now + delay, EventType::kRefresh,
+                               static_cast<int>(item), st.source_value[item],
+                               emit_id, 0.0});
+        }
+      }
+    }
+
+    // 3a. Reliability protocol: timeout retransmissions (exponential
+    //     backoff, gap capped at 8x) and per-source heartbeats.
+    if (fault_mode) {
+      for (size_t item = 0; item < n_items; ++item) {
+        PendingRefresh& p = pending[item];
+        if (!p.live || now < p.next_retx) continue;
+        const size_t src = item % static_cast<size_t>(num_sources);
+        if (crashed_until[src] > now) continue;  // source down
+        ++p.attempts;
+        ++metrics.retransmits;
+        if (ins.retransmits != nullptr) ins.retransmits->Inc();
+        uint64_t rid = 0;
+        if (trace != nullptr) {
+          trace->SetNow(now);
+          obs::TraceEvent e;
+          e.time = now;
+          e.kind = obs::TraceEventKind::kRetransmit;
+          e.node = tnode;
+          e.source = static_cast<int32_t>(src);
+          e.item = static_cast<int32_t>(item);
+          e.cause = p.emit_id;  // the previous emission of this seq
+          e.a = p.value;
+          e.b = static_cast<double>(p.attempts);
+          e.flag = static_cast<int32_t>(p.seq);
+          rid = trace->Emit(e);
+        }
+        p.next_retx = now + config.fault.retx_timeout_s *
+                                static_cast<double>(
+                                    1 << std::min(p.attempts, 3));
+        p.emit_id = rid;  // the next retransmit chains from this one
+        send_data(item, p.value, p.seq, rid, /*klass=*/1, now);
+      }
+      for (int s = 0; s < num_sources; ++s) {
+        const size_t ss = static_cast<size_t>(s);
+        // The heartbeat timer freezes during a crash (no advance), so a
+        // recovering source announces itself on its first live tick.
+        if (source_items[ss].empty() || crashed_until[ss] > now ||
+            now < next_heartbeat[ss]) {
+          continue;
+        }
+        next_heartbeat[ss] = now + config.fault.heartbeat_s;
+        if (faults.DropMessage()) {
+          ++metrics.fault_drops;
+          if (ins.fault_drops != nullptr) ins.fault_drops->Inc();
+          if (trace != nullptr) {
+            trace->SetNow(now);
+            obs::TraceEvent e;
+            e.time = now;
+            e.kind = obs::TraceEventKind::kFaultDrop;
+            e.node = tnode;
+            e.source = s;
+            e.b = 3.0;  // message class: heartbeat
+            trace->Emit(e);
+          }
+          continue;
+        }
+        st.events.push(
+            Event{now + faults.ProtocolDelay(config.delays) +
+                      faults.ExtraDelay(),
+                  EventType::kHeartbeat, s, 0.0, 0, 0.0});
       }
     }
 
@@ -764,9 +1172,80 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     //     network preserves Condition 1 exactly.
     deliver_until(now);
 
+    // 3c. Source leases: an item whose source has been silent past
+    //     lease_s plus the item's worst-case drift time (from its
+    //     installed DAB and the ddm rate, capped at 3x lease_s) is
+    //     declared stale; each affected query degrades — gracefully, with
+    //     a widening rate |dQ/d(item)|, when the query is linear in the
+    //     item, or as unboundable otherwise (core::WideningFor).
+    if (fault_mode) {
+      for (size_t item = 0; item < n_items; ++item) {
+        if (st.item_queries[item].empty() || item_expired[item] != 0) {
+          continue;
+        }
+        const size_t src = item % static_cast<size_t>(num_sources);
+        const double rate = std::max(rates[item], core::kMinRate);
+        double drift_time = st.installed_dab[item] / rate;
+        if (planner_cfg.dual.ddm == core::DataDynamicsModel::kRandomWalk) {
+          drift_time *= drift_time;
+        }
+        const double deadline =
+            config.fault.lease_s +
+            std::min(drift_time, 3.0 * config.fault.lease_s);
+        if (now - last_contact[src] <= deadline) continue;
+        item_expired[item] = 1;
+        ++metrics.lease_expiries;
+        if (ins.lease_expiries != nullptr) ins.lease_expiries->Inc();
+        uint64_t xid = 0;
+        if (trace != nullptr) {
+          trace->SetNow(now);
+          obs::TraceEvent e;
+          e.time = now;
+          e.kind = obs::TraceEventKind::kLeaseExpire;
+          e.node = tnode;
+          e.source = static_cast<int32_t>(src);
+          e.item = static_cast<int32_t>(item);
+          e.a = last_contact[src];
+          e.b = deadline;
+          xid = trace->Emit(e);
+        }
+        expire_event[item] = xid;
+        for (int qi : st.item_queries[item]) {
+          const size_t q = static_cast<size_t>(qi);
+          if (degraded_items[q]++ != 0) continue;  // already degraded
+          uint64_t did = 0;
+          if (trace != nullptr) {
+            const core::StalenessWidening w = core::WideningFor(
+                queries[q], static_cast<VarId>(item), st.view);
+            obs::TraceEvent e;
+            e.time = now;
+            e.kind = obs::TraceEventKind::kDegrade;
+            e.node = tnode;
+            e.item = static_cast<int32_t>(item);
+            e.query = queries[q].id;
+            e.cause = xid;
+            e.a = w.sensitivity;
+            e.b = rate;
+            e.flag = w.boundable ? 1 : 0;
+            did = trace->Emit(e);
+          }
+          degrade_event[q] = did;
+        }
+      }
+    }
+
     // 4. Fidelity sample: is each query's QAB currently met at C?
     if (tick % config.fidelity_stride == 0) {
       for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const bool degraded =
+            fault_mode && degraded_items[qi] > 0;
+        if (degraded) {
+          metrics.degraded_query_seconds +=
+              static_cast<double>(config.fidelity_stride);
+          if (ins.degraded_query_seconds != nullptr) {
+            ins.degraded_query_seconds->Add(config.fidelity_stride);
+          }
+        }
         const double at_source = queries[qi].p.Evaluate(st.source_value);
         const double at_coord = view_eval.QueryValue(qi);
         if (std::fabs(at_source - at_coord) >
@@ -781,6 +1260,33 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
             e.a = at_source;
             e.b = at_coord;
             e.c = queries[qi].qab;
+            if (degraded) {
+              // flag 1: the query is in declared-degraded service; the
+              // violation is covered by the degradation announcement.
+              e.flag = 1;
+              e.cause = degrade_event[qi];
+            } else if (fault_mode) {
+              // flag 2: a concrete fault explains the stale view. The
+              // deterministic blame scan (first item in Variables()
+              // order whose source is mid-crash, else whose newest loss
+              // is still undelivered) is mirrored exactly by the
+              // offline verifier. flag stays 0 for benign violations
+              // (message in flight, stale plan after solver failure).
+              for (VarId v : queries[qi].p.Variables()) {
+                const size_t it = static_cast<size_t>(v);
+                const size_t s = it % static_cast<size_t>(num_sources);
+                if (crashed_until[s] > now) {
+                  e.flag = 2;
+                  e.cause = crash_event[s];
+                  break;
+                }
+                if (drop_seq[it] > delivered_seq[it]) {
+                  e.flag = 2;
+                  e.cause = drop_eid[it];
+                  break;
+                }
+              }
+            }
             trace->Emit(e);
           }
         }
@@ -832,6 +1338,11 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     s.user_notifications = metrics.user_notifications;
     s.solver_failures = metrics.solver_failures;
     s.mean_fidelity_loss_pct = metrics.mean_fidelity_loss_pct;
+    s.fault_drops = metrics.fault_drops;
+    s.retransmits = metrics.retransmits;
+    s.duplicates_suppressed = metrics.duplicates_suppressed;
+    s.lease_expiries = metrics.lease_expiries;
+    s.degraded_query_seconds = metrics.degraded_query_seconds;
     trace->AddRunSummary(s);
   }
   return metrics;

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/delay_model.h"
+#include "sim/fault_model.h"
 #include "workload/trace.h"
 
 /// \file simulation.h
@@ -58,6 +59,17 @@ const char* Name(ShardPolicy policy);
 struct SimConfig {
   core::PlannerConfig planner;
   DelayConfig delays;
+  /// Fault injection + reliability protocol (sim/fault_model.h,
+  /// docs/ROBUSTNESS.md). The default (inactive) config takes no fault
+  /// branch anywhere and produces traces and metrics bit-identical to a
+  /// build without the fault layer. When active, refreshes carry sequence
+  /// numbers, the coordinator acks them, unacked refreshes retransmit
+  /// with exponential backoff, sources heartbeat, and per-item lease
+  /// expiry degrades the affected queries instead of silently serving
+  /// stale values as in-bound. All fault randomness comes from a
+  /// dedicated RNG stream forked from `seed`, so chaos runs replay
+  /// bit-identically and never perturb the delay/workload draws.
+  FaultConfig fault;
   int num_sources = 20;
   uint64_t seed = 1;
   /// Figure 7's AAO-T mode: when > 0 (seconds) and the planner method is
@@ -123,6 +135,16 @@ struct SimMetrics {
   int64_t user_notifications = 0; ///< query results pushed to users
   int64_t solver_failures = 0;    ///< plans kept stale due to solve errors
   double mean_fidelity_loss_pct = 0.0;  ///< mean over queries, in percent
+
+  // Fault-mode counters (all zero when SimConfig::fault is inactive).
+  int64_t fault_drops = 0;            ///< injected message losses
+  int64_t retransmits = 0;            ///< refresh copies re-sent after timeout
+  int64_t duplicates_suppressed = 0;  ///< already-delivered seqs ignored at C
+  int64_t lease_expiries = 0;         ///< per-item source leases lapsed
+  /// Sum over queries of seconds spent in degraded service (lease expired
+  /// on one of the query's items and not yet recovered), accumulated at
+  /// fidelity_stride granularity.
+  double degraded_query_seconds = 0.0;
 
   /// The paper's total cost metric: refreshes + mu * recomputations.
   /// The default μ is the shared core::kDefaultMu constant so every

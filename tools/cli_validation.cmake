@@ -17,6 +17,14 @@ set(bad_cases
   "bad rates\;rates=median"
   "bad method\;method=greedy"
   "non-numeric ticks\;ticks=12x"
+  "fault-drop above 1\;fault-drop=1.5"
+  "negative fault-drop\;fault-drop=-0.1"
+  "non-numeric fault-drop\;fault-drop=often"
+  "fault-crash above 1\;fault-crash=2"
+  "negative retx-timeout\;retx-timeout-s=-1"
+  "zero retx-timeout\;retx-timeout-s=0"
+  "non-finite lease\;lease-s=inf"
+  "zero lease\;lease-s=0"
 )
 
 foreach(case IN LISTS bad_cases)
@@ -47,3 +55,14 @@ if(NOT status EQUAL 0)
   message(FATAL_ERROR "valid invocation failed (exit ${status}):\n${out}${err}")
 endif()
 message(STATUS "valid invocation accepted (exit 0)")
+
+# And a chaos invocation exercising every fault knob end to end.
+execute_process(COMMAND ${EXPERIMENT} queries=2 items=4 ticks=80
+                fault-drop=0.2 fault-crash=0.01
+                retx-timeout-s=1.5 lease-s=10
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "chaos invocation failed (exit ${status}):\n${out}${err}")
+endif()
+message(STATUS "chaos invocation accepted (exit 0)")

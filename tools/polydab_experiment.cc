@@ -47,12 +47,22 @@
 //                    run if it does not hold.
 //   flame-group-by=query|item|lane     identity frame that roots the
 //                    folded stacks (query)
+//   fault-drop=P     per-message loss probability in [0,1]; any nonzero
+//                    fault probability turns on the reliability protocol
+//                    (seq/ack/retransmit, heartbeats, leases — see
+//                    docs/ROBUSTNESS.md) (0)
+//   fault-crash=P    per-source per-tick crash probability in [0,1] (0)
+//   retx-timeout-s=X base ack timeout before a refresh is retransmitted,
+//                    in seconds, > 0; backs off exponentially (2)
+//   lease-s=X        base per-item source lease in seconds, > 0; expiry
+//                    degrades the affected queries (15)
 //
 // Arguments are validated before any work happens: a malformed argument
 // (no '='), an unknown key, a non-numeric value for a numeric key, an
 // unknown enum value, or coord-shards < 1 all fail fast with a message
 // on stderr and exit status 2. Runtime failures exit 1; success exits 0.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -90,6 +100,7 @@ const std::set<std::string>& KnownKeys() {
       "recompute_ms", "aao_period",   "coord_shards",
       "shard_policy", "seed",         "csv",        "metrics_out",
       "trace_out",    "flame_out",    "flame_group_by",
+      "fault_drop",   "fault_crash",  "lease_s",    "retx_timeout_s",
   };
   return keys;
 }
@@ -196,6 +207,29 @@ int main(int argc, char** argv) {
     Die("unknown flame-group-by '" + Get(args, "flame_group_by", "") +
         "' (want query|item|lane)");
   }
+  // Fault knobs (docs/ROBUSTNESS.md): validated here like every other
+  // argument so a typo exits 2 before any simulation work; the sim-side
+  // FaultConfig::Validate would also reject them, but only at exit 1.
+  const double fault_drop = GetDouble(args, "fault_drop", 0.0);
+  if (!(fault_drop >= 0.0 && fault_drop <= 1.0)) {
+    Die("fault-drop must be a probability in [0,1], got " +
+        Get(args, "fault_drop", ""));
+  }
+  const double fault_crash = GetDouble(args, "fault_crash", 0.0);
+  if (!(fault_crash >= 0.0 && fault_crash <= 1.0)) {
+    Die("fault-crash must be a probability in [0,1], got " +
+        Get(args, "fault_crash", ""));
+  }
+  const double retx_timeout_s = GetDouble(args, "retx_timeout_s", 2.0);
+  if (!(retx_timeout_s > 0.0) || !std::isfinite(retx_timeout_s)) {
+    Die("retx-timeout-s must be a positive duration, got " +
+        Get(args, "retx_timeout_s", ""));
+  }
+  const double lease_s = GetDouble(args, "lease_s", 15.0);
+  if (!(lease_s > 0.0) || !std::isfinite(lease_s)) {
+    Die("lease-s must be a positive duration, got " +
+        Get(args, "lease_s", ""));
+  }
 
   // Universe: synthesize traces, or replay a CSV (traces=path) with one
   // column per item and one row per second, e.g. real quote data.
@@ -272,6 +306,10 @@ int main(int argc, char** argv) {
                             ? sim::ShardPolicy::kQueryHash
                             : sim::ShardPolicy::kEqiComponents;
   config.seed = seed;
+  config.fault.drop_prob = fault_drop;
+  config.fault.crash_prob = fault_crash;
+  config.fault.retx_timeout_s = retx_timeout_s;
+  config.fault.lease_s = lease_s;
 
   // Telemetry: attach a registry when a report was requested, so the run
   // records solver/planner/simulator instruments (docs/OBSERVABILITY.md).
