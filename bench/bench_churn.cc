@@ -1,0 +1,163 @@
+// Service-layer churn sweep: plan-maintenance mode x registration rate,
+// with admission control left wide open so every cell measures the
+// maintenance path itself. Reports the engine outcome (registrations,
+// deregistrations, modifies, fidelity) plus the plan-maintenance latency
+// distribution — p50/p90/p99 of the per-churn-transaction wall clock from
+// the svc.plan_maintenance.*_seconds histogram — so the incremental
+// merge/split path can be compared against the from-scratch rebuild
+// fallback at matching workloads (they are bit-identical in outcome;
+// tests/churn_diff_test.cc enforces that, this measures the cost gap).
+// Mirrors the table into BENCH_churn.json for mechanical diffing.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/simulation.h"
+#include "svc/query_service.h"
+#include "workload/churn_gen.h"
+
+namespace polydab::bench {
+namespace {
+
+struct Row {
+  const char* maintenance;
+  double churn_rate;
+  int64_t registrations;
+  int64_t deregistrations;
+  int64_t modifications;
+  int64_t recomputations;
+  double loss_pct;
+  int64_t maint_count;
+  double maint_p50_us;
+  double maint_p90_us;
+  double maint_p99_us;
+  double wall_seconds;
+};
+
+void Run() {
+  const int num_items = 50;
+  const Universe u =
+      MakeUniverse(workload::TraceKind::kGbmStock, 9002, num_items);
+  workload::QueryGenConfig qc;
+  qc.num_items = num_items;
+  Rng qrng(49);
+  const int nq = FullScale() ? 100 : 20;
+  auto queries = *workload::GeneratePortfolioQueries(nq, qc, u.initial,
+                                                     &qrng);
+
+  const std::vector<double> churn_rates =
+      FullScale() ? std::vector<double>{0.05, 0.2, 0.5, 1.0}
+                  : std::vector<double>{0.05, 0.2, 0.5};
+  std::vector<Row> rows;
+  HarnessTimer timer;
+
+  for (sim::PlanMaintenance maintenance :
+       {sim::PlanMaintenance::kIncremental, sim::PlanMaintenance::kRebuild}) {
+    for (double rate : churn_rates) {
+      workload::ChurnConfig cc;
+      cc.arrival_rate = rate;
+      cc.mean_lifetime_s = 300.0;
+      cc.modify_prob = 0.2;
+      cc.horizon_s = static_cast<double>(u.traces.num_ticks);
+      cc.num_items = num_items;
+      Rng crng(7);
+      auto schedule = workload::GenerateChurnSchedule(cc, u.initial, &crng);
+      if (!schedule.ok()) {
+        std::fprintf(stderr, "churn: %s\n",
+                     schedule.status().ToString().c_str());
+        continue;
+      }
+
+      obs::MetricRegistry reg;
+      svc::QueryService service(svc::AdmissionConfig{},
+                                std::move(*schedule), &reg, maintenance);
+      sim::SimConfig c;
+      c.planner.method = core::AssignmentMethod::kDualDab;
+      c.planner.dual.mu = core::kDefaultMu;
+      c.seed = 99;
+      c.registry = &reg;
+      c.service = &service;
+      c.plan_maintenance = maintenance;
+      const std::string section = std::string("bench.run.") +
+                                  Name(maintenance) + "." + Fmt(rate, 2);
+      sim::SimMetrics m;
+      {
+        auto t = timer.Section(section);
+        auto r = sim::RunSimulation(queries, u.traces, u.rates, c);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s: %s\n", section.c_str(),
+                       r.status().ToString().c_str());
+          continue;
+        }
+        m = *r;
+      }
+      const obs::Histogram* h = reg.GetHistogram(
+          maintenance == sim::PlanMaintenance::kIncremental
+              ? "svc.plan_maintenance.incremental_seconds"
+              : "svc.plan_maintenance.rebuild_seconds");
+      rows.push_back(Row{Name(maintenance), rate, service.registrations(),
+                         service.deregistrations(), service.modifications(),
+                         m.recomputations, m.mean_fidelity_loss_pct,
+                         h->count(), h->Quantile(0.5) * 1e6,
+                         h->Quantile(0.9) * 1e6, h->Quantile(0.99) * 1e6,
+                         timer.registry()->GetHistogram(section)->sum()});
+    }
+  }
+
+  Table t({"maintenance", "rate", "regs", "deregs", "mods", "recomps",
+           "loss%", "maint_n", "p50_us", "p90_us", "p99_us", "wall_s"});
+  for (const Row& r : rows) {
+    t.AddRow({r.maintenance, Fmt(r.churn_rate, 2), Fmt(r.registrations),
+              Fmt(r.deregistrations), Fmt(r.modifications),
+              Fmt(r.recomputations), Fmt(r.loss_pct, 3), Fmt(r.maint_count),
+              Fmt(r.maint_p50_us, 1), Fmt(r.maint_p90_us, 1),
+              Fmt(r.maint_p99_us, 1), Fmt(r.wall_seconds, 3)});
+  }
+  std::printf("=== Service churn sweep (%d base PPQs, %d items) ===\n", nq,
+              num_items);
+  t.Print();
+  timer.PrintSummary();
+
+  const char* path = "BENCH_churn.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"maintenance\": \"%s\", \"churn_rate\": %.17g, "
+        "\"registrations\": %lld, \"deregistrations\": %lld, "
+        "\"modifications\": %lld, \"recomputations\": %lld, "
+        "\"mean_fidelity_loss_pct\": %.17g, "
+        "\"plan_maintenance_count\": %lld, "
+        "\"plan_maintenance_p50_s\": %.17g, "
+        "\"plan_maintenance_p90_s\": %.17g, "
+        "\"plan_maintenance_p99_s\": %.17g, "
+        "\"wall_seconds\": %.6f}%s\n",
+        r.maintenance, r.churn_rate,
+        static_cast<long long>(r.registrations),
+        static_cast<long long>(r.deregistrations),
+        static_cast<long long>(r.modifications),
+        static_cast<long long>(r.recomputations), r.loss_pct,
+        static_cast<long long>(r.maint_count), r.maint_p50_us / 1e6,
+        r.maint_p90_us / 1e6, r.maint_p99_us / 1e6, r.wall_seconds,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu rows)\n", path, rows.size());
+}
+
+}  // namespace
+}  // namespace polydab::bench
+
+int main() {
+  polydab::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef POLYDAB_COMMON_HASH_H_
+#define POLYDAB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+/// \file hash.h
+/// Deterministic non-cryptographic hashes shared across layers. The
+/// coordinator's shard assignment (core/query_index.cc), the service
+/// layer's plan-patch digests (sim/simulation.cc) and the offline trace
+/// checker's from-scratch re-derivation (obs/trace_check.cc) must all
+/// agree bit-for-bit, so the primitives live here rather than in any one
+/// of those modules.
+
+namespace polydab {
+
+/// splitmix64 finalizer. Query ids are typically small and dense; hashing
+/// them apart keeps lane assignments balanced and independent of id
+/// numbering.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a offset basis, exposed so digests can be chained incrementally.
+inline constexpr uint32_t kFnv1a32Seed = 2166136261u;
+
+/// 32-bit FNV-1a over a byte range, continuing from \p seed.
+inline uint32_t Fnv1a32(const void* data, size_t len,
+                        uint32_t seed = kFnv1a32Seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<uint32_t>(p[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Fold one live query's plan record — (query id, lane, EQI component
+/// label, QAB bit pattern) — into a chained FNV-1a digest. The engine
+/// hashes every live query in ascending-id order at each churn point
+/// (plan_patch trace events); the offline checker re-derives the digest
+/// from scratch and demands equality, so the exact byte layout lives here.
+inline uint32_t HashPlanRecord(uint32_t digest, int32_t query_id,
+                               int32_t shard, int32_t comp_min, double qab) {
+  const int32_t fields[3] = {query_id, shard, comp_min};
+  digest = Fnv1a32(fields, sizeof(fields), digest);
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(qab));
+  std::memcpy(&bits, &qab, sizeof(bits));
+  return Fnv1a32(&bits, sizeof(bits), digest);
+}
+
+}  // namespace polydab
+
+#endif  // POLYDAB_COMMON_HASH_H_

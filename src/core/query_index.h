@@ -69,6 +69,15 @@ class IncrementalEvaluator {
   /// Install a new value for \p item and patch affected query values.
   void Update(VarId item, double value);
 
+  /// Append a query registered at runtime (service churn). The new query
+  /// is evaluated once against the current item values; existing query
+  /// values — and their accumulated delta-chain drift — are untouched, so
+  /// a run that registers queries mid-stream stays bit-identical to one
+  /// that never churns for all pre-existing queries. Departed queries are
+  /// intentionally kept (their values are simply never read again):
+  /// erasing them would renumber query indices held by callers.
+  void AddQuery(const PolynomialQuery& query);
+
   /// Current value of query \p qi under all updates so far.
   double QueryValue(size_t qi) const { return query_values_[qi]; }
 
@@ -89,6 +98,71 @@ class IncrementalEvaluator {
   Vector values_;
   Vector query_values_;
   int64_t updates_since_rebase_ = 0;
+};
+
+/// \brief EQI components under runtime query churn (docs/SERVICE.md).
+///
+/// The static QueryIndex partitions a fixed query set once; the service
+/// layer instead registers and deregisters queries while the coordinator
+/// runs, and needs the EQI component structure — which drives both the
+/// per-item min-DAB merges and the component-hash shard assignment —
+/// maintained across every churn event. Slots are append-only stable
+/// indices (a departed query's slot stays allocated, marked dead), so
+/// callers can keep slot-indexed side tables.
+///
+/// Two maintenance modes with identical observable state:
+///  * kIncremental — registration merges every component reachable
+///    through a shared item (a relabel of component mins); departure
+///    re-derives connectivity only inside the departed query's component.
+///  * kRebuild — the checked fallback: every churn event re-runs the
+///    same global union-find as QueryIndex::ShardByComponent.
+/// Components are labelled by their smallest live query id, a
+/// content-determined property, so both modes agree bit-for-bit — the
+/// churn differential test and the tracecheck plan_patch invariant both
+/// hold them to that.
+class DynamicQueryIndex {
+ public:
+  enum class Maintenance { kIncremental, kRebuild };
+
+  DynamicQueryIndex(size_t num_items, Maintenance mode);
+
+  /// Register a query; its slot is the current num_slots().
+  void AddQuery(int32_t query_id, const std::vector<VarId>& items);
+
+  /// Deregister the query in \p slot (must be alive).
+  void RemoveQuery(int slot);
+
+  size_t num_slots() const { return slot_ids_.size(); }
+  size_t num_active() const;
+  size_t num_components() const;
+  bool alive(int slot) const {
+    return alive_[static_cast<size_t>(slot)] != 0;
+  }
+  int32_t query_id(int slot) const {
+    return slot_ids_[static_cast<size_t>(slot)];
+  }
+
+  /// Smallest live query id in the slot's component; INT32_MAX for dead
+  /// slots.
+  int32_t ComponentMin(int slot) const {
+    return comp_min_[static_cast<size_t>(slot)];
+  }
+
+  /// Per-slot lane assignment (dead slots -1). \p by_component selects
+  /// the EQI-aware policy (hash of the component min, matching
+  /// QueryIndex::ShardByComponent); otherwise the query-id hash policy
+  /// (matching ShardByQueryId).
+  std::vector<int> ShardAssignment(int num_shards, bool by_component) const;
+
+ private:
+  void RecomputeComponents();
+
+  Maintenance mode_;
+  std::vector<std::vector<int>> item_slots_;     ///< live slots per item
+  std::vector<std::vector<VarId>> slot_items_;   ///< items per slot
+  std::vector<int32_t> slot_ids_;                ///< query id per slot
+  std::vector<uint8_t> alive_;
+  std::vector<int32_t> comp_min_;
 };
 
 }  // namespace polydab::core

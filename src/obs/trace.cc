@@ -38,6 +38,11 @@ constexpr KindName kKindNames[] = {
     {TraceEventKind::kDegrade, "degrade"},
     {TraceEventKind::kRecover, "recover"},
     {TraceEventKind::kLaneStall, "lane_stall"},
+    {TraceEventKind::kQueryRegister, "query_register"},
+    {TraceEventKind::kQueryModify, "query_modify"},
+    {TraceEventKind::kQueryDeregister, "query_deregister"},
+    {TraceEventKind::kAdmissionReject, "admission_reject"},
+    {TraceEventKind::kPlanPatch, "plan_patch"},
 };
 
 void AppendNumberField(std::string* out, const char* key, double v) {

@@ -69,6 +69,14 @@ enum class TraceEventKind : uint8_t {
   kDegrade,             ///< a query entered degraded service (flag: boundable)
   kRecover,             ///< a query left degraded service
   kLaneStall,           ///< injected coordinator lane stall (a: duration)
+  // Service-layer churn events (docs/SERVICE.md). Only emitted when a
+  // churn op actually executes; churn-free traces are byte-identical to
+  // earlier formats.
+  kQueryRegister,       ///< a query registered at runtime
+  kQueryModify,         ///< a live query's QAB changed
+  kQueryDeregister,     ///< a live query departed
+  kAdmissionReject,     ///< admission control refused a registration
+  kPlanPatch,           ///< post-churn plan-state digest (flag: FNV-1a)
 };
 
 /// Serialization name, e.g. "refresh_arrived".
@@ -138,6 +146,24 @@ bool ParseTraceEventKind(const std::string& name, TraceEventKind* out);
 ///                         item heard from again), source = the last
 ///                         recovering source, cause = the contact event.
 ///  * kLaneStall:          a = injected stall duration, shard = the lane.
+///
+/// Service-churn events (docs/SERVICE.md):
+///  * kQueryRegister:      a = the query's QAB, b = the admission cost
+///                         estimate, flag = degrade attempts spent before
+///                         admission, shard = the lane the query landed
+///                         on (sharded runs). A matching query_info
+///                         record is appended at the same time.
+///  * kQueryModify:        a = new QAB, b = old QAB, shard = the lane.
+///  * kQueryDeregister:    shard = the lane the query held pre-removal.
+///  * kAdmissionReject:    a = the cost estimate, b = the budget it broke,
+///                         flag = reason (0 over budget, 1 planning
+///                         failed, 2 invalid query).
+///  * kPlanPatch:          a = live query count, b = EQI component count,
+///                         flag = the FNV-1a digest of the live plan
+///                         state (common/hash.h HashPlanRecord over
+///                         (id, lane, component min, QAB) ascending by
+///                         id), cause = the churn event it reflects. The
+///                         checker recomputes all three from scratch.
 ///
 /// Sharded-coordinator runs (sim/simulation.h, coord_shards > 1)
 /// additionally stamp `shard` — the coordinator lane an event was

@@ -5,8 +5,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <unordered_map>
+
+#include "common/hash.h"
 
 namespace polydab::obs {
 
@@ -56,6 +59,49 @@ class Checker {
                                           item % num_sources_))]
                 .insert(item);
           }
+        }
+      }
+    }
+    // Service-churn traces (docs/SERVICE.md) are recognised by the
+    // presence of churn events. Churn-free traces leave churn_mode_
+    // false and take none of the dynamic-state branches below, so they
+    // are checked exactly as before the service layer existed.
+    for (const TraceEvent& e : trace.events) {
+      switch (e.kind) {
+        case TraceEventKind::kQueryRegister:
+          churn_reg_keys_.insert(Key(e.node, e.query));
+          churn_mode_ = true;
+          break;
+        case TraceEventKind::kQueryModify:
+        case TraceEventKind::kQueryDeregister:
+        case TraceEventKind::kAdmissionReject:
+        case TraceEventKind::kPlanPatch:
+          churn_mode_ = true;
+          break;
+        default:
+          break;
+      }
+    }
+    if (churn_mode_) {
+      coord_shards_count_ =
+          sharded_ ? static_cast<int>(InfoNum("coord_shards", 1.0)) : 1;
+      auto pit = trace.info.find("shard_policy");
+      policy_component_ =
+          pit == trace.info.end() || pit->second == "eqi_components";
+      for (const TraceQueryInfo& q : trace.queries) {
+        const int64_t k = Key(q.node, q.query);
+        dyn_qab_[k] = q.qab;
+        dereg_tick_[k] = std::numeric_limits<int64_t>::max();
+        if (churn_reg_keys_.count(k) != 0) {
+          active_[k] = false;  // registered later by its churn event
+        } else {
+          active_[k] = true;
+          reg_tick_[k] = 0;
+          active_order_[q.node].push_back(&q);
+          for (int32_t item : q.items) {
+            dyn_item_queries_[Key(q.node, item)].push_back(q.query);
+          }
+          partition_dirty_.insert(q.node);
         }
       }
     }
@@ -165,6 +211,20 @@ class Checker {
       int32_t node, int32_t query) const {
     auto it = degrade_deltas_.find(Key(node, query));
     return it == degrade_deltas_.end() ? nullptr : &it->second;
+  }
+
+  /// Churn traces carry a dynamic query population; Derive() needs each
+  /// query's registration interval to reproduce the engine's per-query
+  /// fidelity denominators.
+  bool churn_mode() const { return churn_mode_; }
+  int64_t RegTick(int32_t node, int32_t query) const {
+    auto it = reg_tick_.find(Key(node, query));
+    return it == reg_tick_.end() ? 0 : it->second;
+  }
+  int64_t DeregTick(int32_t node, int32_t query) const {
+    auto it = dereg_tick_.find(Key(node, query));
+    return it == dereg_tick_.end() ? std::numeric_limits<int64_t>::max()
+                                   : it->second;
   }
 
  private:
@@ -307,14 +367,101 @@ class Checker {
   }
 
   /// Sharded traces: an event attributed to a query must carry the lane
-  /// that query is pinned to (query_info records the partition).
+  /// that query is pinned to. Static traces read the partition from
+  /// query_info; churn traces re-derive it from the active set, since
+  /// registrations and departures move queries between lanes.
   void CheckQueryLane(const TraceEvent& e) {
     if (!sharded_) return;
+    if (churn_mode_) {
+      auto it = active_.find(Key(e.node, e.query));
+      if (it != active_.end() && it->second) {
+        const int32_t lane = DynLane(e.node, e.query);
+        if (e.shard != lane) {
+          FailEvent(e, "lane " + std::to_string(e.shard) +
+                           " differs from query " + std::to_string(e.query) +
+                           "'s current lane " + std::to_string(lane));
+        }
+      }
+      return;
+    }
     auto it = query_info_.find(Key(e.node, e.query));
     if (it != query_info_.end() && e.shard != it->second->shard) {
       FailEvent(e, "lane " + std::to_string(e.shard) +
                        " differs from query " + std::to_string(e.query) +
                        "'s lane " + std::to_string(it->second->shard));
+    }
+  }
+
+  /// From-scratch rebuild of the engine's post-churn partition for one
+  /// node: union-find over the active queries' item sets, components
+  /// labelled by their smallest query id, lanes from the shared Mix64
+  /// hash (common/hash.h). Events and plan_patch digests are verified
+  /// against this — the rebuild half of the incremental-equals-rebuild
+  /// invariant.
+  void RecomputePartition(int32_t node) {
+    auto& order = active_order_[node];
+    const int n = static_cast<int>(order.size());
+    std::vector<int> parent(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
+    auto find = [&parent](int x) {
+      while (parent[static_cast<size_t>(x)] != x) {
+        parent[static_cast<size_t>(x)] =
+            parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+        x = parent[static_cast<size_t>(x)];
+      }
+      return x;
+    };
+    std::map<int32_t, int> first_with_item;
+    for (int i = 0; i < n; ++i) {
+      for (int32_t item : order[static_cast<size_t>(i)]->items) {
+        auto [it, fresh] = first_with_item.emplace(item, i);
+        if (!fresh) {
+          const int a = find(it->second);
+          const int b = find(i);
+          if (a != b) parent[static_cast<size_t>(b)] = a;
+        }
+      }
+    }
+    std::map<int, int32_t> comp_min;
+    for (int i = 0; i < n; ++i) {
+      auto [it, fresh] =
+          comp_min.emplace(find(i), order[static_cast<size_t>(i)]->query);
+      if (!fresh) {
+        it->second = std::min(it->second,
+                              order[static_cast<size_t>(i)]->query);
+      }
+    }
+    dyn_num_components_[node] = static_cast<int64_t>(comp_min.size());
+    const uint64_t shards =
+        static_cast<uint64_t>(std::max(1, coord_shards_count_));
+    for (int i = 0; i < n; ++i) {
+      const TraceQueryInfo* q = order[static_cast<size_t>(i)];
+      const int32_t comp = comp_min[find(i)];
+      const int32_t hashed = policy_component_ ? comp : q->query;
+      const int64_t k = Key(node, q->query);
+      dyn_comp_min_[k] = comp;
+      dyn_shard_[k] = static_cast<int32_t>(
+          Mix64(static_cast<uint64_t>(static_cast<int64_t>(hashed))) %
+          shards);
+    }
+  }
+  void EnsurePartition(int32_t node) {
+    if (partition_dirty_.erase(node) != 0) RecomputePartition(node);
+  }
+  int32_t DynLane(int32_t node, int32_t query) {
+    EnsurePartition(node);
+    auto it = dyn_shard_.find(Key(node, query));
+    return it == dyn_shard_.end() ? -1 : it->second;
+  }
+
+  /// Churn mode: an event that charges cost to a query may only occur
+  /// inside that query's registration interval.
+  void CheckActiveQuery(const TraceEvent& e) {
+    if (!churn_mode_ || e.query < 0) return;
+    auto it = active_.find(Key(e.node, e.query));
+    if (it == active_.end() || !it->second) {
+      FailEvent(e, "query " + std::to_string(e.query) +
+                       " charged outside its registration interval");
     }
   }
 
@@ -420,13 +567,29 @@ class Checker {
           FaultContact(e);
         }
         if (sharded_) {
-          auto it = item_home_.find(Key(e.node, e.item));
-          if (it == item_home_.end()) {
-            FailEvent(e, "arrival for an item no query_info references");
-          } else if (e.shard != it->second) {
-            FailEvent(e, "arrival on lane " + std::to_string(e.shard) +
-                             " but item " + std::to_string(e.item) +
-                             "'s home lane is " + std::to_string(it->second));
+          if (churn_mode_) {
+            // An in-flight refresh for an item whose last query departed
+            // drains on lane 0 (the engine's home < 0 fallback).
+            auto it = dyn_item_queries_.find(Key(e.node, e.item));
+            const int32_t home =
+                it == dyn_item_queries_.end() || it->second.empty()
+                    ? 0
+                    : DynLane(e.node, it->second.front());
+            if (e.shard != home) {
+              FailEvent(e, "arrival on lane " + std::to_string(e.shard) +
+                               " but item " + std::to_string(e.item) +
+                               "'s home lane is " + std::to_string(home));
+            }
+          } else {
+            auto it = item_home_.find(Key(e.node, e.item));
+            if (it == item_home_.end()) {
+              FailEvent(e, "arrival for an item no query_info references");
+            } else if (e.shard != it->second) {
+              FailEvent(e, "arrival on lane " + std::to_string(e.shard) +
+                               " but item " + std::to_string(e.item) +
+                               "'s home lane is " +
+                               std::to_string(it->second));
+            }
           }
         }
         break;
@@ -438,6 +601,7 @@ class Checker {
             (c->node != e.node || c->item != e.item || c->a != e.a)) {
           FailEvent(e, "violation does not match its arrival");
         }
+        CheckActiveQuery(e);
         CheckQueryLane(e);
         // The value must really lie outside the secondary range around
         // the anchor — the exact §III-A.2 test the coordinator ran.
@@ -470,6 +634,7 @@ class Checker {
           if (c->kind != TraceEventKind::kAaoSolve) ++starts_non_aao_;
         }
         if (e.query < 0) FailEvent(e, "recompute without a query id");
+        CheckActiveQuery(e);
         CheckQueryLane(e);
         ends_of_start_.emplace(e.id, 0);
         break;
@@ -497,13 +662,21 @@ class Checker {
       }
       case TraceEventKind::kDabChangeSent: {
         const TraceEvent* c = Cause(e);
+        bool churn_cause = false;
         if (c != nullptr) {
+          // Churn transactions (register / modify / deregister) re-solve
+          // the touched queries synchronously and ship the resulting
+          // filters themselves; those sends carry the churn event as
+          // their cause and skip the solve-flag and barrier protocol.
+          churn_cause = c->kind == TraceEventKind::kQueryRegister ||
+                        c->kind == TraceEventKind::kQueryModify ||
+                        c->kind == TraceEventKind::kQueryDeregister;
           if (c->kind != TraceEventKind::kRecomputeEnd &&
-              c->kind != TraceEventKind::kAaoSolve) {
+              c->kind != TraceEventKind::kAaoSolve && !churn_cause) {
             FailEvent(e, std::string("DAB change caused by ") +
                              Name(c->kind) +
                              ", expected recompute_end or aao_solve");
-          } else if (c->flag != 1) {
+          } else if (!churn_cause && c->flag != 1) {
             FailEvent(e, "DAB change caused by a failed solve");
           }
           // Relay overlays propagate one recomputation's requirement
@@ -514,14 +687,29 @@ class Checker {
           }
         }
         if (e.item < 0) FailEvent(e, "DAB change without an item");
+        if (e.query >= 0) CheckActiveQuery(e);
         CheckQueryLane(e);
         // A filter for an item whose queries span several lanes is the
         // result of a cross-lane EQI merge: the merge must have gone
         // through a shard barrier emitted after the change that triggered
         // the send (per-item barrier, or the global AAO barrier).
-        if (sharded_) {
-          auto lanes = item_lanes_.find(Key(e.node, e.item));
-          if (lanes != item_lanes_.end() && lanes->second.size() > 1) {
+        if (sharded_ && !churn_cause) {
+          bool multi_lane = false;
+          if (churn_mode_) {
+            auto it = dyn_item_queries_.find(Key(e.node, e.item));
+            if (it != dyn_item_queries_.end()) {
+              std::set<int32_t> lanes;
+              for (int32_t q : it->second) {
+                lanes.insert(DynLane(e.node, q));
+              }
+              multi_lane = lanes.size() > 1;
+            }
+          } else {
+            auto lanes = item_lanes_.find(Key(e.node, e.item));
+            multi_lane =
+                lanes != item_lanes_.end() && lanes->second.size() > 1;
+          }
+          if (multi_lane) {
             uint64_t barrier = 0;
             auto bit = latest_barrier_.find(Key(e.node, e.item));
             if (bit != latest_barrier_.end()) barrier = bit->second;
@@ -573,28 +761,40 @@ class Checker {
         if (c != nullptr && c->node != e.node) {
           FailEvent(e, "notification on a different node than its arrival");
         }
+        CheckActiveQuery(e);
         CheckQueryLane(e);
         auto it = query_info_.find(Key(e.node, e.query));
         if (it == query_info_.end()) {
           FailEvent(e, "notification for unknown query " +
                            std::to_string(e.query));
-        } else if (!(std::fabs(e.a - e.b) > it->second->qab)) {
-          FailEvent(e, "result drift |" + std::to_string(e.a) + " - " +
-                           std::to_string(e.b) +
-                           "| does not exceed the QAB " +
-                           std::to_string(it->second->qab));
+        } else {
+          // Churn mode tracks the QAB through query_modify events;
+          // query_info records only the registration-time value.
+          const double qab = churn_mode_ ? dyn_qab_[Key(e.node, e.query)]
+                                         : it->second->qab;
+          if (!(std::fabs(e.a - e.b) > qab)) {
+            FailEvent(e, "result drift |" + std::to_string(e.a) + " - " +
+                             std::to_string(e.b) +
+                             "| does not exceed the QAB " +
+                             std::to_string(qab));
+          }
         }
         break;
       }
       case TraceEventKind::kFidelityViolation: {
+        CheckActiveQuery(e);
         auto it = query_info_.find(Key(e.node, e.query));
         if (it == query_info_.end()) {
           FailEvent(e, "fidelity sample for unknown query " +
                            std::to_string(e.query));
-        } else if (it->second->qab != e.c) {
-          FailEvent(e, "recorded QAB " + std::to_string(e.c) +
-                           " differs from the query's QAB " +
-                           std::to_string(it->second->qab));
+        } else {
+          const double qab = churn_mode_ ? dyn_qab_[Key(e.node, e.query)]
+                                         : it->second->qab;
+          if (qab != e.c) {
+            FailEvent(e, "recorded QAB " + std::to_string(e.c) +
+                             " differs from the query's QAB " +
+                             std::to_string(qab));
+          }
         }
         const double limit = e.c * (1.0 + TolFor(e.node));
         if (!(std::fabs(e.a - e.b) > limit)) {
@@ -931,6 +1131,149 @@ class Checker {
         }
         break;
       }
+      case TraceEventKind::kQueryRegister: {
+        const int64_t k = Key(e.node, e.query);
+        auto qit = query_info_.find(k);
+        if (qit == query_info_.end()) {
+          FailEvent(e, "registration without a query_info record");
+          break;
+        }
+        if (e.a != qit->second->qab) {
+          FailEvent(e, "recorded QAB " + std::to_string(e.a) +
+                           " differs from query_info's " +
+                           std::to_string(qit->second->qab));
+        }
+        if (e.flag < 0) FailEvent(e, "negative degrade-attempt count");
+        auto ait = active_.find(k);
+        if (ait != active_.end() && ait->second) {
+          FailEvent(e, "query " + std::to_string(e.query) +
+                           " is already registered");
+          break;
+        }
+        active_[k] = true;
+        dyn_qab_[k] = qit->second->qab;
+        reg_tick_[k] = static_cast<int64_t>(e.time);
+        active_order_[e.node].push_back(qit->second);
+        for (int32_t item : qit->second->items) {
+          dyn_item_queries_[Key(e.node, item)].push_back(e.query);
+        }
+        partition_dirty_.insert(e.node);
+        if (sharded_) {
+          // The stamped lane is the query's slot in the engine's
+          // incrementally-patched partition; the from-scratch rebuild
+          // must land it on the same lane.
+          const int32_t lane = DynLane(e.node, e.query);
+          if (e.shard != lane) {
+            FailEvent(e, "registered on lane " + std::to_string(e.shard) +
+                             " but the rebuilt partition assigns lane " +
+                             std::to_string(lane));
+          }
+          if (qit->second->shard != e.shard) {
+            FailEvent(e, "query_info lane " +
+                             std::to_string(qit->second->shard) +
+                             " differs from the registration lane " +
+                             std::to_string(e.shard));
+          }
+        }
+        break;
+      }
+      case TraceEventKind::kQueryModify: {
+        const int64_t k = Key(e.node, e.query);
+        auto ait = active_.find(k);
+        if (ait == active_.end() || !ait->second) {
+          FailEvent(e, "modify of a query that is not registered");
+          break;
+        }
+        if (e.b != dyn_qab_[k]) {
+          FailEvent(e, "recorded old QAB " + std::to_string(e.b) +
+                           " differs from the replayed current QAB " +
+                           std::to_string(dyn_qab_[k]));
+        }
+        dyn_qab_[k] = e.a;
+        CheckQueryLane(e);
+        break;
+      }
+      case TraceEventKind::kQueryDeregister: {
+        const int64_t k = Key(e.node, e.query);
+        auto ait = active_.find(k);
+        if (ait == active_.end() || !ait->second) {
+          FailEvent(e, "deregister of a query that is not registered");
+          break;
+        }
+        CheckQueryLane(e);  // stamped with the pre-removal lane
+        ait->second = false;
+        dereg_tick_[k] = static_cast<int64_t>(e.time);
+        auto& order = active_order_[e.node];
+        auto oit = std::find_if(order.begin(), order.end(),
+                                [&e](const TraceQueryInfo* q) {
+                                  return q->query == e.query;
+                                });
+        if (oit != order.end()) {
+          for (int32_t item : (*oit)->items) {
+            auto& qs = dyn_item_queries_[Key(e.node, item)];
+            qs.erase(std::remove(qs.begin(), qs.end(), e.query), qs.end());
+          }
+          order.erase(oit);
+        }
+        partition_dirty_.insert(e.node);
+        break;
+      }
+      case TraceEventKind::kAdmissionReject: {
+        auto ait = active_.find(Key(e.node, e.query));
+        if (ait != active_.end() && ait->second) {
+          FailEvent(e, "rejected query id " + std::to_string(e.query) +
+                           " is currently registered");
+        }
+        if (e.flag < 0 || e.flag > 2) {
+          FailEvent(e, "unknown rejection reason " +
+                           std::to_string(e.flag));
+        }
+        break;
+      }
+      case TraceEventKind::kPlanPatch: {
+        const TraceEvent* c = Cause(e);
+        if (c != nullptr &&
+            c->kind != TraceEventKind::kQueryRegister &&
+            c->kind != TraceEventKind::kQueryModify &&
+            c->kind != TraceEventKind::kQueryDeregister) {
+          FailEvent(e, std::string("plan patch caused by ") +
+                           Name(c->kind) + ", expected a churn event");
+        }
+        EnsurePartition(e.node);
+        auto& order = active_order_[e.node];
+        if (e.a != static_cast<double>(order.size())) {
+          FailEvent(e, "records " + std::to_string(e.a) +
+                           " live queries but the replay has " +
+                           std::to_string(order.size()));
+        }
+        if (e.b != static_cast<double>(dyn_num_components_[e.node])) {
+          FailEvent(e, "records " + std::to_string(e.b) +
+                           " EQI components but the rebuild derives " +
+                           std::to_string(dyn_num_components_[e.node]));
+        }
+        // The digest folds every live query's (id, lane, component, QAB)
+        // in ascending-id order; recompute it from the from-scratch
+        // rebuild and demand bit-equality with the engine's incremental
+        // plan state.
+        std::vector<const TraceQueryInfo*> sorted(order.begin(),
+                                                  order.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const TraceQueryInfo* x, const TraceQueryInfo* y) {
+                    return x->query < y->query;
+                  });
+        uint32_t digest = kFnv1a32Seed;
+        for (const TraceQueryInfo* q : sorted) {
+          const int64_t k = Key(e.node, q->query);
+          digest = HashPlanRecord(digest, q->query, dyn_shard_[k],
+                                  dyn_comp_min_[k], dyn_qab_[k]);
+        }
+        if (e.flag != static_cast<int32_t>(digest)) {
+          FailEvent(e, "plan digest " + std::to_string(e.flag) +
+                           " differs from the from-scratch rebuild's " +
+                           std::to_string(static_cast<int32_t>(digest)));
+        }
+        break;
+      }
     }
   }
 
@@ -1008,6 +1351,26 @@ class Checker {
   std::map<int64_t, std::vector<std::pair<double, int>>> degrade_deltas_;
   std::vector<DataDrop> data_drops_;
   std::map<int64_t, std::vector<Resolution>> resolutions_;  // (node,item)
+
+  // --- Service-churn replay state (docs/SERVICE.md) ---
+  bool churn_mode_ = false;
+  int coord_shards_count_ = 1;
+  bool policy_component_ = true;
+  std::set<int64_t> churn_reg_keys_;   // (node,query) registered mid-run
+  std::map<int64_t, bool> active_;     // (node,query) -> registered now
+  std::map<int64_t, double> dyn_qab_;  // (node,query) -> current QAB
+  std::map<int64_t, int64_t> reg_tick_;    // (node,query) -> registered at
+  std::map<int64_t, int64_t> dereg_tick_;  // (node,query) -> departed at
+  /// node -> active query_info records in registration order (the
+  /// engine's slot order with dead slots compacted out).
+  std::map<int32_t, std::vector<const TraceQueryInfo*>> active_order_;
+  /// (node,item) -> active query ids referencing it, registration order;
+  /// the front query's lane is the item's home lane.
+  std::map<int64_t, std::vector<int32_t>> dyn_item_queries_;
+  std::set<int32_t> partition_dirty_;  // nodes needing a partition rebuild
+  std::map<int64_t, int32_t> dyn_shard_;     // (node,query) -> lane
+  std::map<int64_t, int32_t> dyn_comp_min_;  // (node,query) -> EQI label
+  std::map<int32_t, int64_t> dyn_num_components_;  // node -> #components
 };
 
 bool InScope(const TraceRunSummary& s, const TraceEvent& e) {
@@ -1034,7 +1397,20 @@ TraceDerivedStats Derive(const TraceFile& trace, const TraceRunSummary& s,
       const double violated_time =
           static_cast<double>(checker.FidelityViolations(q.node, q.query) *
                               s.fidelity_stride);
-      loss_sum += 100.0 * violated_time / static_cast<double>(s.ticks - 1);
+      if (checker.churn_mode()) {
+        // Churn runs denominate each query over its own registration
+        // interval, exactly as the engine does.
+        const int64_t first =
+            std::max<int64_t>(checker.RegTick(q.node, q.query), 1);
+        const int64_t last = std::min<int64_t>(
+            checker.DeregTick(q.node, q.query) - 1, s.ticks - 1);
+        const int64_t denom = last - first + 1;
+        if (denom <= 0) continue;
+        loss_sum += 100.0 * violated_time / static_cast<double>(denom);
+      } else {
+        loss_sum +=
+            100.0 * violated_time / static_cast<double>(s.ticks - 1);
+      }
     }
     d.mean_fidelity_loss_pct = loss_sum / static_cast<double>(s.queries);
   }

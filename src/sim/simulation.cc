@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <queue>
+#include <utility>
 
+#include "common/hash.h"
 #include "core/multi_query.h"
 #include "core/query_index.h"
 #include "core/validator.h"
@@ -165,6 +169,41 @@ struct SimInstruments {
   }
 };
 
+/// ServiceOps implementation handed to the churn driver: thin forwarding
+/// shims over lambdas local to the run (they capture the whole engine
+/// state), so the churn transaction logic stays next to the event loop it
+/// mutates.
+class EngineOps final : public ServiceOps {
+ public:
+  const Vector* view = nullptr;
+  const Vector* rates = nullptr;
+  std::function<Result<core::QueryPlan>(const PolynomialQuery&)> trial;
+  std::function<Status(const PolynomialQuery&, core::QueryPlan, double, int)>
+      register_fn;
+  std::function<Status(int, double, core::QueryPlan)> modify_fn;
+  std::function<Status(int)> deregister_fn;
+  std::function<void(int, double, double, int)> reject_fn;
+
+  const Vector& View() const override { return *view; }
+  const Vector& Rates() const override { return *rates; }
+  Result<core::QueryPlan> TrialPlan(const PolynomialQuery& query) override {
+    return trial(query);
+  }
+  Status Register(const PolynomialQuery& query, core::QueryPlan plan,
+                  double admission_estimate, int degrade_attempts) override {
+    return register_fn(query, std::move(plan), admission_estimate,
+                       degrade_attempts);
+  }
+  Status Modify(int query_id, double new_qab, core::QueryPlan plan) override {
+    return modify_fn(query_id, new_qab, std::move(plan));
+  }
+  Status Deregister(int query_id) override { return deregister_fn(query_id); }
+  void AdmissionReject(int query_id, double estimate, double budget,
+                       int reason) override {
+    reject_fn(query_id, estimate, budget, reason);
+  }
+};
+
 }  // namespace
 
 const char* Name(ShardPolicy policy) {
@@ -173,6 +212,16 @@ const char* Name(ShardPolicy policy) {
       return "eqi_components";
     case ShardPolicy::kQueryHash:
       return "query_hash";
+  }
+  return "?";
+}
+
+const char* Name(PlanMaintenance maintenance) {
+  switch (maintenance) {
+    case PlanMaintenance::kIncremental:
+      return "incremental";
+    case PlanMaintenance::kRebuild:
+      return "rebuild";
   }
   return "?";
 }
@@ -209,13 +258,32 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
                                  const workload::TraceSet& traces,
                                  const Vector& rates,
                                  const SimConfig& config) {
+  // Thin adapter over the streaming entry point. The two checks here keep
+  // the historical error precedence (empty query set before short trace);
+  // the streaming body can only discover a short stream after consuming
+  // it.
   if (queries.empty()) {
     return Status::InvalidArgument("no queries to simulate");
   }
   if (traces.num_ticks < 2) {
     return Status::InvalidArgument("trace too short");
   }
-  const size_t n_items = traces.num_items();
+  workload::TraceSetTickSource source(&traces);
+  return RunSimulation(queries, source, rates, config);
+}
+
+Result<SimMetrics> RunSimulation(
+    const std::vector<PolynomialQuery>& initial_queries,
+    workload::TickSource& source, const Vector& rates,
+    const SimConfig& config) {
+  if (initial_queries.empty()) {
+    return Status::InvalidArgument("no queries to simulate");
+  }
+  // Runtime churn appends to (and edits QABs inside) this local copy;
+  // every reference below reads it, so a run without churn sees exactly
+  // the caller's set.
+  std::vector<PolynomialQuery> queries = initial_queries;
+  const size_t n_items = source.num_items();
   if (rates.size() < n_items) {
     return Status::InvalidArgument("rates vector smaller than item count");
   }
@@ -230,6 +298,19 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
   const int num_shards = config.coord_shards;
   const bool sharded = num_shards > 1;
   const bool aao_mode = config.aao_period_s > 0.0;
+  if (config.service != nullptr) {
+    // Churn rewrites the query set mid-run; the AAO joint solve and the
+    // fault-protocol side tables both assume a fixed set. Keeping the
+    // combinations out keeps both features' byte-identity oracles intact.
+    if (aao_mode) {
+      return Status::InvalidArgument(
+          "service churn cannot be combined with AAO-periodic mode");
+    }
+    if (config.fault.active()) {
+      return Status::InvalidArgument(
+          "service churn cannot be combined with fault injection");
+    }
+  }
   if (aao_mode) {
     for (const PolynomialQuery& q : queries) {
       if (!q.IsPositiveCoefficient()) {
@@ -332,7 +413,14 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     trace->SetInfo("shard_policy", Name(config.shard_policy));
   }
 
-  st.source_value = traces.Snapshot(0);
+  // Tick 0: the initial snapshot every party starts in agreement on.
+  Vector row;
+  {
+    auto first = source.Next(&row);
+    if (!first.ok()) return first.status();
+    if (!*first) return Status::InvalidArgument("trace too short");
+  }
+  st.source_value = row;
   st.last_pushed = st.source_value;
   st.view = st.source_value;
   st.plans.resize(queries.size());
@@ -647,9 +735,336 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     last_user_value[qi] = view_eval.QueryValue(qi);
   }
 
-  const int total_ticks = traces.num_ticks;
+  // --- Runtime churn state (docs/SERVICE.md). Slots are append-only:
+  // a deregistered query keeps its index (q_alive flips off and its plan
+  // empties), so every parallel per-query array stays index-stable. All
+  // of this is inert — allocated but never branched on — when no service
+  // driver is attached or the driver never issues an op, which is what
+  // keeps a zero-churn run byte-identical to the historical path. ---
+  std::vector<uint8_t> q_alive(queries.size(), 1);
+  std::vector<int> q_reg_tick(queries.size(), 0);
+  std::vector<int> q_dereg_tick(queries.size(),
+                                std::numeric_limits<int>::max());
+  std::unique_ptr<core::DynamicQueryIndex> dqi;
+  int cur_tick = 0;     // logical clock for the churn transaction lambdas
+  double cur_now = 0.0;
+
+  // Lazily built at the first churn op; seeded with every live slot in
+  // slot order so slot i of the dynamic index is query index i. Building
+  // it on demand (rather than always) keeps the no-churn path free of the
+  // extra construction work.
+  auto ensure_dqi = [&]() {
+    if (dqi != nullptr) return;
+    dqi = std::make_unique<core::DynamicQueryIndex>(
+        n_items, config.plan_maintenance == PlanMaintenance::kRebuild
+                     ? core::DynamicQueryIndex::Maintenance::kRebuild
+                     : core::DynamicQueryIndex::Maintenance::kIncremental);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      dqi->AddQuery(queries[qi].id, queries[qi].p.Variables());
+    }
+  };
+
+  // Re-derive the lane partition and the per-item lane tables from the
+  // dynamic index after a churn event. Dead slots get lane -1; they are
+  // never referenced from item_queries, so the -1 is never read.
+  auto refresh_partition = [&]() {
+    st.query_shard = dqi->ShardAssignment(
+        num_shards, config.shard_policy == ShardPolicy::kEqiComponents);
+    st.item_home_shard.assign(n_items, -1);
+    for (size_t i = 0; i < n_items; ++i) {
+      auto& lanes = st.item_shards[i];
+      lanes.clear();
+      const auto& qs = st.item_queries[i];
+      if (qs.empty()) continue;
+      st.item_home_shard[i] = st.query_shard[static_cast<size_t>(qs[0])];
+      for (int qi : qs) {
+        lanes.push_back(st.query_shard[static_cast<size_t>(qi)]);
+      }
+      std::sort(lanes.begin(), lanes.end());
+      lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+    }
+  };
+
+  // The plan_patch invariant: after every churn event, hash the complete
+  // live plan state (id, lane, EQI component label, QAB) in ascending-id
+  // order. The offline checker re-derives components and lanes from
+  // scratch and recomputes the same digest, which is what holds
+  // incremental maintenance to from-scratch-rebuild equality.
+  auto emit_plan_patch = [&](uint64_t cause_id) {
+    if (trace == nullptr) return;
+    std::vector<size_t> live;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (q_alive[qi] != 0) live.push_back(qi);
+    }
+    std::sort(live.begin(), live.end(),
+              [&](size_t a, size_t b) { return queries[a].id < queries[b].id; });
+    uint32_t digest = kFnv1a32Seed;
+    for (size_t qi : live) {
+      digest = HashPlanRecord(digest, queries[qi].id, st.query_shard[qi],
+                              dqi->ComponentMin(static_cast<int>(qi)),
+                              queries[qi].qab);
+    }
+    obs::TraceEvent e;
+    e.time = cur_now;
+    e.kind = obs::TraceEventKind::kPlanPatch;
+    e.node = tnode;
+    e.cause = cause_id;
+    e.a = static_cast<double>(dqi->num_active());
+    e.b = static_cast<double>(dqi->num_components());
+    e.flag = static_cast<int32_t>(digest);
+    trace->Emit(e);
+  };
+
+  // Refresh the EQI merge over \p items after a churn op and ship changed
+  // filters. Like ship_dab_changes, minus barrier emission: a churn op is
+  // a control-plane transaction whose lane-time charge already covers the
+  // repartition, and the merge here runs against the post-transaction
+  // partition. An item whose last query departed is retired silently —
+  // the coordinator drops the subscription in the same transaction, so no
+  // filter message crosses the network.
+  auto ship_churn_changes = [&](const std::vector<VarId>& items,
+                                uint64_t cause_id, int q_id, int q_lane) {
+    for (VarId v : items) {
+      const size_t item = static_cast<size_t>(v);
+      const double fresh = st.item_queries[item].empty()
+                               ? kInf
+                               : ItemMinPrimary(st, static_cast<int>(item));
+      const double old_width = st.min_primary[item];
+      const bool changed =
+          std::isinf(fresh) != std::isinf(old_width) ||
+          (!std::isinf(fresh) &&
+           std::fabs(fresh - old_width) > 1e-9 * std::max(1.0, old_width));
+      if (!changed) continue;
+      st.min_primary[item] = fresh;
+      if (std::isinf(fresh)) {
+        st.installed_dab[item] = kInf;
+        continue;
+      }
+      ++metrics.dab_change_messages;
+      if (ins.dab_change_messages != nullptr) ins.dab_change_messages->Inc();
+      const double delay = delays.Check() + delays.Network();
+      if (ins.message_delay != nullptr) ins.message_delay->Record(delay);
+      uint64_t sent_id = 0;
+      if (trace != nullptr) {
+        obs::TraceEvent e;
+        e.time = cur_now;
+        e.kind = obs::TraceEventKind::kDabChangeSent;
+        e.node = tnode;
+        e.item = static_cast<int32_t>(item);
+        if (q_id >= 0) e.query = q_id;
+        if (sharded && q_id >= 0) e.shard = q_lane;
+        e.cause = cause_id;
+        e.a = fresh;
+        // A previously-retired item has an infinite merged width; record
+        // 0 so the serialized trace stays finite.
+        e.b = std::isinf(old_width) ? 0.0 : old_width;
+        sent_id = trace->Emit(e);
+      }
+      st.events.push(Event{cur_now + delay, EventType::kDabChange,
+                           static_cast<int>(item), fresh, sent_id, 0.0});
+    }
+  };
+
+  auto find_live = [&](int query_id) -> int {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (q_alive[i] != 0 && queries[i].id == query_id) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  auto do_register = [&](const PolynomialQuery& q, core::QueryPlan plan,
+                         double estimate, int degrade_attempts) -> Status {
+    for (VarId v : q.p.Variables()) {
+      if (static_cast<size_t>(v) >= n_items) {
+        return Status::InvalidArgument(
+            "registered query references item beyond universe");
+      }
+    }
+    if (find_live(q.id) >= 0) {
+      return Status::InvalidArgument("query id already registered: " +
+                                     std::to_string(q.id));
+    }
+    ensure_dqi();
+    const size_t qi = queries.size();
+    queries.push_back(q);
+    q_alive.push_back(1);
+    q_reg_tick.push_back(cur_tick);
+    q_dereg_tick.push_back(std::numeric_limits<int>::max());
+    st.plans.push_back(std::move(plan));
+    st.anchors.emplace_back();
+    st.anchors[qi].resize(st.plans[qi].parts.size());
+    for (size_t pi = 0; pi < st.plans[qi].parts.size(); ++pi) {
+      anchor_part(qi, pi);
+    }
+    st.violated_time.push_back(0.0);
+    const std::vector<VarId> items = q.p.Variables();
+    for (VarId v : items) {
+      st.item_queries[static_cast<size_t>(v)].push_back(
+          static_cast<int>(qi));
+    }
+    dqi->AddQuery(q.id, items);
+    refresh_partition();
+    const int lane = st.query_shard[qi];
+    view_eval.AddQuery(q);
+    last_user_value.push_back(view_eval.QueryValue(qi));
+    uint64_t reg_id = 0;
+    if (trace != nullptr) {
+      obs::TraceQueryInfo info;
+      info.query = q.id;
+      info.node = tnode;
+      if (sharded) info.shard = lane;
+      info.qab = q.qab;
+      for (VarId v : items) info.items.push_back(static_cast<int32_t>(v));
+      trace->AddQueryInfo(std::move(info));
+      obs::TraceEvent e;
+      e.time = cur_now;
+      e.kind = obs::TraceEventKind::kQueryRegister;
+      e.node = tnode;
+      e.query = q.id;
+      if (sharded) e.shard = lane;
+      e.a = q.qab;
+      e.b = estimate;
+      e.flag = degrade_attempts;
+      reg_id = trace->Emit(e);
+    }
+    // Plan installation is coordinator work: charge the query's lane one
+    // recompute per plan part, exactly as a secondary-violation replan
+    // would.
+    double busy = 0.0;
+    for (size_t pi = 0; pi < st.plans[qi].parts.size(); ++pi) {
+      busy += delays.RecomputeCpu();
+    }
+    const size_t lane_s = static_cast<size_t>(lane);
+    st.shard_free_at[lane_s] =
+        std::max(cur_now, st.shard_free_at[lane_s]) + busy;
+    emit_plan_patch(reg_id);
+    ship_churn_changes(items, reg_id, q.id, lane);
+    return Status::OK();
+  };
+
+  auto do_modify = [&](int query_id, double new_qab,
+                       core::QueryPlan plan) -> Status {
+    const int qi = find_live(query_id);
+    if (qi < 0) {
+      return Status::InvalidArgument("modify of unknown query id: " +
+                                     std::to_string(query_id));
+    }
+    const size_t q = static_cast<size_t>(qi);
+    const double old_qab = queries[q].qab;
+    queries[q].qab = new_qab;
+    st.plans[q] = std::move(plan);
+    st.anchors[q].resize(st.plans[q].parts.size());
+    for (size_t pi = 0; pi < st.plans[q].parts.size(); ++pi) {
+      anchor_part(q, pi);
+    }
+    ensure_dqi();
+    refresh_partition();
+    const int lane = st.query_shard[q];
+    uint64_t mod_id = 0;
+    if (trace != nullptr) {
+      obs::TraceEvent e;
+      e.time = cur_now;
+      e.kind = obs::TraceEventKind::kQueryModify;
+      e.node = tnode;
+      e.query = query_id;
+      if (sharded) e.shard = lane;
+      e.a = new_qab;
+      e.b = old_qab;
+      mod_id = trace->Emit(e);
+    }
+    double busy = 0.0;
+    for (size_t pi = 0; pi < st.plans[q].parts.size(); ++pi) {
+      busy += delays.RecomputeCpu();
+    }
+    const size_t lane_s = static_cast<size_t>(lane);
+    st.shard_free_at[lane_s] =
+        std::max(cur_now, st.shard_free_at[lane_s]) + busy;
+    emit_plan_patch(mod_id);
+    ship_churn_changes(queries[q].p.Variables(), mod_id, query_id, lane);
+    return Status::OK();
+  };
+
+  auto do_deregister = [&](int query_id) -> Status {
+    const int qi = find_live(query_id);
+    if (qi < 0) {
+      return Status::InvalidArgument("deregister of unknown query id: " +
+                                     std::to_string(query_id));
+    }
+    const size_t q = static_cast<size_t>(qi);
+    ensure_dqi();
+    // The pre-removal lane stamps the trace event; afterwards the slot
+    // has no lane.
+    const int lane = st.query_shard[q];
+    q_alive[q] = 0;
+    q_dereg_tick[q] = cur_tick;
+    const std::vector<VarId> items = queries[q].p.Variables();
+    for (VarId v : items) {
+      auto& qs = st.item_queries[static_cast<size_t>(v)];
+      qs.erase(std::remove(qs.begin(), qs.end(), qi), qs.end());
+    }
+    st.plans[q].parts.clear();
+    st.anchors[q].clear();
+    dqi->RemoveQuery(qi);
+    refresh_partition();
+    uint64_t de_id = 0;
+    if (trace != nullptr) {
+      obs::TraceEvent e;
+      e.time = cur_now;
+      e.kind = obs::TraceEventKind::kQueryDeregister;
+      e.node = tnode;
+      e.query = query_id;
+      if (sharded) e.shard = lane;
+      de_id = trace->Emit(e);
+    }
+    // Dropping a query is bookkeeping, not solver work: no lane charge.
+    emit_plan_patch(de_id);
+    ship_churn_changes(items, de_id, /*q_id=*/-1, /*q_lane=*/-1);
+    return Status::OK();
+  };
+
+  auto do_trial = [&](const PolynomialQuery& q) -> Result<core::QueryPlan> {
+    for (VarId v : q.p.Variables()) {
+      if (static_cast<size_t>(v) >= n_items) {
+        return Status::InvalidArgument(
+            "candidate query references item beyond universe");
+      }
+    }
+    return core::PlanQueryParts(q, st.view, rates, planner_cfg);
+  };
+
+  auto do_reject = [&](int query_id, double estimate, double budget,
+                       int reason) {
+    // A duplicate-id attempt while the id is live is dropped rather than
+    // traced: the checker's invariant is that a rejected id is not
+    // active. The admission layer counts it either way.
+    if (find_live(query_id) >= 0) return;
+    if (trace != nullptr) {
+      obs::TraceEvent e;
+      e.time = cur_now;
+      e.kind = obs::TraceEventKind::kAdmissionReject;
+      e.node = tnode;
+      e.query = query_id;
+      e.a = estimate;
+      e.b = budget;
+      e.flag = reason;
+      trace->Emit(e);
+    }
+  };
+
+  EngineOps ops;
+  ops.view = &st.view;
+  ops.rates = &rates;
+  ops.trial = do_trial;
+  ops.register_fn = do_register;
+  ops.modify_fn = do_modify;
+  ops.deregister_fn = do_deregister;
+  ops.reject_fn = do_reject;
+
   int aao_next_tick =
-      aao_mode ? static_cast<int>(config.aao_period_s) : total_ticks + 1;
+      aao_mode ? static_cast<int>(config.aao_period_s)
+               : std::numeric_limits<int>::max();
   core::AaoSolution last_aao;
   bool have_aao = false;
 
@@ -933,7 +1348,17 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
   int64_t tick_refresh_base = 0;
   int64_t tick_recompute_base = 0;
 
-  for (int tick = 1; tick < total_ticks; ++tick) {
+  // Rows consumed from the source so far (tick 0 included); the
+  // streaming run length is discovered, not declared.
+  int ticks_seen = 1;
+
+  for (int tick = 1;; ++tick) {
+    {
+      auto more = source.Next(&row);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+    }
+    ++ticks_seen;
     const double now = static_cast<double>(tick);
 
     // 1. Deliver everything that arrived since the last tick.
@@ -959,6 +1384,16 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
           trace->Emit(e);
         }
       }
+    }
+
+    // 1b. Runtime churn: hand the service driver the engine ops, after
+    //     message delivery and before source pushes, so a query
+    //     registered this tick sees (and filters) this tick's values.
+    if (config.service != nullptr) {
+      cur_tick = tick;
+      cur_now = now;
+      if (trace != nullptr) trace->SetNow(now);
+      POLYDAB_RETURN_NOT_OK(config.service->OnTick(tick, now, ops));
     }
 
     // 2. Figure-7 mode: periodic joint AAO recomputation.
@@ -1058,7 +1493,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
       }
     }
     for (size_t item = 0; item < n_items; ++item) {
-      st.source_value[item] = traces.ValueAt(item, tick);
+      st.source_value[item] = row[item];
       const double dab = st.installed_dab[item];
       if (std::isinf(dab)) continue;  // item unused by any query
       if (std::fabs(st.source_value[item] - st.last_pushed[item]) > dab) {
@@ -1237,6 +1672,9 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     // 4. Fidelity sample: is each query's QAB currently met at C?
     if (tick % config.fidelity_stride == 0) {
       for (size_t qi = 0; qi < queries.size(); ++qi) {
+        // Deregistered queries owe no fidelity (their slots persist only
+        // for index stability).
+        if (q_alive[qi] == 0) continue;
         const bool degraded =
             fault_mode && degraded_items[qi] > 0;
         if (degraded) {
@@ -1304,10 +1742,22 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     }
   }
 
+  if (ticks_seen < 2) {
+    return Status::InvalidArgument("trace too short");
+  }
+
+  // Per-query fidelity loss over the query's own registration interval:
+  // sampled ticks run from max(reg, 1) through min(dereg - 1, last tick).
+  // For a query registered at tick 0 and never deregistered this is the
+  // historical ticks - 1 denominator, bit for bit. A query whose interval
+  // contains no sampled tick contributes zero loss.
   double loss_sum = 0.0;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
-    loss_sum += 100.0 * st.violated_time[qi] /
-                static_cast<double>(total_ticks - 1);
+    const int first = std::max(q_reg_tick[qi], 1);
+    const int last = std::min(q_dereg_tick[qi] - 1, ticks_seen - 1);
+    const int denom = last - first + 1;
+    if (denom <= 0) continue;
+    loss_sum += 100.0 * st.violated_time[qi] / static_cast<double>(denom);
   }
   metrics.mean_fidelity_loss_pct =
       loss_sum / static_cast<double>(queries.size());
@@ -1317,7 +1767,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     config.registry->GetGauge("sim.run.items")
         ->Set(static_cast<double>(n_items));
     config.registry->GetGauge("sim.run.ticks")
-        ->Set(static_cast<double>(total_ticks));
+        ->Set(static_cast<double>(ticks_seen));
     config.registry->GetGauge("sim.run.coord_shards")
         ->Set(static_cast<double>(num_shards));
     config.registry->GetGauge("sim.fidelity.mean_loss_pct")
@@ -1329,7 +1779,7 @@ Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
     obs::TraceRunSummary s;
     s.node = tnode;
     s.queries = static_cast<int64_t>(queries.size());
-    s.ticks = total_ticks;
+    s.ticks = ticks_seen;
     s.fidelity_stride = config.fidelity_stride;
     s.violation_tol = config.violation_tol;
     s.refreshes = metrics.refreshes;

@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "sim/delay_model.h"
 #include "sim/fault_model.h"
+#include "workload/tick_source.h"
 #include "workload/trace.h"
 
 /// \file simulation.h
@@ -55,6 +56,72 @@ enum class ShardPolicy : uint8_t {
 
 /// Serialization name, e.g. "eqi_components".
 const char* Name(ShardPolicy policy);
+
+/// How the engine maintains its plan state (EQI components, shard
+/// assignment, per-item min-DAB merges) across runtime query churn
+/// (docs/SERVICE.md). Both modes produce bit-identical observable state —
+/// the churn differential test and the tracecheck plan_patch invariant
+/// enforce it — so kRebuild exists as the checked fallback oracle, not as
+/// a different behaviour.
+enum class PlanMaintenance : uint8_t {
+  kIncremental,  ///< merge/split components in place at each churn event
+  kRebuild,      ///< re-derive everything from scratch at each churn event
+};
+
+/// Serialization name: "incremental" / "rebuild".
+const char* Name(PlanMaintenance maintenance);
+
+/// \brief Engine-side operations the service layer drives at runtime
+/// (docs/SERVICE.md). Implemented by the simulation; handed to
+/// ServiceHooks::OnTick once per tick. All state mutations — plan
+/// installation, EQI merge refresh, filter re-shipping, lane-time
+/// charging, trace emission — happen inside the engine so the event
+/// stream stays consistent regardless of who drives the churn.
+class ServiceOps {
+ public:
+  virtual ~ServiceOps() = default;
+
+  /// The coordinator's current item view / the planner's rate estimates.
+  virtual const Vector& View() const = 0;
+  virtual const Vector& Rates() const = 0;
+
+  /// Plan a candidate query against the current view without registering
+  /// it — the admission controller's costing probe. Does not mutate
+  /// engine state (the planner may emit planner_plan trace events).
+  virtual Result<core::QueryPlan> TrialPlan(const PolynomialQuery& query) = 0;
+
+  /// Register \p query with the given (already solved) plan. Emits
+  /// query_register + plan_patch, refreshes the EQI merge, ships changed
+  /// filters, and charges the query's lane one recompute per plan part.
+  /// \p admission_estimate and \p degrade_attempts are recorded on the
+  /// trace event for offline audit.
+  virtual Status Register(const PolynomialQuery& query, core::QueryPlan plan,
+                          double admission_estimate,
+                          int degrade_attempts) = 0;
+
+  /// Change a live query's QAB, installing the re-solved \p plan.
+  virtual Status Modify(int query_id, double new_qab,
+                        core::QueryPlan plan) = 0;
+
+  /// Remove a live query; its items' merged filters widen (or retire)
+  /// accordingly.
+  virtual Status Deregister(int query_id) = 0;
+
+  /// Record a rejected registration (admission_reject trace event).
+  /// \p reason: 0 = over recompute budget, 1 = planning failed,
+  /// 2 = invalid query.
+  virtual void AdmissionReject(int query_id, double estimate, double budget,
+                               int reason) = 0;
+};
+
+/// \brief Runtime churn driver (svc::QueryService, or a test double).
+/// Called once per simulated tick, after message delivery and before
+/// source pushes, with the engine's logical clock.
+class ServiceHooks {
+ public:
+  virtual ~ServiceHooks() = default;
+  virtual Status OnTick(int tick, double now, ServiceOps& ops) = 0;
+};
 
 struct SimConfig {
   core::PlannerConfig planner;
@@ -120,6 +187,17 @@ struct SimConfig {
   /// simulation per coordinator into a shared sink (net/dissemination.cc)
   /// set it so the streams stay separable. -1 = single coordinator.
   int32_t trace_node = -1;
+  /// Optional runtime churn driver (docs/SERVICE.md): called once per
+  /// tick to register/modify/deregister queries through ServiceOps. Null
+  /// (the default) — and equally a driver that never issues an op —
+  /// leaves the run byte-identical (trace, metrics, registry) to the
+  /// historical fixed-query path; every churn site below is gated on a
+  /// churn op actually happening. Incompatible with aao_period_s > 0 and
+  /// with active fault injection. Not owned; must outlive the run.
+  ServiceHooks* service = nullptr;
+  /// Plan-maintenance strategy for runtime churn; ignored without a
+  /// service driver. kRebuild is the checked from-scratch fallback.
+  PlanMaintenance plan_maintenance = PlanMaintenance::kIncremental;
 
   /// One-line rendering of the full configuration, for run reports and
   /// test-failure messages.
@@ -161,6 +239,17 @@ struct SimMetrics {
 /// workload/rate_estimator.h). Deterministic given config.seed.
 Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
                                  const workload::TraceSet& traces,
+                                 const Vector& rates,
+                                 const SimConfig& config);
+
+/// \brief Streaming-ingest form: ticks are pulled one row at a time from
+/// \p source (workload/tick_source.h) until end of stream; the run length
+/// is however many rows the source yields. The canned overload above is a
+/// thin adapter over this one, and a TraceSetTickSource-driven run is
+/// byte-identical to it (tests/churn_diff_test.cc). The stream must
+/// yield at least two rows (tick 0 plus one simulated tick).
+Result<SimMetrics> RunSimulation(const std::vector<PolynomialQuery>& queries,
+                                 workload::TickSource& source,
                                  const Vector& rates,
                                  const SimConfig& config);
 

@@ -1,0 +1,188 @@
+#include "svc/query_service.h"
+
+#include <chrono>
+#include <utility>
+
+namespace polydab::svc {
+
+const char* Name(AdmissionConfig::Policy policy) {
+  switch (policy) {
+    case AdmissionConfig::Policy::kReject: return "reject";
+    case AdmissionConfig::Policy::kDegrade: return "degrade";
+  }
+  return "?";
+}
+
+double PlanRecomputeEstimate(const core::QueryPlan& plan) {
+  double estimate = 0.0;
+  for (const core::PlanPart& part : plan.parts) {
+    estimate += part.dabs.recompute_rate;
+  }
+  return estimate;
+}
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+QueryService::QueryService(const AdmissionConfig& admission,
+                           std::vector<workload::ChurnOp> schedule,
+                           obs::MetricRegistry* registry,
+                           sim::PlanMaintenance maintenance)
+    : admission_(admission),
+      schedule_(std::move(schedule)),
+      registry_(registry),
+      maintenance_(maintenance) {}
+
+Status QueryService::OnTick(int /*tick*/, double now, sim::ServiceOps& ops) {
+  while (next_op_ < schedule_.size() && schedule_[next_op_].time <= now) {
+    POLYDAB_RETURN_NOT_OK(Apply(schedule_[next_op_], ops));
+    ++next_op_;
+  }
+  return Status::OK();
+}
+
+void QueryService::EnsureInstruments() {
+  if (registry_ == nullptr || m_registrations_ != nullptr) return;
+  m_registrations_ = registry_->GetCounter("svc.service.registrations");
+  m_deregistrations_ = registry_->GetCounter("svc.service.deregistrations");
+  m_modifications_ = registry_->GetCounter("svc.service.modifications");
+  m_rejections_ = registry_->GetCounter("svc.service.rejections");
+  m_degraded_ =
+      registry_->GetCounter("svc.service.degraded_registrations");
+  m_active_ = registry_->GetGauge("svc.service.active_queries");
+  m_maintenance_ = registry_->GetHistogram(
+      maintenance_ == sim::PlanMaintenance::kIncremental
+          ? "svc.plan_maintenance.incremental_seconds"
+          : "svc.plan_maintenance.rebuild_seconds");
+}
+
+void QueryService::RecordMaintenance(double seconds) {
+  if (m_maintenance_ != nullptr) m_maintenance_->Record(seconds);
+}
+
+Status QueryService::Apply(const workload::ChurnOp& op,
+                           sim::ServiceOps& ops) {
+  EnsureInstruments();
+  Status st;
+  switch (op.kind) {
+    case workload::ChurnOp::Kind::kRegister:
+      st = DoRegister(op, ops);
+      break;
+    case workload::ChurnOp::Kind::kModify:
+      st = DoModify(op, ops);
+      break;
+    case workload::ChurnOp::Kind::kDeregister:
+      st = DoDeregister(op, ops);
+      break;
+  }
+  if (m_active_ != nullptr) {
+    m_active_->Set(static_cast<double>(live_.size()));
+  }
+  return st;
+}
+
+Status QueryService::DoRegister(const workload::ChurnOp& op,
+                                sim::ServiceOps& ops) {
+  PolynomialQuery query = op.query;
+  if (!(query.qab > 0.0)) {
+    ops.AdmissionReject(query.id, 0.0, admission_.recompute_budget,
+                        /*reason=*/2);
+    ++rejections_;
+    if (m_rejections_ != nullptr) m_rejections_->Inc();
+    return Status::OK();
+  }
+  int attempts = 0;
+  double estimate = 0.0;
+  core::QueryPlan plan;
+  for (;;) {
+    Result<core::QueryPlan> trial = ops.TrialPlan(query);
+    if (!trial.ok()) {
+      const int reason =
+          trial.status().code() == StatusCode::kInvalidArgument ||
+                  trial.status().code() == StatusCode::kOutOfRange
+              ? 2
+              : 1;
+      ops.AdmissionReject(query.id, 0.0, admission_.recompute_budget,
+                          reason);
+      ++rejections_;
+      if (m_rejections_ != nullptr) m_rejections_->Inc();
+      return Status::OK();
+    }
+    plan = std::move(*trial);
+    estimate = PlanRecomputeEstimate(plan);
+    if (used_budget_ + estimate <= admission_.recompute_budget) break;
+    if (admission_.policy != AdmissionConfig::Policy::kDegrade ||
+        attempts >= admission_.max_degrade_attempts) {
+      ops.AdmissionReject(query.id, estimate, admission_.recompute_budget,
+                          /*reason=*/0);
+      ++rejections_;
+      if (m_rejections_ != nullptr) m_rejections_->Inc();
+      return Status::OK();
+    }
+    // A looser QAB lowers the modeled recompute rate; widen and re-cost.
+    query.qab *= admission_.degrade_factor;
+    ++attempts;
+  }
+  const double start = Now();
+  POLYDAB_RETURN_NOT_OK(
+      ops.Register(query, std::move(plan), estimate, attempts));
+  RecordMaintenance(Now() - start);
+  live_[query.id] = LiveQuery{query, estimate};
+  used_budget_ += estimate;
+  ++registrations_;
+  if (m_registrations_ != nullptr) m_registrations_->Inc();
+  if (attempts > 0) {
+    ++degraded_;
+    if (m_degraded_ != nullptr) m_degraded_->Inc();
+  }
+  return Status::OK();
+}
+
+Status QueryService::DoModify(const workload::ChurnOp& op,
+                              sim::ServiceOps& ops) {
+  auto it = live_.find(op.query_id);
+  // The schedule assigns lifetimes before admission's verdict is known;
+  // ops against ids that never registered are silently dropped.
+  if (it == live_.end()) return Status::OK();
+  if (!(op.new_qab > 0.0)) return Status::OK();
+  PolynomialQuery query = it->second.query;
+  query.qab = op.new_qab;
+  Result<core::QueryPlan> trial = ops.TrialPlan(query);
+  // A failed re-solve keeps the old plan; the modify is dropped rather
+  // than leaving the query in a half-updated state.
+  if (!trial.ok()) return Status::OK();
+  const double estimate = PlanRecomputeEstimate(*trial);
+  const double start = Now();
+  POLYDAB_RETURN_NOT_OK(
+      ops.Modify(op.query_id, op.new_qab, std::move(*trial)));
+  RecordMaintenance(Now() - start);
+  used_budget_ += estimate - it->second.estimate;
+  it->second.query.qab = op.new_qab;
+  it->second.estimate = estimate;
+  ++modifications_;
+  if (m_modifications_ != nullptr) m_modifications_->Inc();
+  return Status::OK();
+}
+
+Status QueryService::DoDeregister(const workload::ChurnOp& op,
+                                  sim::ServiceOps& ops) {
+  auto it = live_.find(op.query_id);
+  if (it == live_.end()) return Status::OK();
+  const double start = Now();
+  POLYDAB_RETURN_NOT_OK(ops.Deregister(op.query_id));
+  RecordMaintenance(Now() - start);
+  used_budget_ -= it->second.estimate;
+  live_.erase(it);
+  ++deregistrations_;
+  if (m_deregistrations_ != nullptr) m_deregistrations_->Inc();
+  return Status::OK();
+}
+
+}  // namespace polydab::svc

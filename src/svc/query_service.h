@@ -1,0 +1,137 @@
+#ifndef POLYDAB_SVC_QUERY_SERVICE_H_
+#define POLYDAB_SVC_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/planner.h"
+#include "obs/metrics.h"
+#include "sim/simulation.h"
+#include "workload/churn_gen.h"
+
+/// \file query_service.h
+/// Live continuous-query service layer (docs/SERVICE.md): a front end over
+/// the simulation engine that registers, modifies and deregisters queries
+/// at runtime, with admission control against a per-coordinator recompute
+/// budget. The service is a sim::ServiceHooks driver — the engine calls it
+/// once per tick and it replays its churn schedule through the engine's
+/// ServiceOps, so all plan maintenance (EQI merge/split, shard
+/// re-assignment, filter re-shipping) happens inside the engine and is
+/// covered by the trace invariants. A service with an empty schedule
+/// issues no ops and leaves the run byte-identical to the fixed-query
+/// path.
+
+namespace polydab::svc {
+
+/// Admission-control policy for new registrations.
+struct AdmissionConfig {
+  /// What to do when a registration's estimated recompute rate would push
+  /// the coordinator past its budget.
+  enum class Policy : uint8_t {
+    kReject,   ///< refuse the registration (admission_reject, reason 0)
+    kDegrade,  ///< widen the QAB until the estimate fits, then register
+  };
+
+  /// Total modeled recomputations/second the coordinator will accept
+  /// across all live queries. Infinite (the default) admits everything.
+  double recompute_budget = std::numeric_limits<double>::infinity();
+  Policy policy = Policy::kReject;
+  /// kDegrade: how many QAB widenings to try before giving up, and the
+  /// multiplicative factor per attempt. A looser QAB lowers the modeled
+  /// recompute rate, trading fidelity for admission.
+  int max_degrade_attempts = 4;
+  double degrade_factor = 2.0;
+};
+
+/// Serialization name: "reject" / "degrade".
+const char* Name(AdmissionConfig::Policy policy);
+
+/// \brief Replays a churn schedule (workload/churn_gen.h) through the
+/// engine with admission control.
+///
+/// Per-registration flow: TrialPlan costs the query (sum of the plan
+/// parts' modeled recompute rates); if the budget would be exceeded, the
+/// policy either rejects or degrades (QAB widening + re-plan). Modifies
+/// re-plan under the new QAB and update the budget charge; deregisters
+/// release it. Ops scheduled against ids that were rejected (or never
+/// registered) are skipped silently — the generator schedules a lifetime
+/// for every arrival without knowing admission's verdict.
+///
+/// When a MetricRegistry is supplied, the `svc.*` instruments are created
+/// lazily at the first executed op, so runs without churn record no
+/// service metrics at all: counters `svc.service.{registrations,
+/// deregistrations, modifications, rejections, degraded_registrations}`,
+/// gauge `svc.service.active_queries`, and wall-clock histograms
+/// `svc.plan_maintenance.{incremental,rebuild}_seconds` (selected by the
+/// maintenance mode) around each engine churn transaction.
+class QueryService final : public sim::ServiceHooks {
+ public:
+  QueryService(const AdmissionConfig& admission,
+               std::vector<workload::ChurnOp> schedule,
+               obs::MetricRegistry* registry,
+               sim::PlanMaintenance maintenance);
+
+  /// Engine callback: apply every scheduled op with time <= now.
+  Status OnTick(int tick, double now, sim::ServiceOps& ops) override;
+
+  // Outcome accessors (tests, run reports).
+  int64_t registrations() const { return registrations_; }
+  int64_t deregistrations() const { return deregistrations_; }
+  int64_t modifications() const { return modifications_; }
+  int64_t rejections() const { return rejections_; }
+  int64_t degraded_registrations() const { return degraded_; }
+  int64_t active_queries() const {
+    return static_cast<int64_t>(live_.size());
+  }
+  /// Sum of the live queries' admission estimates.
+  double used_budget() const { return used_budget_; }
+
+ private:
+  /// One live registration's bookkeeping.
+  struct LiveQuery {
+    PolynomialQuery query;  ///< as registered (QAB reflects modifies)
+    double estimate = 0.0;  ///< admission charge currently held
+  };
+
+  Status Apply(const workload::ChurnOp& op, sim::ServiceOps& ops);
+  Status DoRegister(const workload::ChurnOp& op, sim::ServiceOps& ops);
+  Status DoModify(const workload::ChurnOp& op, sim::ServiceOps& ops);
+  Status DoDeregister(const workload::ChurnOp& op, sim::ServiceOps& ops);
+  void EnsureInstruments();
+  void RecordMaintenance(double seconds);
+
+  const AdmissionConfig admission_;
+  const std::vector<workload::ChurnOp> schedule_;  // sorted by time
+  obs::MetricRegistry* const registry_;            // may be null
+  const sim::PlanMaintenance maintenance_;
+
+  size_t next_op_ = 0;
+  std::map<int, LiveQuery> live_;
+  double used_budget_ = 0.0;
+  int64_t registrations_ = 0;
+  int64_t deregistrations_ = 0;
+  int64_t modifications_ = 0;
+  int64_t rejections_ = 0;
+  int64_t degraded_ = 0;
+
+  // Lazily-created instruments; null until the first op executes.
+  obs::Counter* m_registrations_ = nullptr;
+  obs::Counter* m_deregistrations_ = nullptr;
+  obs::Counter* m_modifications_ = nullptr;
+  obs::Counter* m_rejections_ = nullptr;
+  obs::Counter* m_degraded_ = nullptr;
+  obs::Gauge* m_active_ = nullptr;
+  obs::Histogram* m_maintenance_ = nullptr;
+};
+
+/// \brief Modeled recompute rate of a solved plan: the admission
+/// controller's costing unit, summed over plan parts. Never-stale parts
+/// (LAQs) legitimately cost zero.
+double PlanRecomputeEstimate(const core::QueryPlan& plan);
+
+}  // namespace polydab::svc
+
+#endif  // POLYDAB_SVC_QUERY_SERVICE_H_

@@ -1,0 +1,157 @@
+#include "workload/churn_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace polydab::workload {
+
+namespace {
+
+/// Zipf CDF over ranks 1..n with exponent s (rank 1 = item 0). Uniform
+/// when s == 0. Precomputed once per schedule.
+std::vector<double> ZipfCdf(int n, double s) {
+  std::vector<double> cdf(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf[static_cast<size_t>(k - 1)] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+VarId DrawZipfItem(const std::vector<double>& cdf, Rng* rng) {
+  const double u = rng->Uniform(0.0, 1.0);
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const size_t idx = it == cdf.end() ? cdf.size() - 1
+                                     : static_cast<size_t>(it - cdf.begin());
+  return static_cast<VarId>(idx);
+}
+
+/// Exponential draw with the given mean.
+double Exponential(double mean, Rng* rng) {
+  return -mean * std::log(1.0 - rng->Uniform(0.0, 1.0));
+}
+
+Polynomial ZipfProductSum(const ChurnConfig& config,
+                          const std::vector<double>& cdf, int pairs,
+                          Rng* rng) {
+  std::vector<Monomial> terms;
+  terms.reserve(static_cast<size_t>(pairs));
+  for (int k = 0; k < pairs; ++k) {
+    VarId a = DrawZipfItem(cdf, rng);
+    VarId b = DrawZipfItem(cdf, rng);
+    // Bilinear terms, like the paper's portfolio queries.
+    for (int tries = 0; tries < 8 && b == a; ++tries) {
+      b = DrawZipfItem(cdf, rng);
+    }
+    terms.emplace_back(rng->Uniform(config.weight_lo, config.weight_hi),
+                       std::vector<std::pair<VarId, int>>{{a, 1}, {b, 1}});
+  }
+  return Polynomial(std::move(terms));
+}
+
+}  // namespace
+
+const char* Name(ChurnOp::Kind kind) {
+  switch (kind) {
+    case ChurnOp::Kind::kRegister:
+      return "register";
+    case ChurnOp::Kind::kModify:
+      return "modify";
+    case ChurnOp::Kind::kDeregister:
+      return "deregister";
+  }
+  return "?";
+}
+
+Status ValidateChurnConfig(const ChurnConfig& config) {
+  if (!(config.arrival_rate >= 0.0) || !std::isfinite(config.arrival_rate)) {
+    return Status::InvalidArgument("churn arrival rate must be finite >= 0");
+  }
+  if (!(config.mean_lifetime_s > 0.0) ||
+      !std::isfinite(config.mean_lifetime_s)) {
+    return Status::InvalidArgument("churn mean lifetime must be finite > 0");
+  }
+  if (!(config.modify_prob >= 0.0 && config.modify_prob <= 1.0)) {
+    return Status::InvalidArgument("churn modify prob must be in [0, 1]");
+  }
+  if (!(config.zipf_s >= 0.0) || !std::isfinite(config.zipf_s)) {
+    return Status::InvalidArgument("churn zipf exponent must be finite >= 0");
+  }
+  if (!(config.horizon_s > 0.0)) {
+    return Status::InvalidArgument("churn horizon must be > 0");
+  }
+  if (config.num_items < 2) {
+    return Status::InvalidArgument("churn needs at least 2 items");
+  }
+  if (config.min_pairs < 1 || config.max_pairs < config.min_pairs) {
+    return Status::InvalidArgument("bad churn pair-count range");
+  }
+  if (!(config.modify_scale_lo > 0.0) ||
+      config.modify_scale_hi < config.modify_scale_lo) {
+    return Status::InvalidArgument("bad churn modify-scale range");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ChurnOp>> GenerateChurnSchedule(const ChurnConfig& config,
+                                                   const Vector& initial,
+                                                   Rng* rng) {
+  POLYDAB_RETURN_NOT_OK(ValidateChurnConfig(config));
+  if (initial.size() < static_cast<size_t>(config.num_items)) {
+    return Status::InvalidArgument("initial snapshot smaller than universe");
+  }
+  std::vector<ChurnOp> ops;
+  if (config.arrival_rate == 0.0) return ops;
+  const std::vector<double> cdf = ZipfCdf(config.num_items, config.zipf_s);
+  int next_id = config.id_base;
+  double t = Exponential(1.0 / config.arrival_rate, rng);
+  while (t < config.horizon_s) {
+    const int pairs =
+        static_cast<int>(rng->UniformInt(config.min_pairs, config.max_pairs));
+    ChurnOp reg;
+    reg.time = t;
+    reg.kind = ChurnOp::Kind::kRegister;
+    reg.query.id = next_id++;
+    reg.query.p = ZipfProductSum(config, cdf, pairs, rng);
+    reg.query.qab = config.qab_fraction * reg.query.p.Evaluate(initial);
+    reg.query_id = reg.query.id;
+
+    const double departs = t + Exponential(config.mean_lifetime_s, rng);
+    if (rng->Bernoulli(config.modify_prob)) {
+      ChurnOp mod;
+      mod.time = t + rng->Uniform(0.0, 1.0) *
+                         (std::min(departs, config.horizon_s) - t);
+      mod.kind = ChurnOp::Kind::kModify;
+      mod.query_id = reg.query.id;
+      mod.new_qab =
+          reg.query.qab *
+          rng->Uniform(config.modify_scale_lo, config.modify_scale_hi);
+      ops.push_back(std::move(mod));
+    }
+    if (departs < config.horizon_s) {
+      ChurnOp dereg;
+      dereg.time = departs;
+      dereg.kind = ChurnOp::Kind::kDeregister;
+      dereg.query_id = reg.query.id;
+      ops.push_back(std::move(dereg));
+    }
+    ops.push_back(std::move(reg));
+    t += Exponential(1.0 / config.arrival_rate, rng);
+  }
+  // Deterministic total order: by time, then query id, then lifecycle
+  // stage — so a register always precedes a same-instant modify or
+  // deregister of the same query.
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const ChurnOp& a, const ChurnOp& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.query_id != b.query_id)
+                       return a.query_id < b.query_id;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return ops;
+}
+
+}  // namespace polydab::workload

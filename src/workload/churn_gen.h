@@ -1,0 +1,78 @@
+#ifndef POLYDAB_WORKLOAD_CHURN_GEN_H_
+#define POLYDAB_WORKLOAD_CHURN_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/query.h"
+
+/// \file churn_gen.h
+/// Synthetic registration churn for the service layer (docs/SERVICE.md).
+/// Query arrivals are a Poisson process (exponential inter-arrival
+/// times), lifetimes are exponential, and the items a new query
+/// references follow a Zipf popularity law — the standard model for
+/// subscription workloads where a few hot symbols appear in most
+/// portfolios. Deterministic given the caller's Rng, like every other
+/// generator in this directory.
+
+namespace polydab::workload {
+
+/// One scheduled service operation.
+struct ChurnOp {
+  enum class Kind { kRegister, kModify, kDeregister };
+
+  double time = 0.0;  ///< seconds (= ticks) from run start
+  Kind kind = Kind::kRegister;
+  /// kRegister: the full query (id, polynomial, QAB).
+  /// kModify / kDeregister: only `query_id` (and `new_qab` for modify)
+  /// are meaningful.
+  PolynomialQuery query;
+  int query_id = 0;
+  double new_qab = 0.0;
+};
+
+const char* Name(ChurnOp::Kind kind);
+
+struct ChurnConfig {
+  /// Registration arrivals per second (Poisson). 0 = no churn.
+  double arrival_rate = 0.05;
+  /// Mean query lifetime in seconds (exponential); a query whose drawn
+  /// departure lands beyond the horizon simply never deregisters.
+  double mean_lifetime_s = 300.0;
+  /// Probability a query gets one mid-life QAB modification.
+  double modify_prob = 0.1;
+  /// Zipf exponent for item popularity (item 0 hottest). 0 = uniform.
+  double zipf_s = 1.0;
+  /// Schedule horizon in seconds (typically the run's tick count).
+  double horizon_s = 2000.0;
+  int num_items = 100;
+  /// Bilinear product terms per generated query, like the paper's
+  /// portfolio queries.
+  int min_pairs = 2;
+  int max_pairs = 3;
+  double weight_lo = 1.0;
+  double weight_hi = 100.0;
+  /// QAB as a fraction of the query's value at the initial snapshot.
+  double qab_fraction = 0.01;
+  /// Modified QABs are the original scaled by uniform[lo, hi].
+  double modify_scale_lo = 0.5;
+  double modify_scale_hi = 2.0;
+  /// Ids for churned queries start here, far above any initial query id
+  /// so registration-order slots and id-hash shard assignment never
+  /// collide with the static set.
+  int id_base = 100000;
+};
+
+Status ValidateChurnConfig(const ChurnConfig& config);
+
+/// \brief Generate the full churn schedule, sorted by time (register
+/// always precedes the same query's modify, which precedes its
+/// deregister). \p initial anchors the generated QABs.
+Result<std::vector<ChurnOp>> GenerateChurnSchedule(const ChurnConfig& config,
+                                                   const Vector& initial,
+                                                   Rng* rng);
+
+}  // namespace polydab::workload
+
+#endif  // POLYDAB_WORKLOAD_CHURN_GEN_H_

@@ -1,13 +1,17 @@
 #include <cmath>
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "core/planner.h"
 #include "core/validator.h"
+#include "workload/churn_gen.h"
 #include "workload/query_gen.h"
 #include "workload/rate_estimator.h"
+#include "workload/tick_source.h"
 #include "workload/trace.h"
+#include "workload/trace_io.h"
 
 namespace polydab::workload {
 namespace {
@@ -496,6 +500,253 @@ TEST(MixedSignGenTest, TwoHundredRandomPlansValidate) {
   // The sweep only means something if the planner handles the bulk of the
   // draws; solver failures must be the exception.
   EXPECT_GE(planned, attempted * 3 / 4) << planned << "/" << attempted;
+}
+
+class ChurnGenTest : public ::testing::Test {
+ protected:
+  ChurnConfig Config() const {
+    ChurnConfig cc;
+    cc.num_items = 50;
+    cc.horizon_s = 20000.0;
+    cc.arrival_rate = 0.2;
+    return cc;
+  }
+  Vector initial_ = Vector(50, 100.0);
+};
+
+TEST_F(ChurnGenTest, PoissonArrivalsMatchConfiguredRate) {
+  Rng rng(21);
+  auto ops = GenerateChurnSchedule(Config(), initial_, &rng);
+  ASSERT_TRUE(ops.ok());
+  std::vector<double> arrivals;
+  for (const ChurnOp& op : *ops) {
+    if (op.kind == ChurnOp::Kind::kRegister) arrivals.push_back(op.time);
+  }
+  // ~0.2/s over 20000 s = ~4000 registrations; a Poisson count's std-dev
+  // is sqrt(4000) ~ 63, so 5% slack is > 3 sigma.
+  const double n = static_cast<double>(arrivals.size());
+  EXPECT_NEAR(n, 0.2 * 20000.0, 0.05 * 0.2 * 20000.0);
+  // Mean inter-arrival time recovers 1 / rate.
+  double gaps = 0.0;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    gaps += arrivals[i] - arrivals[i - 1];
+  }
+  EXPECT_NEAR(gaps / (n - 1.0), 1.0 / 0.2, 0.25);
+}
+
+TEST_F(ChurnGenTest, ZipfSkewsItemPopularityTowardItemZero) {
+  Rng rng(22);
+  ChurnConfig cc = Config();
+  cc.zipf_s = 1.2;
+  auto ops = GenerateChurnSchedule(cc, initial_, &rng);
+  ASSERT_TRUE(ops.ok());
+  std::map<VarId, int> hits;
+  int total = 0;
+  for (const ChurnOp& op : *ops) {
+    if (op.kind != ChurnOp::Kind::kRegister) continue;
+    for (VarId v : op.query.p.Variables()) {
+      ++hits[v];
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 1000);
+  // Item 0 is the hottest symbol and the head dominates: the top 10% of
+  // the 50-item universe draws well over its uniform 10% share.
+  int head = 0;
+  for (VarId v = 0; v < 5; ++v) head += hits[v];
+  for (const auto& [v, count] : hits) {
+    EXPECT_LE(count, hits[0]) << "item " << v << " hotter than item 0";
+  }
+  EXPECT_GT(static_cast<double>(head) / total, 0.4);
+}
+
+TEST_F(ChurnGenTest, UniformWhenZipfExponentIsZero) {
+  Rng rng(23);
+  ChurnConfig cc = Config();
+  cc.zipf_s = 0.0;
+  auto ops = GenerateChurnSchedule(cc, initial_, &rng);
+  ASSERT_TRUE(ops.ok());
+  std::map<VarId, int> hits;
+  int total = 0;
+  for (const ChurnOp& op : *ops) {
+    if (op.kind != ChurnOp::Kind::kRegister) continue;
+    for (VarId v : op.query.p.Variables()) {
+      ++hits[v];
+      ++total;
+    }
+  }
+  int head = 0;
+  for (VarId v = 0; v < 5; ++v) head += hits[v];
+  // 5 of 50 items should carry ~10% of references, nowhere near the
+  // Zipf head's share.
+  EXPECT_LT(static_cast<double>(head) / total, 0.2);
+}
+
+TEST_F(ChurnGenTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  auto s1 = GenerateChurnSchedule(Config(), initial_, &a);
+  auto s2 = GenerateChurnSchedule(Config(), initial_, &b);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(s1->size(), s2->size());
+  for (size_t i = 0; i < s1->size(); ++i) {
+    const ChurnOp& x = (*s1)[i];
+    const ChurnOp& y = (*s2)[i];
+    EXPECT_EQ(x.time, y.time) << i;
+    EXPECT_EQ(x.kind, y.kind) << i;
+    EXPECT_EQ(x.query_id, y.query_id) << i;
+    EXPECT_EQ(x.new_qab, y.new_qab) << i;
+    EXPECT_EQ(x.query.qab, y.query.qab) << i;
+  }
+}
+
+TEST_F(ChurnGenTest, ScheduleIsOrderedAndLifecycleConsistent) {
+  Rng rng(24);
+  ChurnConfig cc = Config();
+  cc.modify_prob = 0.5;
+  cc.mean_lifetime_s = 200.0;
+  auto ops = GenerateChurnSchedule(cc, initial_, &rng);
+  ASSERT_TRUE(ops.ok());
+  std::map<int, int> stage;  // 0 none, 1 registered, 2 modified, 3 gone
+  int modifies = 0, deregs = 0;
+  double prev = 0.0;
+  for (const ChurnOp& op : *ops) {
+    EXPECT_GE(op.time, prev);
+    EXPECT_LE(op.time, cc.horizon_s);
+    prev = op.time;
+    switch (op.kind) {
+      case ChurnOp::Kind::kRegister:
+        EXPECT_EQ(stage[op.query.id], 0) << op.query.id;
+        EXPECT_GE(op.query.id, cc.id_base);
+        EXPECT_GT(op.query.qab, 0.0);
+        stage[op.query.id] = 1;
+        break;
+      case ChurnOp::Kind::kModify:
+        EXPECT_EQ(stage[op.query_id], 1) << op.query_id;
+        EXPECT_GT(op.new_qab, 0.0);
+        stage[op.query_id] = 2;
+        ++modifies;
+        break;
+      case ChurnOp::Kind::kDeregister:
+        EXPECT_GE(stage[op.query_id], 1) << op.query_id;
+        EXPECT_LT(stage[op.query_id], 3) << op.query_id;
+        stage[op.query_id] = 3;
+        ++deregs;
+        break;
+    }
+  }
+  EXPECT_GT(modifies, 0);
+  EXPECT_GT(deregs, 0);
+}
+
+TEST_F(ChurnGenTest, RejectsBadConfig) {
+  ChurnConfig cc = Config();
+  cc.arrival_rate = -1.0;
+  EXPECT_FALSE(ValidateChurnConfig(cc).ok());
+  cc = Config();
+  cc.mean_lifetime_s = 0.0;
+  EXPECT_FALSE(ValidateChurnConfig(cc).ok());
+  cc = Config();
+  cc.modify_prob = 1.5;
+  EXPECT_FALSE(ValidateChurnConfig(cc).ok());
+  cc = Config();
+  cc.zipf_s = -0.5;
+  EXPECT_FALSE(ValidateChurnConfig(cc).ok());
+  cc = Config();
+  cc.horizon_s = 0.0;
+  EXPECT_FALSE(ValidateChurnConfig(cc).ok());
+  cc = Config();
+  cc.num_items = 1;
+  EXPECT_FALSE(ValidateChurnConfig(cc).ok());
+  cc = Config();
+  cc.min_pairs = 0;
+  EXPECT_FALSE(ValidateChurnConfig(cc).ok());
+  cc = Config();
+  cc.modify_scale_lo = 0.0;
+  EXPECT_FALSE(ValidateChurnConfig(cc).ok());
+  // A too-small snapshot is caught at generation time.
+  Rng rng(25);
+  EXPECT_FALSE(GenerateChurnSchedule(Config(), Vector(3, 1.0), &rng).ok());
+}
+
+TEST(TickSourceTest, TraceSetAdapterYieldsSnapshotsInOrder) {
+  Rng rng(26);
+  TraceSetConfig tc;
+  tc.num_items = 6;
+  tc.num_ticks = 40;
+  auto set = GenerateTraceSet(tc, &rng);
+  ASSERT_TRUE(set.ok());
+  TraceSetTickSource source(&*set);
+  EXPECT_EQ(source.num_items(), 6u);
+  EXPECT_EQ(source.num_ticks_hint(), 40);
+  Vector row;
+  for (int t = 0; t < 40; ++t) {
+    auto more = source.Next(&row);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more) << "tick " << t;
+    ASSERT_EQ(row.size(), 6u);
+    for (size_t i = 0; i < 6; ++i) {
+      EXPECT_DOUBLE_EQ(row[i], set->ValueAt(i, t)) << t << "," << i;
+    }
+  }
+  auto done = source.Next(&row);
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(*done);
+  // Rewind replays from tick 0.
+  ASSERT_TRUE(source.Rewind().ok());
+  auto again = source.Next(&row);
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(*again);
+  EXPECT_DOUBLE_EQ(row[0], set->ValueAt(0, 0));
+}
+
+TEST(TickSourceTest, FileSourceRoundTripsCsvAndRewinds) {
+  Rng rng(27);
+  TraceSetConfig tc;
+  tc.num_items = 4;
+  tc.num_ticks = 25;
+  auto set = GenerateTraceSet(tc, &rng);
+  ASSERT_TRUE(set.ok());
+  const std::string path = ::testing::TempDir() + "/tick_source_rt.csv";
+  ASSERT_TRUE(SaveTraceSetCsv(*set, path).ok());
+
+  auto opened = FileTickSource::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  FileTickSource& source = **opened;
+  EXPECT_EQ(source.num_items(), 4u);
+  Vector row;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int t = 0; t < 25; ++t) {
+      auto more = source.Next(&row);
+      ASSERT_TRUE(more.ok()) << more.status().ToString();
+      ASSERT_TRUE(*more) << "pass " << pass << " tick " << t;
+      ASSERT_EQ(row.size(), 4u);
+      for (size_t i = 0; i < 4; ++i) {
+        // CSV serialization is %.17g: exact for doubles.
+        EXPECT_EQ(row[i], set->ValueAt(i, t)) << t << "," << i;
+      }
+    }
+    auto done = source.Next(&row);
+    ASSERT_TRUE(done.ok());
+    EXPECT_FALSE(*done);
+    ASSERT_TRUE(source.Rewind().ok());
+  }
+}
+
+TEST(TickSourceTest, FileSourceRejectsMissingAndMalformedInput) {
+  EXPECT_FALSE(FileTickSource::Open("/nonexistent/ticks.csv").ok());
+  const std::string path = ::testing::TempDir() + "/tick_source_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "10,20,30\n10,oops,30\n";
+  }
+  auto opened = FileTickSource::Open(path);
+  ASSERT_TRUE(opened.ok());
+  Vector row;
+  auto first = (*opened)->Next(&row);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);
+  EXPECT_FALSE((*opened)->Next(&row).ok());
 }
 
 }  // namespace

@@ -25,6 +25,18 @@ set(bad_cases
   "zero retx-timeout\;retx-timeout-s=0"
   "non-finite lease\;lease-s=inf"
   "zero lease\;lease-s=0"
+  "negative churn-rate\;churn-rate=-1"
+  "non-finite churn-rate\;churn-rate=nan"
+  "zero churn-lifetime\;churn-lifetime-s=0"
+  "negative churn-zipf\;churn-zipf=-1"
+  "churn-modify-prob above 1\;churn-modify-prob=1.5"
+  "negative admit-budget\;admit-budget=-1"
+  "bad admit-policy\;admit-policy=maybe"
+  "bad maintenance mode\;maintenance=lazy"
+  "churn with joint AAO\;churn-rate=0.1\;aao-period=60"
+  "churn with fault injection\;churn-rate=0.1\;fault-drop=0.1"
+  "ingest with canned traces\;ingest=a.csv\;traces=b.csv"
+  "ingest with non-unit rates\;ingest=a.csv\;rates=mean"
 )
 
 foreach(case IN LISTS bad_cases)
@@ -66,3 +78,36 @@ if(NOT status EQUAL 0)
   message(FATAL_ERROR "chaos invocation failed (exit ${status}):\n${out}${err}")
 endif()
 message(STATUS "chaos invocation accepted (exit 0)")
+
+# A churn invocation exercising every service knob end to end.
+execute_process(COMMAND ${EXPERIMENT} queries=2 items=4 ticks=80
+                churn-rate=0.2 churn-lifetime-s=30 churn-zipf=0.5
+                churn-modify-prob=0.2 admit-budget=5
+                admit-policy=degrade maintenance=rebuild
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "churn invocation failed (exit ${status}):\n${out}${err}")
+endif()
+message(STATUS "churn invocation accepted (exit 0)")
+
+# And a streaming-ingest invocation over a generated CSV (trace_io.h row
+# format: one comma-separated row per tick). In script mode the working
+# directory is the ctest invocation dir, which is fine for a scratch file.
+set(ingest_csv ${CMAKE_CURRENT_BINARY_DIR}/cli_ingest_ticks.csv)
+set(csv "")
+foreach(i RANGE 0 99)
+  math(EXPR a "100 + (${i} * 17) % 23")
+  math(EXPR b "80 + (${i} * 11) % 19")
+  math(EXPR c "120 + (${i} * 7) % 29")
+  math(EXPR d "60 + (${i} * 13) % 17")
+  string(APPEND csv "${a},${b},${c},${d}\n")
+endforeach()
+file(WRITE ${ingest_csv} "${csv}")
+execute_process(COMMAND ${EXPERIMENT} queries=2 ingest=${ingest_csv}
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "ingest invocation failed (exit ${status}):\n${out}${err}")
+endif()
+message(STATUS "ingest invocation accepted (exit 0)")

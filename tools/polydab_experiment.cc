@@ -56,6 +56,27 @@
 //                    in seconds, > 0; backs off exponentially (2)
 //   lease-s=X        base per-item source lease in seconds, > 0; expiry
 //                    degrades the affected queries (15)
+//   churn-rate=X     query registration arrivals per second (Poisson);
+//                    > 0 turns on the live service layer (svc/, see
+//                    docs/SERVICE.md). Incompatible with aao-period > 0
+//                    and with fault injection (0)
+//   churn-lifetime-s=X   mean registered-query lifetime, seconds (300)
+//   churn-zipf=X     Zipf exponent for churned queries' item popularity,
+//                    >= 0; 0 = uniform (1)
+//   churn-modify-prob=P  probability a churned query gets one mid-life
+//                    QAB modification, in [0,1] (0.1)
+//   admit-budget=X   admission control: total modeled recomputations per
+//                    second accepted across live queries, >= 0 (inf)
+//   admit-policy=reject|degrade  over-budget registrations are refused,
+//                    or their QAB widened until the estimate fits (reject)
+//   maintenance=incremental|rebuild  plan maintenance across churn:
+//                    in-place EQI merge/split, or the checked from-scratch
+//                    fallback (incremental)
+//   ingest=FILE      stream ticks row by row from a CSV file instead of
+//                    loading a trace set; the run length is the stream
+//                    length and the item count is the file width (ticks=
+//                    only bounds the churn horizon). Requires rates=unit;
+//                    mutually exclusive with traces=
 //
 // Arguments are validated before any work happens: a malformed argument
 // (no '='), an unknown key, a non-numeric value for a numeric key, an
@@ -66,16 +87,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "obs/trace_fold.h"
 #include "sim/simulation.h"
+#include "svc/query_service.h"
+#include "workload/churn_gen.h"
 #include "workload/query_gen.h"
 #include "workload/rate_estimator.h"
+#include "workload/tick_source.h"
 #include "workload/trace_io.h"
 
 using namespace polydab;
@@ -101,6 +128,9 @@ const std::set<std::string>& KnownKeys() {
       "shard_policy", "seed",         "csv",        "metrics_out",
       "trace_out",    "flame_out",    "flame_group_by",
       "fault_drop",   "fault_crash",  "lease_s",    "retx_timeout_s",
+      "churn_rate",   "churn_lifetime_s",           "churn_zipf",
+      "churn_modify_prob",            "admit_budget",
+      "admit_policy", "maintenance",  "ingest",
   };
   return keys;
 }
@@ -230,28 +260,113 @@ int main(int argc, char** argv) {
     Die("lease-s must be a positive duration, got " +
         Get(args, "lease_s", ""));
   }
+  // Service-churn knobs (docs/SERVICE.md), validated to exit 2 before
+  // any work like everything above.
+  const double aao_period = GetDouble(args, "aao_period", 0.0);
+  const double churn_rate = GetDouble(args, "churn_rate", 0.0);
+  if (!(churn_rate >= 0.0) || !std::isfinite(churn_rate)) {
+    Die("churn-rate must be a non-negative rate, got " +
+        Get(args, "churn_rate", ""));
+  }
+  const double churn_lifetime_s = GetDouble(args, "churn_lifetime_s", 300.0);
+  if (!(churn_lifetime_s > 0.0) || !std::isfinite(churn_lifetime_s)) {
+    Die("churn-lifetime-s must be a positive duration, got " +
+        Get(args, "churn_lifetime_s", ""));
+  }
+  const double churn_zipf = GetDouble(args, "churn_zipf", 1.0);
+  if (!(churn_zipf >= 0.0) || !std::isfinite(churn_zipf)) {
+    Die("churn-zipf must be a non-negative exponent, got " +
+        Get(args, "churn_zipf", ""));
+  }
+  const double churn_modify_prob = GetDouble(args, "churn_modify_prob", 0.1);
+  if (!(churn_modify_prob >= 0.0 && churn_modify_prob <= 1.0)) {
+    Die("churn-modify-prob must be a probability in [0,1], got " +
+        Get(args, "churn_modify_prob", ""));
+  }
+  const double admit_budget = GetDouble(
+      args, "admit_budget", std::numeric_limits<double>::infinity());
+  if (!(admit_budget >= 0.0)) {
+    Die("admit-budget must be >= 0, got " + Get(args, "admit_budget", ""));
+  }
+  const std::string admit_policy = Get(args, "admit_policy", "reject");
+  if (admit_policy != "reject" && admit_policy != "degrade") {
+    Die("unknown admit-policy '" + admit_policy +
+        "' (want reject|degrade)");
+  }
+  const std::string maintenance = Get(args, "maintenance", "incremental");
+  if (maintenance != "incremental" && maintenance != "rebuild") {
+    Die("unknown maintenance '" + maintenance +
+        "' (want incremental|rebuild)");
+  }
+  const std::string ingest = Get(args, "ingest", "");
+  if (churn_rate > 0.0 && aao_period > 0.0) {
+    Die("churn-rate cannot be combined with aao-period (the joint AAO "
+        "solve assumes a fixed query set)");
+  }
+  if (churn_rate > 0.0 && (fault_drop > 0.0 || fault_crash > 0.0)) {
+    Die("churn-rate cannot be combined with fault injection");
+  }
+  if (!ingest.empty() && !Get(args, "traces", "").empty()) {
+    Die("ingest and traces are mutually exclusive");
+  }
+  if (!ingest.empty() && args.count("rates") != 0 && rates_kind != "unit") {
+    Die("ingest streams ticks once, so only rates=unit is available");
+  }
 
-  // Universe: synthesize traces, or replay a CSV (traces=path) with one
-  // column per item and one row per second, e.g. real quote data.
+  // Universe: synthesize traces, replay a CSV trace set (traces=path), or
+  // stream ticks row by row from a file (ingest=path) without ever
+  // holding the full set in memory. The stream's first row doubles as the
+  // query generator's initial snapshot; the source is rewound afterwards
+  // so the run still starts at tick 0.
   Rng rng(seed);
   Result<workload::TraceSet> traces = Status::Internal("unset");
+  std::unique_ptr<workload::FileTickSource> ingest_source;
+  Vector snapshot0;
+  int universe_items = num_items;
   const std::string trace_path = Get(args, "traces", "");
-  if (!trace_path.empty()) {
-    traces = workload::LoadTraceSetCsv(trace_path);
+  if (!ingest.empty()) {
+    auto opened = workload::FileTickSource::Open(ingest);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "ingest: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    ingest_source = std::move(*opened);
+    universe_items = static_cast<int>(ingest_source->num_items());
+    Result<bool> first = ingest_source->Next(&snapshot0);
+    if (!first.ok() || !*first) {
+      std::fprintf(stderr, "ingest: %s\n",
+                   first.ok() ? "empty stream"
+                              : first.status().ToString().c_str());
+      return 1;
+    }
+    Status rewound = ingest_source->Rewind();
+    if (!rewound.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", rewound.ToString().c_str());
+      return 1;
+    }
   } else {
-    workload::TraceSetConfig tc;
-    tc.num_items = num_items;
-    tc.num_ticks = ticks;
-    traces = workload::GenerateTraceSet(tc, &rng);
-  }
-  if (!traces.ok()) {
-    std::fprintf(stderr, "traces: %s\n", traces.status().ToString().c_str());
-    return 1;
+    if (!trace_path.empty()) {
+      traces = workload::LoadTraceSetCsv(trace_path);
+    } else {
+      workload::TraceSetConfig tc;
+      tc.num_items = num_items;
+      tc.num_ticks = ticks;
+      traces = workload::GenerateTraceSet(tc, &rng);
+    }
+    if (!traces.ok()) {
+      std::fprintf(stderr, "traces: %s\n",
+                   traces.status().ToString().c_str());
+      return 1;
+    }
+    snapshot0 = traces->Snapshot(0);
   }
 
   // Rates.
   Result<Vector> rates = Status::Internal("unset");
-  if (rates_kind == "mean") {
+  if (ingest_source != nullptr) {
+    rates = workload::UnitRates(static_cast<size_t>(universe_items));
+  } else if (rates_kind == "mean") {
     rates = workload::EstimateRates(*traces, 60);
   } else if (rates_kind == "ewma") {
     rates = workload::EstimateRatesEwma(*traces, 60, 0.1);
@@ -267,14 +382,14 @@ int main(int argc, char** argv) {
 
   // Queries.
   workload::QueryGenConfig qc;
-  qc.num_items = num_items;
+  qc.num_items = ingest_source != nullptr ? universe_items : num_items;
   Result<std::vector<PolynomialQuery>> queries = Status::Internal("unset");
   if (kind == "ppq") {
-    queries = workload::GeneratePortfolioQueries(num_queries, qc,
-                                                 traces->Snapshot(0), &rng);
+    queries = workload::GeneratePortfolioQueries(num_queries, qc, snapshot0,
+                                                 &rng);
   } else {
     queries = workload::GenerateArbitrageQueries(
-        num_queries, qc, traces->Snapshot(0), GetInt(args, "dependent", 0) != 0,
+        num_queries, qc, snapshot0, GetInt(args, "dependent", 0) != 0,
         &rng);
   }
   if (!queries.ok()) {
@@ -300,7 +415,7 @@ int main(int argc, char** argv) {
   config.delays.node_node_mean = GetDouble(args, "delay_ms", 110.0) / 1000.0;
   config.delays.recompute_cpu_s =
       GetDouble(args, "recompute_ms", 2.0) / 1000.0;
-  config.aao_period_s = GetDouble(args, "aao_period", 0.0);
+  config.aao_period_s = aao_period;
   config.coord_shards = coord_shards;
   config.shard_policy = shard_policy == "hash"
                             ? sim::ShardPolicy::kQueryHash
@@ -316,6 +431,41 @@ int main(int argc, char** argv) {
   const std::string metrics_out = Get(args, "metrics_out", "");
   obs::MetricRegistry registry;
   if (!metrics_out.empty()) config.registry = &registry;
+
+  // Live service layer (docs/SERVICE.md): generate the churn schedule from
+  // a dedicated RNG stream (seed + 1, so the workload and delay draws are
+  // untouched) and drive it through admission control.
+  config.plan_maintenance = maintenance == "rebuild"
+                                ? sim::PlanMaintenance::kRebuild
+                                : sim::PlanMaintenance::kIncremental;
+  std::unique_ptr<svc::QueryService> service;
+  if (churn_rate > 0.0) {
+    workload::ChurnConfig cc;
+    cc.arrival_rate = churn_rate;
+    cc.mean_lifetime_s = churn_lifetime_s;
+    cc.modify_prob = churn_modify_prob;
+    cc.zipf_s = churn_zipf;
+    cc.horizon_s = static_cast<double>(
+        ingest_source != nullptr ? ticks : traces->num_ticks);
+    cc.num_items = qc.num_items;
+    Rng churn_rng(seed + 1);
+    auto schedule = workload::GenerateChurnSchedule(cc, snapshot0,
+                                                    &churn_rng);
+    if (!schedule.ok()) {
+      std::fprintf(stderr, "churn: %s\n",
+                   schedule.status().ToString().c_str());
+      return 1;
+    }
+    svc::AdmissionConfig ac;
+    ac.recompute_budget = admit_budget;
+    ac.policy = admit_policy == "degrade"
+                    ? svc::AdmissionConfig::Policy::kDegrade
+                    : svc::AdmissionConfig::Policy::kReject;
+    service = std::make_unique<svc::QueryService>(
+        ac, std::move(*schedule), config.registry,
+        config.plan_maintenance);
+    config.service = service.get();
+  }
 
   // Causal event trace, streamed to disk as the run progresses
   // (docs/OBSERVABILITY.md "Event tracing"); verify offline with
@@ -337,7 +487,9 @@ int main(int argc, char** argv) {
     config.trace = &sink;
   }
 
-  auto m = sim::RunSimulation(*queries, *traces, *rates, config);
+  auto m = ingest_source != nullptr
+               ? sim::RunSimulation(*queries, *ingest_source, *rates, config)
+               : sim::RunSimulation(*queries, *traces, *rates, config);
   if (!m.ok()) {
     std::fprintf(stderr, "simulation: %s\n", m.status().ToString().c_str());
     return 1;
