@@ -1,0 +1,144 @@
+// A/B measurement of the windowed series-telemetry overhead
+// (obs/timeseries.h), in the style of bench_trace_overhead: the same
+// simulation run with no instrumentation, with tracing alone (discard
+// sink — the floor a series run necessarily pays, since the recorder is
+// a trace observer), and with a SeriesRecorder attached at 1 s windows —
+// without and with SLO rules and breakdown rows. The quoted number in
+// docs/OBSERVABILITY.md ("Time series, SLOs and monitoring") is the
+// BM_SimSeries1s-over-BM_SimDiscardSink delta, which the issue budgets
+// at <= 5%; BM_SeriesOnEvent isolates the per-event fold cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace polydab::bench {
+namespace {
+
+struct SimSetup {
+  Universe universe;
+  std::vector<PolynomialQuery> queries;
+  sim::SimConfig config;
+};
+
+/// A mid-sized dual-DAB run (~20k trace events when traced), identical
+/// to bench_trace_overhead's workload so the two files' numbers compose.
+SimSetup MakeSimSetup() {
+  SimSetup s;
+  s.universe = MakeUniverse(workload::TraceKind::kGbmStock, 5001,
+                            /*num_items=*/60, /*num_ticks=*/500);
+  workload::QueryGenConfig qc;
+  qc.num_items = 60;
+  Rng qrng(42);
+  s.queries = *workload::GeneratePortfolioQueries(25, qc,
+                                                  s.universe.initial, &qrng);
+  s.config.planner.method = core::AssignmentMethod::kDualDab;
+  s.config.planner.dual.mu = core::kDefaultMu;
+  s.config.seed = 99;
+  return s;
+}
+
+void RunOnce(benchmark::State& state, const SimSetup& s,
+             sim::SimConfig config) {
+  auto m = sim::RunSimulation(s.queries, s.universe.traces,
+                              s.universe.rates, config);
+  if (!m.ok()) state.SkipWithError("simulation failed");
+  benchmark::DoNotOptimize(m);
+}
+
+void BM_SimNoInstrumentation(benchmark::State& state) {
+  const SimSetup s = MakeSimSetup();
+  for (auto _ : state) {
+    RunOnce(state, s, s.config);  // trace and series stay null
+  }
+}
+BENCHMARK(BM_SimNoInstrumentation)->Unit(benchmark::kMillisecond);
+
+void BM_SimDiscardSink(benchmark::State& state) {
+  // The baseline a series run pays before the recorder does any work:
+  // events are assigned ids and routed to the observer hook, but never
+  // buffered. This is exactly what `polydab_experiment series-out=...`
+  // without trace-out/flame-out configures.
+  const SimSetup s = MakeSimSetup();
+  for (auto _ : state) {
+    obs::TraceSink sink;
+    sink.SetDiscard(true);
+    sim::SimConfig config = s.config;
+    config.trace = &sink;
+    RunOnce(state, s, config);
+  }
+}
+BENCHMARK(BM_SimDiscardSink)->Unit(benchmark::kMillisecond);
+
+void RunSeries(benchmark::State& state, const SimSetup& s,
+               const obs::SeriesConfig& sc) {
+  int64_t windows = 0;
+  for (auto _ : state) {
+    obs::TraceSink sink;
+    sink.SetDiscard(true);
+    obs::SeriesRecorder recorder(sc);
+    sim::SimConfig config = s.config;
+    config.trace = &sink;
+    config.series = &recorder;
+    RunOnce(state, s, config);
+    windows = recorder.file().totals.windows;
+  }
+  state.counters["windows"] = static_cast<double>(windows);
+}
+
+void BM_SimSeries1s(benchmark::State& state) {
+  const SimSetup s = MakeSimSetup();
+  obs::SeriesConfig sc;
+  sc.window_ticks = 1;  // the issue's worst case: a close every tick
+  RunSeries(state, s, sc);
+}
+BENCHMARK(BM_SimSeries1s)->Unit(benchmark::kMillisecond);
+
+void BM_SimSeries1sSloBreakdown(benchmark::State& state) {
+  const SimSetup s = MakeSimSetup();
+  obs::SeriesConfig sc;
+  sc.window_ticks = 1;
+  sc.breakdown = true;
+  auto rules = obs::ParseSloRules(
+      "sim.coordinator.queue_wait_p99 > 1e9 for 3; "
+      "sim.fidelity.violation_rate > 1.5",
+      obs::SeriesMetricNames());
+  if (!rules.ok()) {
+    state.SkipWithError("rule parse failed");
+    return;
+  }
+  sc.rules = std::move(rules).value();  // thresholds never breach
+  RunSeries(state, s, sc);
+}
+BENCHMARK(BM_SimSeries1sSloBreakdown)->Unit(benchmark::kMillisecond);
+
+void BM_SeriesOnEvent(benchmark::State& state) {
+  // Per-event fold cost in isolation: a refresh arrival with a queue
+  // wait, the hottest event class a window aggregates.
+  obs::SeriesConfig sc;
+  sc.window_ticks = 1;
+  obs::SeriesRecorder recorder(sc);
+  recorder.SetInitialQueries(25);
+  obs::TraceEvent e;
+  e.kind = obs::TraceEventKind::kRefreshArrived;
+  e.item = 7;
+  e.b = 0.125;
+  for (auto _ : state) {
+    e.id += 1;
+    recorder.OnEvent(e);
+    benchmark::DoNotOptimize(recorder);
+  }
+}
+BENCHMARK(BM_SeriesOnEvent);
+
+}  // namespace
+}  // namespace polydab::bench
+
+BENCHMARK_MAIN();

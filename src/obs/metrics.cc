@@ -45,17 +45,12 @@ void Histogram::Record(double v) {
   buckets_[static_cast<size_t>(BucketOf(v))].fetch_add(
       1, std::memory_order_relaxed);
   AtomicAdd(&sum_, v);
-  const int64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
-  if (prev == 0) {
-    // First sample seeds the extrema; racy first-sample publication is
-    // acceptable for telemetry (min_ starts at 0.0 which only ever
-    // understates the minimum under a concurrent first Record).
-    min_.store(v, std::memory_order_relaxed);
-    max_.store(v, std::memory_order_relaxed);
-  } else {
-    AtomicMin(&min_, v);
-    AtomicMax(&max_, v);
-  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // The extrema start at +inf / -inf, so the first sample wins its CAS
+  // like any other — no special-cased first-sample store whose plain
+  // write could clobber a concurrent recorder's update.
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
 }
 
 double Histogram::min() const {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -83,8 +84,12 @@ class Histogram {
   std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<double> max_{0.0};
+  // Extrema start at the identity of their own min/max fold (+inf / -inf)
+  // so every Record can run the same compare-exchange loop — a dedicated
+  // first-sample store would race with concurrent recorders and lose
+  // updates. The accessors report 0 while the histogram is empty.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// What a registry entry is; used by the exporter.

@@ -43,6 +43,8 @@ constexpr KindName kKindNames[] = {
     {TraceEventKind::kQueryDeregister, "query_deregister"},
     {TraceEventKind::kAdmissionReject, "admission_reject"},
     {TraceEventKind::kPlanPatch, "plan_patch"},
+    {TraceEventKind::kAlertFire, "alert_fire"},
+    {TraceEventKind::kAlertResolve, "alert_resolve"},
 };
 
 void AppendNumberField(std::string* out, const char* key, double v) {
@@ -394,6 +396,8 @@ Status TraceSink::StreamTo(const std::string& path) {
 uint64_t TraceSink::Emit(TraceEvent e) {
   e.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
+  if (observer_ != nullptr) observer_->OnEvent(e);
+  if (discard_) return e.id;
   if (buffer_.size() >= capacity_ && file_ != nullptr) {
     // Streaming mode: the ring segment is full, drain it to disk. A write
     // failure here must not crash the traced run; Finish reports it.
@@ -401,6 +405,16 @@ uint64_t TraceSink::Emit(TraceEvent e) {
   }
   buffer_.push_back(e);  // capture mode grows past capacity_ (amortized)
   return e.id;
+}
+
+void TraceSink::SetObserver(TraceObserver* observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = observer;
+}
+
+void TraceSink::SetDiscard(bool discard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  discard_ = discard;
 }
 
 void TraceSink::SetInfo(const std::string& key, const std::string& value) {

@@ -77,6 +77,11 @@ enum class TraceEventKind : uint8_t {
   kQueryDeregister,     ///< a live query departed
   kAdmissionReject,     ///< admission control refused a registration
   kPlanPatch,           ///< post-churn plan-state digest (flag: FNV-1a)
+  // Windowed-telemetry SLO events (obs/timeseries.h, obs/slo.h). Only
+  // emitted when a SeriesRecorder with rules is attached; series-free
+  // traces are byte-identical to earlier formats.
+  kAlertFire,           ///< an SLO rule started firing at a window close
+  kAlertResolve,        ///< a firing SLO rule stopped breaching
 };
 
 /// Serialization name, e.g. "refresh_arrived".
@@ -164,6 +169,16 @@ bool ParseTraceEventKind(const std::string& name, TraceEventKind* out);
 ///                         (id, lane, component min, QAB) ascending by
 ///                         id), cause = the churn event it reflects. The
 ///                         checker recomputes all three from scratch.
+///
+/// SLO alert events (obs/slo.h), emitted at window closes by a
+/// SeriesRecorder. time = the closing window's end:
+///  * kAlertFire:          flag = rule index, a = the observed metric
+///                         value, b = the rule threshold, c = consecutive
+///                         breaching windows, cause = the last non-alert
+///                         event folded before the close (0: none yet).
+///  * kAlertResolve:       flag = rule index, a = the (non-breaching)
+///                         observed value, b = the threshold, cause as
+///                         for kAlertFire.
 ///
 /// Sharded-coordinator runs (sim/simulation.h, coord_shards > 1)
 /// additionally stamp `shard` — the coordinator lane an event was
@@ -254,6 +269,18 @@ Result<TraceFile> ParseTraceJsonLines(const std::string& text);
 Status SaveTraceFile(const TraceFile& trace, const std::string& path);
 Result<TraceFile> LoadTraceFile(const std::string& path);
 
+/// Receives every emitted event as it passes through a TraceSink —
+/// the hook live aggregators (obs/timeseries.h SeriesRecorder) use to
+/// fold the stream without a second emission path. Called from inside
+/// Emit with the sink's lock held: implementations must not call back
+/// into the same sink.
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+  /// \p e carries its assigned id.
+  virtual void OnEvent(const TraceEvent& e) = 0;
+};
+
 /// Event collector. Two modes:
 ///  * capture (default): events accumulate in memory; Collect() returns
 ///    the full TraceFile.
@@ -287,6 +314,16 @@ class TraceSink {
   void AddQueryInfo(TraceQueryInfo info);
   void AddRunSummary(const TraceRunSummary& summary);
 
+  /// Forward every subsequent Emit to \p observer (null detaches). The
+  /// observer sees events after id assignment, in emission order.
+  void SetObserver(TraceObserver* observer);
+
+  /// Discard mode: emitted events still get ids and reach the observer,
+  /// but are not buffered (and never written) — for runs that only want
+  /// the folded series, not the trace itself. Must not be combined with
+  /// streaming; Collect() then returns metadata only.
+  void SetDiscard(bool discard);
+
   /// Total events emitted so far.
   uint64_t emitted() const {
     return next_id_.load(std::memory_order_relaxed) - 1;
@@ -310,6 +347,8 @@ class TraceSink {
 
   mutable std::mutex mu_;  ///< guards everything below; uncontended in
                            ///< the single-producer simulators
+  TraceObserver* observer_ = nullptr;
+  bool discard_ = false;
   std::vector<TraceEvent> buffer_;
   std::map<std::string, std::string> info_;
   std::vector<TraceQueryInfo> queries_;

@@ -10,6 +10,9 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "obs/json_util.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 
 namespace polydab::obs {
 
@@ -80,6 +83,23 @@ class Checker {
           break;
         default:
           break;
+      }
+    }
+    // Series traces (docs/OBSERVABILITY.md "Time series, SLOs and
+    // monitoring") self-describe the window width and SLO rule set; alert
+    // events in a trace without the key are invariant violations, and the
+    // deep per-window replay happens in CheckSeries.
+    series_mode_ = trace.info.find("series_window_s") != trace.info.end();
+    if (series_mode_) {
+      auto rit = trace.info.find("slo_rules");
+      if (rit != trace.info.end()) {
+        auto parsed = ParseSloRules(rit->second, SeriesMetricNames());
+        if (parsed.ok()) {
+          slo_rule_count_ = parsed->size();
+        } else {
+          Fail("slo_rules info key is malformed: " +
+               parsed.status().message());
+        }
       }
     }
     if (churn_mode_) {
@@ -1274,6 +1294,23 @@ class Checker {
         }
         break;
       }
+      case TraceEventKind::kAlertFire:
+      case TraceEventKind::kAlertResolve: {
+        // Field-level correctness (value, threshold, consecutive count,
+        // window timing) is established by the full series replay in
+        // CheckSeries; here only the structural invariants.
+        if (!series_mode_) {
+          FailEvent(e, "alert event in a trace without series_window_s info");
+          break;
+        }
+        if (e.flag < 0 || static_cast<size_t>(e.flag) >= slo_rule_count_) {
+          FailEvent(e, "references SLO rule " + std::to_string(e.flag) +
+                           " but the trace declares " +
+                           std::to_string(slo_rule_count_) + " rules");
+        }
+        if (e.cause != 0) (void)Cause(e);  // must exist and precede
+        break;
+      }
     }
   }
 
@@ -1354,6 +1391,8 @@ class Checker {
 
   // --- Service-churn replay state (docs/SERVICE.md) ---
   bool churn_mode_ = false;
+  bool series_mode_ = false;   // info series_window_s present
+  size_t slo_rule_count_ = 0;  // parsed from info slo_rules
   int coord_shards_count_ = 1;
   bool policy_component_ = true;
   std::set<int64_t> churn_reg_keys_;   // (node,query) registered mid-run
@@ -1565,6 +1604,180 @@ void DiffRunReport(const TraceFile& trace,
   }
 }
 
+/// Alerting mode (header mode (f)): rebuild the windowed series from the
+/// events alone and demand that every recorded alert event — and, when
+/// provided, every row of the series file written by the same run —
+/// matches the re-derivation exactly.
+void CheckSeries(const TraceFile& trace, const TraceCheckOptions& options,
+                 TraceCheckReport* report) {
+  auto fail = [&](const std::string& what) {
+    ++report->failure_count;
+    if (report->failures.size() < options.max_failures) {
+      report->failures.push_back("series: " + what);
+    }
+  };
+  const auto wit = trace.info.find("series_window_s");
+  char* end = nullptr;
+  const long window = std::strtol(wit->second.c_str(), &end, 10);
+  if (end == wit->second.c_str() || *end != '\0' || window < 1) {
+    fail("series_window_s info \"" + wit->second +
+         "\" is not a positive integer");
+    return;
+  }
+  if (trace.summaries.size() != 1) {
+    fail("series traces must carry exactly one run summary, found " +
+         std::to_string(trace.summaries.size()));
+    return;
+  }
+  const TraceRunSummary& s = trace.summaries[0];
+
+  SeriesConfig cfg;
+  cfg.window_ticks = window;
+  cfg.breakdown = trace.info.find("series_breakdown") != trace.info.end();
+  cfg.derive_samples = true;
+  cfg.fidelity_stride = s.fidelity_stride >= 1 ? s.fidelity_stride : 1;
+  const auto rit = trace.info.find("slo_rules");
+  if (rit != trace.info.end()) {
+    auto parsed = ParseSloRules(rit->second, SeriesMetricNames());
+    if (!parsed.ok()) return;  // already failed in the Checker constructor
+    cfg.rules = std::move(parsed).value();
+  }
+  SeriesRecorder replay(cfg);
+  // Live queries at t=0: every query_info record that was not registered
+  // by a churn event.
+  int64_t initial = static_cast<int64_t>(trace.queries.size());
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == TraceEventKind::kQueryRegister) --initial;
+  }
+  replay.SetInitialQueries(initial);
+  for (const TraceEvent& e : trace.events) replay.OnEvent(e);
+  replay.Finalize(static_cast<double>(s.ticks - 1));
+  const SeriesFile& derived = replay.file();
+
+  // Every recorded alert event must match the replay's transition list
+  // element-wise — same order, same rule, same window end, same observed
+  // value/threshold/consecutive count, same cause id.
+  std::vector<const TraceEvent*> recorded;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == TraceEventKind::kAlertFire ||
+        e.kind == TraceEventKind::kAlertResolve) {
+      recorded.push_back(&e);
+    }
+  }
+  if (recorded.size() != derived.alerts.size()) {
+    fail("trace records " + std::to_string(recorded.size()) +
+         " alert events but the replay derives " +
+         std::to_string(derived.alerts.size()));
+  }
+  const size_t n_alerts = std::min(recorded.size(), derived.alerts.size());
+  for (size_t i = 0; i < n_alerts; ++i) {
+    const TraceEvent& e = *recorded[i];
+    const SloAlert& a = derived.alerts[i];
+    const bool fire = e.kind == TraceEventKind::kAlertFire;
+    if (fire != a.fire || e.time != a.time || e.flag != a.rule ||
+        e.a != a.value || e.b != a.threshold ||
+        e.c != static_cast<double>(a.consecutive) || e.cause != a.cause) {
+      fail("alert event #" + std::to_string(e.id) + " (" + Name(e.kind) +
+           " rule " + std::to_string(e.flag) + " at t=" + JsonNumber(e.time) +
+           ", value " + JsonNumber(e.a) + ", cause #" +
+           std::to_string(e.cause) + ") differs from the replayed " +
+           (a.fire ? "fire" : "resolve") + " of rule " +
+           std::to_string(a.rule) + " at t=" + JsonNumber(a.time) +
+           " (value " + JsonNumber(a.value) + ", cause #" +
+           std::to_string(a.cause) + ")");
+    }
+  }
+
+  // Conservation: the per-window deltas must sum exactly to the run
+  // totals the summary records.
+  const SeriesTotals& t = derived.totals;
+  auto conserve = [&](const char* what, int64_t sum, int64_t total) {
+    if (sum != total) {
+      fail(std::string(what) + " window deltas sum to " +
+           std::to_string(sum) + " but the run summary records " +
+           std::to_string(total));
+    }
+  };
+  conserve("refreshes", t.refreshes, s.refreshes);
+  conserve("recomputations", t.recomputations, s.recomputations);
+  conserve("dab_change_messages", t.dab_changes, s.dab_change_messages);
+  conserve("user_notifications", t.notifications, s.user_notifications);
+  conserve("solver_failures", t.solver_failures, s.solver_failures);
+  conserve("fault_drops", t.fault_drops, s.fault_drops);
+  conserve("retransmits", t.retransmits, s.retransmits);
+  conserve("duplicates_suppressed", t.dups_suppressed,
+           s.duplicates_suppressed);
+  conserve("lease_expiries", t.lease_expiries, s.lease_expiries);
+
+  if (options.series == nullptr) return;
+  const SeriesFile& file = *options.series;
+  if (file.rules != derived.rules) {
+    fail("series file SLO rules differ from the trace's slo_rules info");
+  }
+  if (file.windows.size() != derived.windows.size()) {
+    fail("series file has " + std::to_string(file.windows.size()) +
+         " windows but the replay derives " +
+         std::to_string(derived.windows.size()));
+  }
+  const size_t n_windows = std::min(file.windows.size(),
+                                    derived.windows.size());
+  for (size_t i = 0; i < n_windows; ++i) {
+    if (file.windows[i] == derived.windows[i]) continue;
+    // Name the first differing field for the diagnostic.
+    std::string detail = "bounds";
+    for (const std::string& name : SeriesMetricNames()) {
+      if (SeriesMetricValue(file.windows[i], name) !=
+          SeriesMetricValue(derived.windows[i], name)) {
+        detail = name + " " +
+                 JsonNumber(SeriesMetricValue(file.windows[i], name)) +
+                 " vs replayed " +
+                 JsonNumber(SeriesMetricValue(derived.windows[i], name));
+        break;
+      }
+    }
+    fail("window #" + std::to_string(i) +
+         " differs from the replay: " + detail);
+  }
+  if (file.dims != derived.dims) {
+    fail("series file breakdown rows differ from the replay");
+  }
+  if (file.alerts != derived.alerts) {
+    fail("series file alert rows differ from the replay");
+  }
+  if (!file.has_totals) {
+    fail("series file has no series_summary record (truncated file?)");
+  } else if (file.totals != derived.totals) {
+    fail("series file totals differ from the replay");
+  }
+  // Registry sample rows: the sim-domain counters mirror catalog metrics
+  // one-to-one (the same names name both the instrument and the window
+  // field), so their per-window deltas are checkable; other instruments
+  // (planner/solver internals, wall-clock histograms) are not re-derivable
+  // from events and pass through unverified.
+  const std::vector<std::string>& catalog = SeriesMetricNames();
+  for (const SeriesSample& sample : file.samples) {
+    if (sample.kind != "counter") continue;
+    if (std::find(catalog.begin(), catalog.end(), sample.name) ==
+        catalog.end()) {
+      continue;
+    }
+    if (sample.index < 0 ||
+        static_cast<size_t>(sample.index) >= derived.windows.size()) {
+      fail("sample row for " + sample.name + " names window #" +
+           std::to_string(sample.index) + ", out of range");
+      continue;
+    }
+    const double expected = SeriesMetricValue(
+        derived.windows[static_cast<size_t>(sample.index)], sample.name);
+    if (sample.value != expected) {
+      fail("sample row " + sample.name + " (window #" +
+           std::to_string(sample.index) + ") records delta " +
+           JsonNumber(sample.value) + " but the replay derives " +
+           JsonNumber(expected));
+    }
+  }
+}
+
 std::vector<TraceQueryCost> Attribute(const TraceFile& trace, double mu,
                                       const Checker& /*checker*/) {
   std::vector<TraceQueryCost> out;
@@ -1768,6 +1981,16 @@ Result<TraceCheckReport> CheckTrace(const TraceFile& trace,
   }
   if (options.report != nullptr) {
     DiffRunReport(trace, report.derived, *options.report, &report, options);
+  }
+  if (trace.info.find("series_window_s") != trace.info.end()) {
+    CheckSeries(trace, options, &report);
+  } else if (options.series != nullptr) {
+    ++report.failure_count;
+    if (report.failures.size() < options.max_failures) {
+      report.failures.push_back(
+          "series: a series file was provided but the trace carries no "
+          "series_window_s info key");
+    }
   }
   report.queries = Attribute(trace, report.mu, checker);
   return report;

@@ -51,7 +51,17 @@
 ///      exactly on 0 -> 1 / -> 0 expired-item counts; and every fidelity
 ///      violation's fault attribution (degraded / fault-caused / benign,
 ///      with its cause id) is re-derived and must match — a mismatch is a
-///      protocol bug, not a fault.
+///      protocol bug, not a fault;
+///  (f) for series traces (a `series_window_s` info key,
+///      docs/OBSERVABILITY.md "Time series, SLOs and monitoring"): the
+///      windowed series is rebuilt from the events alone — per-window
+///      message deltas, the churn-derived fidelity sample grid, the SLO
+///      rule state machine — and every recorded alert_fire /
+///      alert_resolve event must match the re-derivation field for field;
+///      the window deltas must sum exactly to the run-summary totals
+///      (conservation); and, when TraceCheckOptions::series provides the
+///      series file written by the same run, every window / breakdown /
+///      alert / totals row in it is diffed against the replay.
 ///
 /// The replay is exact, not approximate: the JSONL doubles round-trip
 /// bit-identically (json_util.h) and the checker recomputes the very same
@@ -62,6 +72,8 @@
 
 namespace polydab::obs {
 
+struct SeriesFile;  // obs/timeseries.h
+
 struct TraceCheckOptions {
   /// Recomputation cost in refresh-message units for the cost
   /// attribution. Negative (default) means: use the trace's `mu` info key
@@ -71,6 +83,11 @@ struct TraceCheckOptions {
   /// derived totals are also diffed against the `sim.coordinator.*`
   /// counters and the `sim.fidelity.mean_loss_pct` gauge.
   const RunReport* report = nullptr;
+  /// Optional series file (obs/timeseries.h) recorded by the same run
+  /// (`series-out=`). Only meaningful for series traces: every window,
+  /// breakdown row, sample row (for catalog-mirrored instruments), alert
+  /// and the totals record is diffed against the alerting-mode replay.
+  const SeriesFile* series = nullptr;
   /// Cap on the number of failure messages kept (failure_count still
   /// counts all of them).
   size_t max_failures = 64;

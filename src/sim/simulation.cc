@@ -15,6 +15,8 @@
 #include "core/query_index.h"
 #include "core/validator.h"
 #include "obs/json_util.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 
 #include "common/logging.h"
 
@@ -319,6 +321,27 @@ Result<SimMetrics> RunSimulation(
       }
     }
   }
+  if (config.series != nullptr) {
+    // The recorder folds the event stream, so it is meaningless without
+    // one; and a replay-mode (derive_samples) recorder re-derives its
+    // sample grid from events instead of taking the engine's feed.
+    if (config.trace == nullptr) {
+      return Status::InvalidArgument(
+          "series recording requires a trace sink");
+    }
+    if (config.trace_node != -1) {
+      return Status::InvalidArgument(
+          "series recording is single-coordinator only");
+    }
+    if (config.series->config().derive_samples) {
+      return Status::InvalidArgument(
+          "series recorder is configured for replay (derive_samples); "
+          "engine runs feed samples directly");
+    }
+    if (config.series->finalized()) {
+      return Status::InvalidArgument("series recorder already finalized");
+    }
+  }
 
   Rng master(config.seed);
   DelayModel delays(config.delays, master.Fork());
@@ -369,6 +392,24 @@ Result<SimMetrics> RunSimulation(
                      obs::JsonNumber(config.fault.heartbeat_s));
       trace->SetInfo("fault_lease_s", obs::JsonNumber(config.fault.lease_s));
     }
+  }
+  // Windowed series telemetry (obs/timeseries.h): install the recorder
+  // as the sink's observer before any emission so window 0 sees the t=0
+  // initial installs, and stamp the metadata the checker's alerting mode
+  // needs to replay the series from the events alone.
+  if (config.series != nullptr) {
+    trace->SetInfo("series_window_s",
+                   std::to_string(config.series->config().window_ticks));
+    const std::vector<obs::SloRule>& slo_rules = config.series->config().rules;
+    if (!slo_rules.empty()) {
+      trace->SetInfo("slo_rules", obs::CanonicalSloRules(slo_rules));
+    }
+    if (config.series->config().breakdown) {
+      trace->SetInfo("series_breakdown", "1");
+    }
+    config.series->SetInitialQueries(static_cast<int64_t>(queries.size()));
+    config.series->SetAlertSink(trace);
+    trace->SetObserver(config.series);
   }
 
   State st;
@@ -1671,10 +1712,12 @@ Result<SimMetrics> RunSimulation(
 
     // 4. Fidelity sample: is each query's QAB currently met at C?
     if (tick % config.fidelity_stride == 0) {
+      int64_t sampled = 0;
       for (size_t qi = 0; qi < queries.size(); ++qi) {
         // Deregistered queries owe no fidelity (their slots persist only
         // for index stability).
         if (q_alive[qi] == 0) continue;
+        ++sampled;
         const bool degraded =
             fault_mode && degraded_items[qi] > 0;
         if (degraded) {
@@ -1729,6 +1772,9 @@ Result<SimMetrics> RunSimulation(
           }
         }
       }
+      if (config.series != nullptr) {
+        config.series->AddFidelitySamples(sampled);
+      }
     }
 
     // 5. Per-tick activity rates (events per simulated second).
@@ -1739,6 +1785,13 @@ Result<SimMetrics> RunSimulation(
           static_cast<double>(metrics.recomputations - tick_recompute_base));
       tick_refresh_base = metrics.refreshes;
       tick_recompute_base = metrics.recomputations;
+    }
+
+    // 6. Window closes happen here, at the tick boundary and outside any
+    //    Emit, so SLO alert events carry time = the boundary and precede
+    //    every later-timed event (the trace stays time-monotonic).
+    if (config.series != nullptr) {
+      config.series->OnTickEnd(now);
     }
   }
 
@@ -1772,6 +1825,12 @@ Result<SimMetrics> RunSimulation(
         ->Set(static_cast<double>(num_shards));
     config.registry->GetGauge("sim.fidelity.mean_loss_pct")
         ->Set(metrics.mean_fidelity_loss_pct);
+  }
+  if (config.series != nullptr) {
+    // Close the trailing partial window and write the series totals.
+    // After the end-of-run gauges above, so the final window's registry
+    // samples capture them.
+    config.series->Finalize(static_cast<double>(ticks_seen - 1));
   }
   if (trace != nullptr) {
     // Trailing self-description: the replay verifier re-derives each of

@@ -37,6 +37,10 @@
 /// escapes a query's own bound forces a recomputation — the §I-B behaviour
 /// the Dual-DAB approach is designed to avoid.
 
+namespace polydab::obs {
+class SeriesRecorder;  // obs/timeseries.h; kept out of this header's deps
+}
+
 namespace polydab::sim {
 
 /// How queries are partitioned across coordinator lanes when
@@ -187,6 +191,17 @@ struct SimConfig {
   /// simulation per coordinator into a shared sink (net/dissemination.cc)
   /// set it so the streams stay separable. -1 = single coordinator.
   int32_t trace_node = -1;
+  /// Optional windowed time-series recorder (obs/timeseries.h,
+  /// docs/OBSERVABILITY.md "Time series, SLOs and monitoring"). When set,
+  /// the run installs it as the trace sink's observer, feeds it fidelity
+  /// sample counts, drives window closes at tick boundaries (so SLO
+  /// alert events land before any later-timed event), and stamps the
+  /// series metadata (`series_window_s`, `slo_rules`, `series_breakdown`)
+  /// into the trace info so the checker's alerting mode can replay the
+  /// series exactly. Requires `trace` (alerts are emitted into it); a
+  /// single-coordinator run only. Null (the default) leaves the run
+  /// byte-identical to a series-free one. Not owned; must outlive the run.
+  obs::SeriesRecorder* series = nullptr;
   /// Optional runtime churn driver (docs/SERVICE.md): called once per
   /// tick to register/modify/deregister queries through ServiceOps. Null
   /// (the default) — and equally a driver that never issues an op —

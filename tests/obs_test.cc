@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -290,6 +292,87 @@ TEST(RunReportTest, ToTextMentionsEveryInstrument) {
   const std::string text = report.ToText();
   for (const RunReport::Entry& e : report.entries) {
     EXPECT_NE(text.find(e.name), std::string::npos) << e.name;
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepExactMinMax) {
+  // Regression: min/max used to be maintained with a read-then-store on
+  // the "still at the empty sentinel" fast path, so two first-recorders
+  // could both see the sentinel and the smaller/larger value win the
+  // last-write race. The compare-exchange loops must make min/max exact
+  // under contention, every repetition.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  for (int rep = 0; rep < 20; ++rep) {
+    Histogram h;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&h, t] {
+        // Thread t covers [t*kPerThread+1, (t+1)*kPerThread]; the global
+        // extremes (1 and kThreads*kPerThread) belong to different
+        // threads, so both races are exercised.
+        for (int i = 1; i <= kPerThread; ++i) {
+          h.Record(static_cast<double>(t * kPerThread + i));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(h.count(), kThreads * kPerThread);
+    EXPECT_EQ(h.min(), 1.0) << "rep=" << rep;
+    EXPECT_EQ(h.max(), static_cast<double>(kThreads * kPerThread))
+        << "rep=" << rep;
+  }
+}
+
+TEST(HistogramTest, QuantileIsMonotoneInQ) {
+  // Property: for any recorded multiset, q1 <= q2 implies
+  // Quantile(q1) <= Quantile(q2), and every quantile stays inside
+  // [min(), max()]. Randomized sample sets across several scales and
+  // sizes (deterministic seed).
+  std::mt19937_64 rng(20260809);
+  for (int trial = 0; trial < 50; ++trial) {
+    Histogram h;
+    const int n = 1 + static_cast<int>(rng() % 500);
+    std::uniform_real_distribution<double> mag(-9.0, 9.0);
+    for (int i = 0; i < n; ++i) {
+      h.Record(std::pow(10.0, mag(rng)));
+    }
+    double prev = h.Quantile(0.0);
+    for (int step = 1; step <= 100; ++step) {
+      const double q = step / 100.0;
+      const double v = h.Quantile(q);
+      EXPECT_GE(v, prev) << "trial=" << trial << " q=" << q;
+      EXPECT_GE(v, h.min()) << "trial=" << trial << " q=" << q;
+      EXPECT_LE(v, h.max()) << "trial=" << trial << " q=" << q;
+      prev = v;
+    }
+  }
+}
+
+TEST(RegistryTest, EntriesStayNameOrderedUnderAnyRegistrationOrder) {
+  // Property: Entries() is sorted by name no matter the registration
+  // order or instrument kind mix — the stability every serialized report
+  // and per-window series sample depends on.
+  std::vector<std::string> names;
+  for (int i = 0; i < 40; ++i) {
+    names.push_back("prop.metric." + std::to_string((i * 7919) % 1000));
+  }
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(names.begin(), names.end(), rng);
+    MetricRegistry reg;
+    for (size_t i = 0; i < names.size(); ++i) {
+      switch (i % 3) {
+        case 0: reg.GetCounter(names[i]); break;
+        case 1: reg.GetGauge(names[i]); break;
+        default: reg.GetHistogram(names[i]); break;
+      }
+    }
+    const std::vector<MetricRegistry::Entry> entries = reg.Entries();
+    ASSERT_EQ(entries.size(), names.size());
+    for (size_t i = 1; i < entries.size(); ++i) {
+      EXPECT_LT(entries[i - 1].name, entries[i].name) << "trial=" << trial;
+    }
   }
 }
 

@@ -1,0 +1,68 @@
+# bench_compare semantics against the committed BENCH fixture pair
+# (tools/testdata/): quantile drift inside the wall-clock tolerance
+# passes, a perturbed deterministic counter fails with exit 1, a
+# too-tight tolerance flags the wall-clock drift, and a malformed
+# tolerance is a usage error (exit 2). Driven by ctest
+# (bench_compare_gate).
+#
+# Expects: -DBENCH_COMPARE=<binary> -DBASELINE=<json> -DCURRENT=<json>
+#          -DSCRATCH=<writable directory>
+
+# Re-run drift on wall-clock quantiles (suffix _s) stays within the
+# default 25% tolerance; every counter matches exactly.
+execute_process(COMMAND ${BENCH_COMPARE} ${BASELINE} ${CURRENT}
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR
+    "bench_compare rejected in-tolerance drift (exit ${status}):\n${out}${err}")
+endif()
+message(STATUS "in-tolerance wall-clock drift accepted (exit 0)")
+
+# A file is always within tolerance of itself.
+execute_process(COMMAND ${BENCH_COMPARE} ${BASELINE} ${BASELINE} --quiet
+                RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "bench_compare rejected identical files (${status})")
+endif()
+
+# Perturb one deterministic counter: a protocol regression must fail no
+# matter the tolerance.
+file(READ ${CURRENT} contents)
+string(REPLACE "\"recomputations\": 412" "\"recomputations\": 413"
+       perturbed "${contents}")
+if(perturbed STREQUAL contents)
+  message(FATAL_ERROR "fixture has no recomputations=412 field to perturb")
+endif()
+set(bad ${SCRATCH}/bench_fixture_perturbed.json)
+file(WRITE ${bad} "${perturbed}")
+execute_process(COMMAND ${BENCH_COMPARE} ${BASELINE} ${bad} --tol=100
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 1)
+  message(FATAL_ERROR
+    "bench_compare missed a counter regression (exit ${status}):\n${out}${err}")
+endif()
+if(NOT err MATCHES "recomputations")
+  message(FATAL_ERROR "mismatch diagnostic does not name the field:\n${err}")
+endif()
+message(STATUS "counter regression detected (exit 1)")
+
+# Zero tolerance turns the benign wall-clock drift into a failure.
+execute_process(COMMAND ${BENCH_COMPARE} ${BASELINE} ${CURRENT} --tol=0
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 1)
+  message(FATAL_ERROR
+    "bench_compare with --tol=0 accepted drift (exit ${status})")
+endif()
+message(STATUS "zero tolerance flags wall-clock drift (exit 1)")
+
+# Malformed tolerance is a usage error, before any comparison.
+execute_process(COMMAND ${BENCH_COMPARE} ${BASELINE} ${CURRENT} --tol=fast
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 2)
+  message(FATAL_ERROR "bad --tol: want exit 2, got ${status}")
+endif()
+message(STATUS "malformed tolerance rejected (exit 2)")

@@ -1,0 +1,58 @@
+# Exit-code semantics of polydab_monitor (docs/OBSERVABILITY.md): 1 when
+# any SLO rule fired during the run — from a saved series file and from
+# replaying the trace directly — and 2 on usage errors, before any
+# rendering. Driven by ctest (monitor_flags_fired_alerts).
+#
+# Expects: -DMONITOR=<binary> -DSERIES=<series with a fired rule>
+#          -DTRACE=<the matching trace>
+
+execute_process(COMMAND ${MONITOR} ${SERIES} --table
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 1)
+  message(FATAL_ERROR
+    "monitor on a series with fired alerts: want exit 1, got ${status}\n"
+    "${out}${err}")
+endif()
+if(out STREQUAL "")
+  message(FATAL_ERROR "monitor exited 1 without rendering anything")
+endif()
+message(STATUS "monitor flags fired alerts from the series file (exit 1)")
+
+execute_process(COMMAND ${MONITOR} --trace=${TRACE}
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 1)
+  message(FATAL_ERROR
+    "monitor --trace replay: want exit 1, got ${status}\n${out}${err}")
+endif()
+message(STATUS "monitor flags fired alerts from the trace replay (exit 1)")
+
+execute_process(COMMAND ${MONITOR} ${SERIES} --quiet
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 1)
+  message(FATAL_ERROR "monitor --quiet: want exit 1, got ${status}")
+endif()
+message(STATUS "monitor --quiet keeps the exit status (exit 1)")
+
+execute_process(COMMAND ${MONITOR} ${SERIES} --metric=sim.bogus.metric
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 2)
+  message(FATAL_ERROR
+    "monitor with an unknown --metric: want exit 2, got ${status}")
+endif()
+if(err STREQUAL "")
+  message(FATAL_ERROR "monitor rejected an unknown metric silently")
+endif()
+message(STATUS "monitor rejects unknown metric names (exit 2)")
+
+execute_process(COMMAND ${MONITOR} ${SERIES} --trace=${TRACE}
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 2)
+  message(FATAL_ERROR
+    "monitor with both a series file and --trace: want exit 2, got ${status}")
+endif()
+message(STATUS "monitor rejects series-file + --trace together (exit 2)")

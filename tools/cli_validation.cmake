@@ -37,6 +37,19 @@ set(bad_cases
   "churn with fault injection\;churn-rate=0.1\;fault-drop=0.1"
   "ingest with canned traces\;ingest=a.csv\;traces=b.csv"
   "ingest with non-unit rates\;ingest=a.csv\;rates=mean"
+  "series-window-s without series-out\;series-window-s=5"
+  "slo without series-out\;slo=sim.coordinator.refreshes > 5"
+  "series-breakdown without series-out\;series-breakdown=1"
+  "zero series window\;series-out=s.jsonl\;series-window-s=0"
+  "negative series window\;series-out=s.jsonl\;series-window-s=-5"
+  "non-numeric series window\;series-out=s.jsonl\;series-window-s=1m"
+  "bad series-breakdown\;series-out=s.jsonl\;series-breakdown=2"
+  "slo rule without spaces\;series-out=s.jsonl\;slo=sim.coordinator.refreshes>5"
+  "bad slo operator\;series-out=s.jsonl\;slo=sim.coordinator.refreshes != 5"
+  "unknown slo metric\;series-out=s.jsonl\;slo=sim.bogus.metric > 5"
+  "slo missing threshold\;series-out=s.jsonl\;slo=sim.coordinator.refreshes >"
+  "zero slo for-count\;series-out=s.jsonl\;slo=sim.coordinator.refreshes > 5 for 0"
+  "series with sharded coordinator\;series-out=s.jsonl\;coord-shards=2"
 )
 
 foreach(case IN LISTS bad_cases)
@@ -111,3 +124,18 @@ if(NOT status EQUAL 0)
   message(FATAL_ERROR "ingest invocation failed (exit ${status}):\n${out}${err}")
 endif()
 message(STATUS "ingest invocation accepted (exit 0)")
+
+# A series invocation exercising every telemetry knob end to end.
+execute_process(COMMAND ${EXPERIMENT} queries=2 items=4 ticks=80
+                series-out=${CMAKE_CURRENT_BINARY_DIR}/cli_series.jsonl
+                series-window-s=5 series-breakdown=1
+                "slo=sim.coordinator.refreshes >= 0 for 2"
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "series invocation failed (exit ${status}):\n${out}${err}")
+endif()
+if(NOT EXISTS ${CMAKE_CURRENT_BINARY_DIR}/cli_series.jsonl)
+  message(FATAL_ERROR "series invocation wrote no series file")
+endif()
+message(STATUS "series invocation accepted (exit 0)")

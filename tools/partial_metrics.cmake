@@ -1,0 +1,35 @@
+# When the simulation itself fails after validation (here: a streaming
+# ingest of a single tick row — RunSimulation needs at least two), the
+# experiment must still write the metrics report, carrying an explicit
+# status=failed info record plus the error text, so an operator scraping
+# the report can tell "failed" from "crashed before reporting". Driven by
+# ctest (experiment_writes_partial_metrics).
+#
+# Expects: -DEXPERIMENT=<binary> -DSCRATCH=<writable directory>
+
+set(csv ${SCRATCH}/partial_one_row.csv)
+set(report ${SCRATCH}/partial_metrics.jsonl)
+file(WRITE ${csv} "100,80,120,60\n")
+file(REMOVE ${report})
+
+execute_process(COMMAND ${EXPERIMENT} queries=2 ingest=${csv}
+                metrics-out=${report}
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 1)
+  message(FATAL_ERROR
+    "want exit 1 from a failed simulation, got ${status}\n${out}${err}")
+endif()
+if(NOT EXISTS ${report})
+  message(FATAL_ERROR "failed run did not write the metrics report")
+endif()
+
+file(READ ${report} contents)
+if(NOT contents MATCHES "\"key\":\"status\",\"value\":\"failed\"")
+  message(FATAL_ERROR
+    "partial report lacks the status=failed record:\n${contents}")
+endif()
+if(NOT contents MATCHES "\"key\":\"error\"")
+  message(FATAL_ERROR "partial report lacks the error record:\n${contents}")
+endif()
+message(STATUS "failed run wrote a partial report with status=failed")

@@ -77,6 +77,23 @@
 //                    length and the item count is the file width (ticks=
 //                    only bounds the churn horizon). Requires rates=unit;
 //                    mutually exclusive with traces=
+//   series-out=FILE  fold the run's own event stream into a windowed
+//                    time series (obs/timeseries.h) over simulated time
+//                    and write it as JSON lines; works with or without
+//                    trace-out (without, the events are observed and
+//                    discarded, never buffered). Render with
+//                    polydab_monitor; cross-verify with
+//                    polydab_tracecheck --series=. Single-coordinator
+//                    runs only (coord-shards=1)
+//   series-window-s=N  window width in whole simulated seconds, >= 1;
+//                    requires series-out (1)
+//   slo=RULES        ';'-separated SLO rules over the per-window metrics
+//                    (`<metric> <op> <threshold> [for <N>]`, see
+//                    obs/slo.h); evaluated online at every window close,
+//                    fires alert_fire / alert_resolve trace events.
+//                    Requires series-out
+//   series-breakdown=0|1  also record per-lane / per-query / per-source
+//                    breakdown rows in the series; requires series-out (0)
 //
 // Arguments are validated before any work happens: a malformed argument
 // (no '='), an unknown key, a non-numeric value for a numeric key, an
@@ -93,8 +110,11 @@
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "obs/run_report.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/trace_fold.h"
 #include "sim/simulation.h"
@@ -131,6 +151,8 @@ const std::set<std::string>& KnownKeys() {
       "churn_rate",   "churn_lifetime_s",           "churn_zipf",
       "churn_modify_prob",            "admit_budget",
       "admit_policy", "maintenance",  "ingest",
+      "series_out",   "series_window_s",            "slo",
+      "series_breakdown",
   };
   return keys;
 }
@@ -312,6 +334,46 @@ int main(int argc, char** argv) {
   if (!ingest.empty() && args.count("rates") != 0 && rates_kind != "unit") {
     Die("ingest streams ticks once, so only rates=unit is available");
   }
+  // Windowed-series knobs (docs/OBSERVABILITY.md "Time series, SLOs and
+  // monitoring"), validated to exit 2 before any work like everything
+  // above; the rule DSL is parsed here so an unknown metric name or a
+  // malformed clause fails fast with the parser's own diagnostic.
+  const std::string series_out = Get(args, "series_out", "");
+  if (series_out.empty()) {
+    for (const char* key :
+         {"series_window_s", "slo", "series_breakdown"}) {
+      if (args.count(key) != 0) {
+        std::string spelled = key;
+        for (char& c : spelled) {
+          if (c == '_') c = '-';
+        }
+        Die(spelled + " requires series-out");
+      }
+    }
+  }
+  const int series_window_s = GetInt(args, "series_window_s", 1);
+  if (series_window_s < 1) {
+    Die("series-window-s must be >= 1, got " +
+        Get(args, "series_window_s", ""));
+  }
+  const int series_breakdown = GetInt(args, "series_breakdown", 0);
+  if (series_breakdown != 0 && series_breakdown != 1) {
+    Die("series-breakdown must be 0 or 1, got " +
+        Get(args, "series_breakdown", ""));
+  }
+  if (!series_out.empty() && coord_shards != 1) {
+    Die("series-out is single-coordinator only (coord-shards=1)");
+  }
+  std::vector<obs::SloRule> slo_rules;
+  const std::string slo_text = Get(args, "slo", "");
+  if (!slo_text.empty()) {
+    Result<std::vector<obs::SloRule>> parsed =
+        obs::ParseSloRules(slo_text, obs::SeriesMetricNames());
+    if (!parsed.ok()) {
+      Die("slo: " + parsed.status().ToString());
+    }
+    slo_rules = std::move(*parsed);
+  }
 
   // Universe: synthesize traces, replay a CSV trace set (traces=path), or
   // stream ticks row by row from a file (ingest=path) without ever
@@ -432,6 +494,22 @@ int main(int argc, char** argv) {
   obs::MetricRegistry registry;
   if (!metrics_out.empty()) config.registry = &registry;
 
+  // Windowed series (docs/OBSERVABILITY.md "Time series, SLOs and
+  // monitoring"): the recorder observes the run's trace sink and folds
+  // the event stream into fixed windows of simulated time, evaluating
+  // the SLO rules at every close. It samples the registry's instruments
+  // per window only when a metrics report was also requested.
+  std::unique_ptr<obs::SeriesRecorder> series;
+  if (!series_out.empty()) {
+    obs::SeriesConfig sc;
+    sc.window_ticks = series_window_s;
+    sc.breakdown = series_breakdown != 0;
+    sc.rules = slo_rules;
+    sc.registry = config.registry;
+    series = std::make_unique<obs::SeriesRecorder>(sc);
+    config.series = series.get();
+  }
+
   // Live service layer (docs/SERVICE.md): generate the churn schedule from
   // a dedicated RNG stream (seed + 1, so the workload and delay draws are
   // untouched) and drive it through admission control.
@@ -481,10 +559,13 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (!trace_out.empty() || !flame_out.empty()) {
+  if (!trace_out.empty() || !flame_out.empty() || !series_out.empty()) {
     sink.SetInfo("tool", "polydab_experiment");
     sink.SetInfo("kind", kind);
     config.trace = &sink;
+    // Series-only runs need the event *stream* (the recorder observes
+    // every Emit) but not the trace itself: discard mode never buffers.
+    if (trace_out.empty() && flame_out.empty()) sink.SetDiscard(true);
   }
 
   auto m = ingest_source != nullptr
@@ -492,6 +573,21 @@ int main(int argc, char** argv) {
                : sim::RunSimulation(*queries, *traces, *rates, config);
   if (!m.ok()) {
     std::fprintf(stderr, "simulation: %s\n", m.status().ToString().c_str());
+    // Partial telemetry beats none: write whatever the instruments saw
+    // before the failure, with an explicit status record so downstream
+    // tooling can tell a truncated report from a successful one (a
+    // successful report carries no `status` key).
+    if (!metrics_out.empty()) {
+      obs::RunReport report = obs::RunReport::FromRegistry(registry);
+      report.info["tool"] = "polydab_experiment";
+      report.info["status"] = "failed";
+      report.info["error"] = m.status().ToString();
+      Status written = report.WriteJsonLines(metrics_out);
+      if (!written.ok()) {
+        std::fprintf(stderr, "metrics-out: %s\n",
+                     written.ToString().c_str());
+      }
+    }
     return 1;
   }
 
@@ -543,6 +639,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "flame-out: conservation: %s\n",
                      failure.c_str());
       }
+      return 1;
+    }
+  }
+
+  if (!series_out.empty()) {
+    obs::SeriesFile file = series->file();
+    file.info["tool"] = "polydab_experiment";
+    file.info["window_s"] = std::to_string(series_window_s);
+    Status written = obs::SaveSeriesFile(file, series_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "series-out: %s\n", written.ToString().c_str());
       return 1;
     }
   }

@@ -1,0 +1,293 @@
+// polydab_monitor: terminal renderer for windowed series telemetry.
+//
+// Loads a series file written by `polydab_experiment series-out=FILE`
+// (obs/timeseries.h) — or re-folds one from a causal event trace — and
+// renders it for a human: per-metric sparklines over the windows, the
+// SLO alert timeline with every fire/resolve transition, the run totals,
+// and optionally the full per-window table. Because the series is a
+// deterministic fold of the run's event stream, the monitor doubles as a
+// scriptable SLO gate: it exits nonzero exactly when a rule fired.
+//
+// Usage:
+//   polydab_monitor SERIES.jsonl [options]
+//   polydab_monitor --trace=TRACE.jsonl [options]
+//
+//   --trace=FILE   re-fold the series from an event trace recorded by a
+//                  series-out run (it carries the window width and SLO
+//                  rules in its info keys) instead of reading a series
+//                  file; mutually exclusive with the positional file
+//   --metric=NAME  sparkline this per-window metric (repeatable; any
+//                  name from the catalog in docs/OBSERVABILITY.md).
+//                  Default: refreshes, recomputations, violation_rate
+//                  and live_queries
+//   --table        also print the full per-window table
+//   --quiet        print nothing; exit status only
+//
+// Exit status: 0 when no SLO rule fired during the run, 1 when at least
+// one rule fired (even if it later resolved), 2 on usage or parse
+// errors.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+using namespace polydab;
+
+namespace {
+
+/// Eight-level unicode bar, the classic sparkline alphabet.
+const char* const kSpark[8] = {"▁", "▂", "▃", "▄",
+                               "▅", "▆", "▇", "█"};
+
+/// At most this many sparkline columns; longer series are bucketed by
+/// averaging so the line still fits a terminal.
+constexpr size_t kSparkCols = 64;
+
+/// Render one metric's per-window values as a sparkline string. Buckets
+/// of consecutive windows are averaged when there are more windows than
+/// columns; a flat series renders as all-bottom bars.
+std::string Sparkline(const std::vector<double>& values) {
+  if (values.empty()) return "";
+  const size_t cols = std::min(values.size(), kSparkCols);
+  std::vector<double> bucketed(cols, 0.0);
+  for (size_t c = 0; c < cols; ++c) {
+    const size_t lo = c * values.size() / cols;
+    const size_t hi = (c + 1) * values.size() / cols;
+    double sum = 0.0;
+    for (size_t i = lo; i < hi; ++i) sum += values[i];
+    bucketed[c] = sum / static_cast<double>(hi - lo);
+  }
+  const auto [mn_it, mx_it] =
+      std::minmax_element(bucketed.begin(), bucketed.end());
+  const double mn = *mn_it, mx = *mx_it;
+  std::string out;
+  for (double v : bucketed) {
+    int level = 0;
+    if (mx > mn) {
+      level = static_cast<int>((v - mn) / (mx - mn) * 7.0 + 0.5);
+      level = std::max(0, std::min(7, level));
+    }
+    out += kSpark[level];
+  }
+  return out;
+}
+
+/// One char per window: '.' quiet, 'F' the fire close, '#' firing, 'R'
+/// the resolve close. Alerts arrive in window order, so a single pass
+/// with a per-rule "firing since" cursor reconstructs the intervals.
+std::vector<std::string> AlertTimelines(const obs::SeriesFile& series) {
+  std::vector<std::string> lines(series.rules.size(),
+                                 std::string(series.windows.size(), '.'));
+  std::vector<int64_t> firing_since(series.rules.size(), -1);
+  const int64_t n = static_cast<int64_t>(series.windows.size());
+  auto mark = [&](size_t rule, int64_t w, char c) {
+    if (w >= 0 && w < n) lines[rule][static_cast<size_t>(w)] = c;
+  };
+  for (const obs::SloAlert& a : series.alerts) {
+    if (a.rule < 0 || static_cast<size_t>(a.rule) >= lines.size()) continue;
+    const size_t r = static_cast<size_t>(a.rule);
+    if (a.fire) {
+      mark(r, a.window, 'F');
+      firing_since[r] = a.window;
+    } else {
+      for (int64_t w = firing_since[r] + 1; w < a.window; ++w) {
+        mark(r, w, '#');
+      }
+      mark(r, a.window, 'R');
+      firing_since[r] = -1;
+    }
+  }
+  for (size_t r = 0; r < lines.size(); ++r) {
+    if (firing_since[r] < 0) continue;  // never fired or resolved
+    for (int64_t w = firing_since[r] + 1; w < n; ++w) mark(r, w, '#');
+  }
+  return lines;
+}
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: polydab_monitor SERIES.jsonl [--metric=NAME ...] "
+               "[--table] [--quiet]\n"
+               "       polydab_monitor --trace=TRACE.jsonl [--metric=NAME "
+               "...] [--table] [--quiet]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string series_path;
+  std::string trace_path;
+  std::vector<std::string> metrics;
+  bool table = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--metric=", 9) == 0) {
+      metrics.push_back(arg + 9);
+    } else if (std::strcmp(arg, "--table") == 0) {
+      table = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg);
+      return 2;
+    } else if (series_path.empty()) {
+      series_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected extra argument '%s'\n", arg);
+      return 2;
+    }
+  }
+  if (series_path.empty() == trace_path.empty()) Usage();
+
+  const std::vector<std::string>& catalog = obs::SeriesMetricNames();
+  for (const std::string& m : metrics) {
+    if (std::find(catalog.begin(), catalog.end(), m) == catalog.end()) {
+      std::fprintf(stderr, "unknown metric '%s'; known metrics:\n",
+                   m.c_str());
+      for (const std::string& name : catalog) {
+        std::fprintf(stderr, "  %s\n", name.c_str());
+      }
+      return 2;
+    }
+  }
+  if (metrics.empty()) {
+    metrics = {"sim.coordinator.refreshes", "sim.coordinator.recomputations",
+               "sim.fidelity.violation_rate", "sim.run.live_queries"};
+  }
+
+  obs::SeriesFile series;
+  if (!trace_path.empty()) {
+    Result<obs::TraceFile> trace = obs::LoadTraceFile(trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "trace: %s\n",
+                   trace.status().ToString().c_str());
+      return 2;
+    }
+    Result<obs::SeriesFile> folded = obs::FoldTraceSeries(*trace);
+    if (!folded.ok()) {
+      std::fprintf(stderr, "trace: %s\n",
+                   folded.status().ToString().c_str());
+      return 2;
+    }
+    series = std::move(folded).value();
+  } else {
+    Result<obs::SeriesFile> loaded = obs::LoadSeriesFile(series_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "series: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    series = std::move(loaded).value();
+  }
+
+  int64_t fired = 0;
+  for (const obs::SloAlert& a : series.alerts) {
+    if (a.fire) ++fired;
+  }
+
+  if (!quiet) {
+    const size_t n = series.windows.size();
+    std::printf("windows: %zu", n);
+    if (n > 0) {
+      std::printf("  span: (%g, %g]", series.windows.front().start,
+                  series.windows.back().end);
+    }
+    std::printf("  rules: %zu  alerts: %" PRId64 " fired, %zu transitions\n",
+                series.rules.size(), fired, series.alerts.size());
+
+    if (n > 0) {
+      std::printf("\n");
+      for (const std::string& m : metrics) {
+        std::vector<double> values;
+        values.reserve(n);
+        double last = 0.0, mn = 0.0, mx = 0.0;
+        for (const obs::SeriesWindow& w : series.windows) {
+          values.push_back(obs::SeriesMetricValue(w, m));
+        }
+        const auto [mn_it, mx_it] =
+            std::minmax_element(values.begin(), values.end());
+        mn = *mn_it;
+        mx = *mx_it;
+        last = values.back();
+        std::printf("  %-38s %s  min=%g max=%g last=%g\n", m.c_str(),
+                    Sparkline(values).c_str(), mn, mx, last);
+      }
+    }
+
+    if (!series.rules.empty()) {
+      std::printf("\nSLO rules ('.' ok, 'F' fire, '#' firing, 'R' "
+                  "resolve; one column per window):\n");
+      const std::vector<std::string> timelines = AlertTimelines(series);
+      for (size_t r = 0; r < series.rules.size(); ++r) {
+        std::printf("  [%zu] %s\n", r,
+                    obs::CanonicalSloRules({series.rules[r]}).c_str());
+        std::string line = timelines[r];
+        if (line.size() > kSparkCols) {
+          // Compress like the sparklines: a bucket shows its loudest
+          // state (F > R > # > .), so no transition disappears.
+          std::string squeezed;
+          const size_t cols = kSparkCols;
+          for (size_t c = 0; c < cols; ++c) {
+            const size_t lo = c * line.size() / cols;
+            const size_t hi = (c + 1) * line.size() / cols;
+            char best = '.';
+            auto rank = [](char ch) {
+              return ch == 'F' ? 3 : ch == 'R' ? 2 : ch == '#' ? 1 : 0;
+            };
+            for (size_t i = lo; i < hi; ++i) {
+              if (rank(line[i]) > rank(best)) best = line[i];
+            }
+            squeezed += best;
+          }
+          line = squeezed;
+        }
+        std::printf("      %s\n", line.c_str());
+      }
+      for (const obs::SloAlert& a : series.alerts) {
+        std::printf("  %s rule %d at t=%g window %" PRId64
+                    ": value %g vs threshold %g%s\n",
+                    a.fire ? "FIRE   " : "RESOLVE", a.rule, a.time, a.window,
+                    a.value, a.threshold,
+                    a.fire ? (" after " + std::to_string(a.consecutive) +
+                              " breaching window(s)")
+                                 .c_str()
+                           : "");
+      }
+    }
+
+    if (series.has_totals) {
+      const obs::SeriesTotals& t = series.totals;
+      std::printf("\ntotals: refreshes=%" PRId64 " recomputations=%" PRId64
+                  " dab_changes=%" PRId64 " notifications=%" PRId64
+                  " violations=%" PRId64 "/%" PRId64 " samples\n",
+                  t.refreshes, t.recomputations, t.dab_changes,
+                  t.notifications, t.violations, t.samples);
+    }
+
+    if (table && n > 0) {
+      std::printf("\n%8s %10s %9s %8s %8s %10s %6s %12s\n", "window", "end",
+                  "refresh", "recomp", "notify", "viol_rate", "live",
+                  "qwait_p99");
+      for (const obs::SeriesWindow& w : series.windows) {
+        std::printf("%8" PRId64 " %10g %9" PRId64 " %8" PRId64 " %8" PRId64
+                    " %10.4f %6" PRId64 " %12g\n",
+                    w.index, w.end, w.refreshes, w.recomputations,
+                    w.notifications, w.violation_rate, w.live_queries,
+                    w.queue_wait_p99);
+      }
+    }
+  }
+
+  return fired > 0 ? 1 : 0;
+}

@@ -11,11 +11,16 @@
 // their root-cause items. See docs/OBSERVABILITY.md ("Event tracing").
 //
 // Usage:
-//   polydab_tracecheck TRACE.jsonl [--report=METRICS.jsonl] [--mu=X]
+//   polydab_tracecheck TRACE.jsonl [--report=METRICS.jsonl]
+//                                  [--series=SERIES.jsonl] [--mu=X]
 //                                  [--quiet]
 //
 //   --report=FILE  also diff the replayed totals against a telemetry run
 //                  report written by the same run (metrics-out=FILE)
+//   --series=FILE  also diff a windowed series file written by the same
+//                  run (series-out=FILE) against the alerting-mode
+//                  replay: every window, breakdown row, alert and the
+//                  totals record must match the re-derivation exactly
 //   --mu=X         recomputation cost for the attribution (default: the
 //                  trace's mu info key, else 5)
 //   --quiet        print nothing on success
@@ -28,6 +33,7 @@
 #include <string>
 
 #include "obs/run_report.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/trace_check.h"
 
@@ -57,12 +63,15 @@ Result<std::string> ReadFileToString(const std::string& path) {
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string report_path;
+  std::string series_path;
   double mu = -1.0;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--report=", 9) == 0) {
       report_path = arg + 9;
+    } else if (std::strncmp(arg, "--series=", 9) == 0) {
+      series_path = arg + 9;
     } else if (std::strncmp(arg, "--mu=", 5) == 0) {
       mu = std::atof(arg + 5);
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -80,7 +89,8 @@ int main(int argc, char** argv) {
   if (trace_path.empty()) {
     std::fprintf(stderr,
                  "usage: polydab_tracecheck TRACE.jsonl "
-                 "[--report=METRICS.jsonl] [--mu=X] [--quiet]\n");
+                 "[--report=METRICS.jsonl] [--series=SERIES.jsonl] "
+                 "[--mu=X] [--quiet]\n");
     return 2;
   }
 
@@ -108,6 +118,17 @@ int main(int argc, char** argv) {
     }
     report = std::move(parsed).value();
     options.report = &report;
+  }
+  obs::SeriesFile series;
+  if (!series_path.empty()) {
+    Result<obs::SeriesFile> loaded = obs::LoadSeriesFile(series_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "series: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    series = std::move(loaded).value();
+    options.series = &series;
   }
 
   Result<obs::TraceCheckReport> checked = obs::CheckTrace(*trace, options);
