@@ -1,0 +1,161 @@
+// Real-thread lane runtime sweep (src/rt/, docs/CONCURRENCY.md): wall
+// clock vs SimConfig::threads on a recomputation-heavy workload whose
+// per-part GP solves are the dominant CPU cost, with coord-shards=8
+// hash lanes so the solves spread across the worker pool. Every
+// deterministic counter must be identical across the whole thread sweep
+// (the runtime's core contract — the bench hard-fails otherwise), so the
+// only column allowed to move is wall_seconds. Mirrors the table into
+// BENCH_threaded_coord.json; the ctest gate (bench_threaded_gate)
+// re-runs the quick scale and diffs it against the committed baseline
+// with bench_compare, which tolerates only the wall-clock fields.
+//
+// Scales: POLYDAB_BENCH_QUICK=1 is the seconds-long ctest scale,
+// REPRO_FULL=1 the paper scale, default in between.
+//
+// On a single-core host the speedup column is flat-to-negative — the
+// pool can only add dispatch overhead there. The counter-identity
+// assertion and the JSON gate bind regardless of core count; read the
+// speedup column on a machine with cores to spare.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/simulation.h"
+
+namespace polydab::bench {
+namespace {
+
+bool QuickScale() {
+  const char* env = std::getenv("POLYDAB_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+struct Row {
+  int threads;
+  int64_t refreshes;
+  int64_t recomputations;
+  int64_t dab_changes;
+  int64_t notifications;
+  int64_t solver_failures;
+  double loss_pct;
+  double wall_seconds;
+};
+
+int Run() {
+  const int items = QuickScale() ? 30 : 100;
+  const int ticks = QuickScale() ? 300 : (FullScale() ? 10000 : 2000);
+  const int nq = QuickScale() ? 20 : (FullScale() ? 200 : 100);
+  const Universe u =
+      MakeUniverse(workload::TraceKind::kGbmStock, 9001, items, ticks);
+  workload::QueryGenConfig qc;
+  qc.num_items = items;
+  Rng qrng(48);
+  auto queries = *workload::GeneratePortfolioQueries(nq, qc, u.initial,
+                                                     &qrng);
+
+  const std::vector<int> thread_counts = {0, 1, 2, 4, 8};
+  std::vector<Row> rows;
+  HarnessTimer timer;
+
+  for (int threads : thread_counts) {
+    sim::SimConfig c;
+    // Recompute on every refresh: maximizes the solve volume the pool
+    // can overlap.
+    c.planner.method = core::AssignmentMethod::kOptimalRefresh;
+    c.planner.dual.mu = 1.0;
+    c.coord_shards = 8;
+    c.shard_policy = sim::ShardPolicy::kQueryHash;
+    c.threads = threads;
+    c.seed = 99;
+    const std::string section =
+        "bench.run.threads." + std::to_string(threads);
+    sim::SimMetrics m;
+    {
+      auto t = timer.Section(section);
+      auto r = sim::RunSimulation(queries, u.traces, u.rates, c);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s: %s\n", section.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      m = *r;
+    }
+    rows.push_back(Row{threads, m.refreshes, m.recomputations,
+                       m.dab_change_messages, m.user_notifications,
+                       m.solver_failures, m.mean_fidelity_loss_pct,
+                       timer.registry()->GetHistogram(section)->sum()});
+  }
+
+  // The contract the whole PR hangs on: the thread count is invisible to
+  // every protocol-level outcome. A single diverged counter makes the
+  // wall-clock column meaningless, so fail hard.
+  for (const Row& r : rows) {
+    const Row& base = rows.front();
+    if (r.refreshes != base.refreshes ||
+        r.recomputations != base.recomputations ||
+        r.dab_changes != base.dab_changes ||
+        r.notifications != base.notifications ||
+        r.solver_failures != base.solver_failures ||
+        r.loss_pct != base.loss_pct) {
+      std::fprintf(stderr,
+                   "threads=%d diverged from the threads=0 oracle "
+                   "(e.g. recomputations %lld vs %lld)\n",
+                   r.threads, static_cast<long long>(r.recomputations),
+                   static_cast<long long>(base.recomputations));
+      return 1;
+    }
+  }
+
+  Table t({"threads", "refreshes", "recomps", "dab_changes", "notifs",
+           "loss%", "wall_s", "speedup"});
+  const double serial_wall = rows.front().wall_seconds;
+  for (const Row& r : rows) {
+    t.AddRow({Fmt(static_cast<int64_t>(r.threads)), Fmt(r.refreshes),
+              Fmt(r.recomputations), Fmt(r.dab_changes),
+              Fmt(r.notifications), Fmt(r.loss_pct, 3),
+              Fmt(r.wall_seconds, 3),
+              Fmt(r.wall_seconds > 0.0 ? serial_wall / r.wall_seconds
+                                       : 0.0,
+                  2)});
+  }
+  std::printf("=== Real-thread lane runtime sweep (%d PPQs, %d items, "
+              "%d ticks, 8 hash lanes) ===\n",
+              nq, items, ticks);
+  t.Print();
+  timer.PrintSummary();
+
+  const char* path = "BENCH_threaded_coord.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"threads\": %d, \"refreshes\": %lld, "
+        "\"recomputations\": %lld, \"dab_changes\": %lld, "
+        "\"user_notifications\": %lld, \"solver_failures\": %lld, "
+        "\"mean_fidelity_loss_pct\": %.17g, \"wall_seconds\": %.6f}%s\n",
+        r.threads, static_cast<long long>(r.refreshes),
+        static_cast<long long>(r.recomputations),
+        static_cast<long long>(r.dab_changes),
+        static_cast<long long>(r.notifications),
+        static_cast<long long>(r.solver_failures), r.loss_pct,
+        r.wall_seconds, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu rows)\n", path, rows.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace polydab::bench
+
+int main() { return polydab::bench::Run(); }

@@ -17,9 +17,11 @@ void TracePlannerEvent(const PlannerConfig& config, obs::TraceEventKind kind,
                        int query, bool ok) {
   if (config.trace == nullptr) return;
   obs::TraceEvent e;
-  e.time = config.trace->now();
+  e.time = std::isnan(config.trace_time) ? config.trace->now()
+                                         : config.trace_time;
   e.kind = kind;
   e.node = config.trace_node;
+  e.thread = config.trace_thread;
   e.query = query;
   e.flag = ok ? 1 : 0;
   config.trace->Emit(e);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <string>
 
 #include "common/status.h"
@@ -57,6 +58,16 @@ struct PlannerConfig {
   /// Not owned.
   obs::TraceSink* trace = nullptr;
   int32_t trace_node = -1;
+  /// Worker-side emission overrides for the real-thread lane runtime
+  /// (src/rt/, docs/CONCURRENCY.md). A planner running on a pool worker
+  /// must not read the sink's logical clock — the event loop advances it
+  /// concurrently — so the dispatcher pins the event timestamp here; NaN
+  /// (the default) means "stamp trace->now()". `trace_thread` tags the
+  /// planner events with the emitting worker (-1: the event-loop thread);
+  /// the canonical re-sort pass (obs/trace_canon.h) strips the tags.
+  /// Neither field is configuration, so Describe() ignores both.
+  double trace_time = std::numeric_limits<double>::quiet_NaN();
+  int32_t trace_thread = -1;
 
   /// One-line rendering of every knob, for run reports and test failures,
   /// e.g. "method=dual heuristic=ds ddm=mono mu=5".

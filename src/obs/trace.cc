@@ -81,6 +81,7 @@ void AppendEventLine(std::string* out, const TraceEvent& e) {
   if (e.query != -1) AppendIntField(out, "query", e.query);
   if (e.part != -1) AppendIntField(out, "part", e.part);
   if (e.shard != -1) AppendIntField(out, "shard", e.shard);
+  if (e.thread != -1) AppendIntField(out, "thread", e.thread);
   if (e.cause != 0) {
     AppendIntField(out, "cause", static_cast<int64_t>(e.cause));
   }
@@ -227,6 +228,7 @@ Status ParseLineInto(const std::string& line, TraceFile* out) {
     e.query = static_cast<int32_t>(f.NumOr("query", -1.0));
     e.part = static_cast<int32_t>(f.NumOr("part", -1.0));
     e.shard = static_cast<int32_t>(f.NumOr("shard", -1.0));
+    e.thread = static_cast<int32_t>(f.NumOr("thread", -1.0));
     e.cause = static_cast<uint64_t>(f.NumOr("cause", 0.0));
     e.a = f.NumOr("a", 0.0);
     e.b = f.NumOr("b", 0.0);
@@ -394,8 +396,13 @@ Status TraceSink::StreamTo(const std::string& path) {
 }
 
 uint64_t TraceSink::Emit(TraceEvent e) {
-  e.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
+  // The id must be assigned inside the critical section: with concurrent
+  // emitters (the rt:: worker pool), taking the id first would let two
+  // threads buffer out of id order, breaking the record-order == id-order
+  // invariant the streamed file and Collect() rely on (regression:
+  // obs_test ConcurrentEmitsKeepIdOrder).
+  e.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   if (observer_ != nullptr) observer_->OnEvent(e);
   if (discard_) return e.id;
   if (buffer_.size() >= capacity_ && file_ != nullptr) {

@@ -1,0 +1,52 @@
+#ifndef POLYDAB_OBS_TRACE_CANON_H_
+#define POLYDAB_OBS_TRACE_CANON_H_
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+/// \file trace_canon.h
+/// Canonical re-sort of a thread-tagged trace (docs/CONCURRENCY.md).
+///
+/// A real-thread run (sim/simulation.h, threads > 0) keeps the virtual
+/// clock and every protocol decision on the event-loop thread; the only
+/// events emitted from pool workers are the planner_replan records of the
+/// GP re-solves they execute. Those interleave with the event-loop stream
+/// in wall-clock completion order, which is nondeterministic — so a raw
+/// threaded trace differs from the single-threaded oracle only in where
+/// its thread-tagged planner_replan lines sit (and in the `thread` tags
+/// and `rt_*` info keys themselves).
+///
+/// CanonicalizeThreadedTrace restores the serial emission order exactly:
+///
+///  1. events are taken in id order (the sink guarantees record order ==
+///     id order);
+///  2. each thread-tagged planner_replan is re-slotted immediately before
+///     its matching refresh-service recompute_end — worker w's n-th
+///     replan pairs with the n-th recompute_end whose lane maps to w
+///     (lane % workers == w, serial lane -1 counting as 0) and whose
+///     `item` is set (AAO recompute pairs carry item = -1 and never run
+///     on workers). The pairing is exact because each worker's ring is
+///     FIFO and the event loop consumes results in dispatch order;
+///  3. ids are renumbered 1..N in the new order, `cause` references are
+///     remapped (planner events never serve as causes, so re-slotting
+///     cannot invert a cause edge), thread tags are cleared, and the
+///     `rt_*` info keys are dropped.
+///
+/// The result is byte-identical (TraceToJsonLines) to the trace the
+/// virtual-clock simulator produces for the same seed and config, which
+/// is what tests/threaded_diff_test.cc pins and what makes every
+/// trace_check invariant apply to threaded runs unchanged.
+///
+/// The pass is idempotent, and a no-op on traces with no thread tags.
+
+namespace polydab::obs {
+
+/// In-place canonicalization. Fails (InvalidArgument) when the trace is
+/// not a plausible threaded capture: a thread tag on a non-planner event,
+/// a tagged replan with no matching recompute_end, leftover replans, or a
+/// dangling cause reference.
+Status CanonicalizeThreadedTrace(TraceFile* trace);
+
+}  // namespace polydab::obs
+
+#endif  // POLYDAB_OBS_TRACE_CANON_H_

@@ -1,0 +1,104 @@
+#ifndef POLYDAB_RT_SPSC_QUEUE_H_
+#define POLYDAB_RT_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+/// \file spsc_queue.h
+/// Bounded lock-free single-producer / single-consumer ring. This is the
+/// refresh-work conduit of the real-thread lane runtime
+/// (docs/CONCURRENCY.md): the simulator's main thread is the only
+/// producer and one pool worker the only consumer of each ring, which is
+/// exactly the shape that makes a two-index ring correct with one
+/// release/acquire pair per operation and no CAS.
+///
+/// Memory model (the whole contract):
+///  * TryPush stores the slot, then publishes with a release store of
+///    `tail_`; TryPop acquires `tail_`, so the slot write
+///    happens-before any read of that slot by the consumer.
+///  * TryPop clears the slot, then releases `head_`; TryPush acquires
+///    `head_`, so slot reuse happens-after the consumer is done with it.
+///  * Each index is written by exactly one thread, so plain relaxed
+///    self-reads of one's own index are safe.
+///
+/// Anything beyond one producer and one consumer is undefined; the lane
+/// pool (lane_pool.h) enforces the pairing structurally.
+
+namespace polydab::rt {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// \p capacity is rounded up to the next power of two (>= 2) so the
+  /// ring can index with a mask instead of a modulo.
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. False when the ring is full (the caller decides
+  /// whether to spin, yield or drop). The rvalue overload moves from
+  /// \p value only on success, so a failed push leaves the caller's
+  /// object intact for the retry — a by-value parameter here would
+  /// consume the payload on *every* attempt and make the retry loop
+  /// push an empty T.
+  bool TryPush(const T& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPush(T&& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    *out = std::move(slots_[head & mask_]);
+    slots_[head & mask_] = T{};  // drop payload refs eagerly
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot size; exact only when called by the producer or consumer
+  /// with the other side quiescent (tests), else a lower/upper bound.
+  size_t SizeApprox() const {
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+  /// Usable slot count (the rounded-up power of two).
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Separate cache lines so producer and consumer do not false-share.
+  alignas(64) std::atomic<size_t> head_{0};  // next slot to pop
+  alignas(64) std::atomic<size_t> tail_{0};  // next slot to fill
+};
+
+}  // namespace polydab::rt
+
+#endif  // POLYDAB_RT_SPSC_QUEUE_H_

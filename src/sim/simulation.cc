@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -17,6 +18,7 @@
 #include "obs/json_util.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
+#include "rt/lane_pool.h"
 
 #include "common/logging.h"
 
@@ -292,6 +294,15 @@ Result<SimMetrics> RunSimulation(
   if (config.coord_shards < 1) {
     return Status::InvalidArgument("coord_shards must be >= 1");
   }
+  if (config.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
+  if (config.threads > 0 && config.rt_queue_cap < 1) {
+    return Status::InvalidArgument("rt_queue_cap must be >= 1");
+  }
+  if (config.threads > 0 && config.rt_fail_at < 0) {
+    return Status::InvalidArgument("rt_fail_at must be >= 0");
+  }
   // A malformed delay or fault config would otherwise surface as a NaN
   // epidemic or a hard CHECK abort deep inside a run; reject it up front
   // with a diagnostic naming the field.
@@ -322,6 +333,14 @@ Result<SimMetrics> RunSimulation(
     }
   }
   if (config.series != nullptr) {
+    if (config.threads > 0) {
+      // The recorder folds events in raw emission order; under the
+      // real-thread runtime that order is nondeterministic until the
+      // canonical re-sort, which runs after the fact.
+      return Status::InvalidArgument(
+          "series recording requires the single-threaded engine "
+          "(threads=0)");
+    }
     // The recorder folds the event stream, so it is meaningless without
     // one; and a replay-mode (derive_samples) recorder re-derives its
     // sample grid from events instead of taking the engine's feed.
@@ -413,6 +432,37 @@ Result<SimMetrics> RunSimulation(
   }
 
   State st;
+
+  // Real-thread lane runtime (src/rt/, docs/CONCURRENCY.md). The pool is
+  // declared after `st` and after `solve_jobs` so its destructor joins
+  // every worker before anything a job closure references is destroyed,
+  // however the run exits. Each refresh service runs in two passes when
+  // threaded: pass 1 dispatches the stale parts' GP re-solves to the
+  // workers' SPSC rings, pass 2 is the unchanged serial loop consuming
+  // the results in oracle order.
+  struct SolveJob {
+    Result<QueryDabs> result{Status::Internal("rt: job not yet run")};
+    int worker = 0;
+    uint64_t epoch = 0;
+  };
+  std::deque<SolveJob> solve_jobs;  // deque: workers hold entry pointers
+  size_t next_solve_job = 0;
+  int64_t solve_jobs_dispatched = 0;
+  const bool threaded = config.threads > 0;
+  rt::LanePool pool;
+  if (threaded) {
+    rt::LanePool::Options rt_opt;
+    rt_opt.workers = config.threads;
+    rt_opt.queue_capacity = config.rt_queue_cap;
+    POLYDAB_RETURN_NOT_OK(pool.Start(rt_opt));
+    if (trace != nullptr) {
+      // Stripped again by canonicalization (obs/trace_canon.h), so the
+      // canonical trace's info block matches the threads = 0 oracle's.
+      trace->SetInfo("rt_threads", std::to_string(config.threads));
+      trace->SetInfo("rt_queue_cap", std::to_string(config.rt_queue_cap));
+    }
+  }
+
   st.item_queries.resize(n_items);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     for (VarId v : queries[qi].p.Variables()) {
@@ -1119,8 +1169,9 @@ Result<SimMetrics> RunSimulation(
 
   // Deliver all messages with arrival time <= now. DAB-change events that
   // a recomputation emits at `now` (e.g. under zero delays) are picked up
-  // within the same call.
-  auto deliver_until = [&](double now) {
+  // within the same call. Non-OK only on the threaded path: a worker
+  // abort latched in the pool surfaces at the next epoch await.
+  auto deliver_until = [&](double now) -> Status {
     while (!st.events.empty() && st.events.top().time <= now) {
       const Event ev = st.events.top();
       st.events.pop();
@@ -1240,6 +1291,58 @@ Result<SimMetrics> RunSimulation(
       lane_busy[home_lane] = delays.Check();
       st.view[static_cast<size_t>(ev.item)] = ev.value;
       view_eval.Update(static_cast<VarId>(ev.item), ev.value);
+      if (threaded) {
+        // Pass 1: decide the stale-part set — exactly the reads the
+        // serial loop below makes, with no RNG draw and no emission —
+        // and dispatch each part's re-solve to its lane's worker
+        // (lane % workers). The set is stable across the two passes
+        // because a part's anchors and secondary DABs only move at its
+        // own install, and each part appears at most once per service.
+        // Workers read st.view / rates / the part concurrently; the
+        // event loop mutates none of them until the job's epoch is
+        // awaited in pass 2.
+        solve_jobs.clear();
+        next_solve_job = 0;
+        for (int qi : st.item_queries[static_cast<size_t>(ev.item)]) {
+          core::QueryPlan& plan = st.plans[static_cast<size_t>(qi)];
+          for (size_t pi = 0; pi < plan.parts.size(); ++pi) {
+            core::PlanPart& part = plan.parts[pi];
+            const int idx = part.dabs.IndexOf(static_cast<VarId>(ev.item));
+            if (idx < 0) continue;
+            if (part.dabs.never_stale) continue;
+            if (!recompute_every_refresh) {
+              const double anchor = st.anchors[static_cast<size_t>(qi)][pi]
+                                              [static_cast<size_t>(idx)];
+              const double drift = std::fabs(ev.value - anchor);
+              const double limit =
+                  part.dabs.secondary[static_cast<size_t>(idx)] *
+                  (1.0 + config.violation_tol);
+              if (drift <= limit) continue;
+            }
+            const int w = st.query_shard[static_cast<size_t>(qi)] %
+                          pool.workers();
+            core::PlannerConfig wcfg = planner_cfg;
+            wcfg.trace_time = ev.time;
+            wcfg.trace_thread = w;
+            solve_jobs.emplace_back();
+            SolveJob& job = solve_jobs.back();
+            job.worker = w;
+            const bool abort_job =
+                ++solve_jobs_dispatched == config.rt_fail_at;
+            core::PlanPart* jp = &part;
+            job.epoch = pool.Dispatch(
+                w,
+                [&job, jp, &view = st.view, &rates, wcfg, abort_job]() {
+                  if (abort_job) {
+                    return Status::Internal(
+                        "rt: injected worker abort (rt_fail_at)");
+                  }
+                  job.result = core::ReplanPart(*jp, view, rates, wcfg);
+                  return Status::OK();
+                });
+          }
+        }
+      }
       for (int qi : st.item_queries[static_cast<size_t>(ev.item)]) {
         const size_t lane = static_cast<size_t>(st.query_shard[
             static_cast<size_t>(qi)]);
@@ -1325,7 +1428,25 @@ Result<SimMetrics> RunSimulation(
             start_id = trace->Emit(e);
           }
           lane_busy[lane] += delays.RecomputeCpu();
-          auto fresh = core::ReplanPart(part, st.view, rates, planner_cfg);
+          Result<QueryDabs> fresh = Status::Internal("rt: unreached");
+          if (threaded) {
+            // Pass 2 consumes the dispatched solves in the exact serial
+            // order pass 1 produced them; the epoch await is the only
+            // synchronization a result needs before its install.
+            if (next_solve_job >= solve_jobs.size()) {
+              return Status::Internal(
+                  "rt: serial replay found a stale part pass 1 did not "
+                  "dispatch");
+            }
+            SolveJob& job = solve_jobs[next_solve_job++];
+            POLYDAB_RETURN_NOT_OK(pool.AwaitEpoch(job.worker, job.epoch));
+            fresh = std::move(job.result);
+            // The worker emitted the planner_replan event; the serial
+            // oracle emits it here, between start and end — the
+            // canonical re-sort (obs/trace_canon.h) restores that slot.
+          } else {
+            fresh = core::ReplanPart(part, st.view, rates, planner_cfg);
+          }
           uint64_t end_id = 0;
           if (trace != nullptr) {
             obs::TraceEvent e;
@@ -1357,6 +1478,11 @@ Result<SimMetrics> RunSimulation(
                            /*emit_item_barriers=*/true);
         }
       }
+      if (threaded && next_solve_job != solve_jobs.size()) {
+        return Status::Internal(
+            "rt: pass 1 dispatched solves the serial replay never "
+            "consumed");
+      }
       // End of service: the home lane ran from the arrival; a lane that
       // got work dispatched from here starts once it drains its own
       // earlier work. Lanes a barrier joined then advance together.
@@ -1383,6 +1509,7 @@ Result<SimMetrics> RunSimulation(
         }
       }
     }
+    return Status::OK();
   };
 
   // Per-tick activity snapshots for the rate histograms.
@@ -1403,7 +1530,7 @@ Result<SimMetrics> RunSimulation(
     const double now = static_cast<double>(tick);
 
     // 1. Deliver everything that arrived since the last tick.
-    deliver_until(now);
+    POLYDAB_RETURN_NOT_OK(deliver_until(now));
 
     // 1a. Injected coordinator-lane stalls: the lane's busy-until clock
     //     jumps forward, so queued refreshes defer behind the outage.
@@ -1440,6 +1567,13 @@ Result<SimMetrics> RunSimulation(
     // 2. Figure-7 mode: periodic joint AAO recomputation.
     if (aao_mode && tick >= aao_next_tick) {
       aao_next_tick += std::max(1, static_cast<int>(config.aao_period_s));
+      if (threaded) {
+        // Epoch barrier at the AAO global barrier: every lane's
+        // dispatched solves must have completed before the joint solve
+        // reads and rewrites all plans. (Each service already awaits its
+        // own jobs, so this quiesce is a cheap invariant, not a stall.)
+        POLYDAB_RETURN_NOT_OK(pool.Quiesce());
+      }
       if (trace != nullptr) trace->SetNow(now);
       auto joint = core::SolveAao(queries, st.view, rates,
                                   planner_cfg.dual,
@@ -1646,7 +1780,7 @@ Result<SimMetrics> RunSimulation(
     // 3b. Zero-delay messages generated this tick arrive "instantly":
     //     deliver them before sampling fidelity so that a zero-delay
     //     network preserves Condition 1 exactly.
-    deliver_until(now);
+    POLYDAB_RETURN_NOT_OK(deliver_until(now));
 
     // 3c. Source leases: an item whose source has been silent past
     //     lease_s plus the item's worst-case drift time (from its
@@ -1797,6 +1931,14 @@ Result<SimMetrics> RunSimulation(
 
   if (ticks_seen < 2) {
     return Status::InvalidArgument("trace too short");
+  }
+
+  if (threaded) {
+    // Shutdown barrier: every dispatched solve has been consumed by its
+    // service, so this reports only a latched failure, then parks and
+    // joins the workers before the final metrics are read.
+    POLYDAB_RETURN_NOT_OK(pool.Quiesce());
+    pool.Stop();
   }
 
   // Per-query fidelity loss over the query's own registration interval:

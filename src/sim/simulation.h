@@ -159,6 +159,35 @@ struct SimConfig {
   /// (see DESIGN.md, "Sharded coordinator").
   int coord_shards = 1;
   ShardPolicy shard_policy = ShardPolicy::kEqiComponents;
+  /// Real-thread lane runtime (src/rt/, docs/CONCURRENCY.md). 0 (the
+  /// default) is the single-threaded virtual-clock event loop,
+  /// byte-identical to every earlier build. With N >= 1 the run starts an
+  /// rt::LanePool of N `std::jthread` workers and executes the
+  /// deterministic per-part GP re-solves — the dominant cost of every
+  /// refresh service — on them: each service dispatches its stale parts
+  /// to the workers' lock-free SPSC rings (a part's worker is its lane
+  /// modulo N), then replays the service in exact oracle order, awaiting
+  /// each solve's epoch just before its install. Virtual time, RNG draws
+  /// and all protocol decisions stay on the event-loop thread, so
+  /// metrics, registry and the canonicalized trace
+  /// (obs/trace_canon.h) are byte-identical to the threads = 0 oracle
+  /// under the same seed — enforced by tests/threaded_diff_test.cc.
+  /// Incompatible with `series` (the recorder folds the raw emission
+  /// order). Excluded from Describe() so threaded and oracle run reports
+  /// stay comparable; the trace instead carries `rt_threads` /
+  /// `rt_queue_cap` info keys, stripped by canonicalization.
+  int threads = 0;
+  /// Per-worker SPSC job-ring capacity (rounded up to a power of two);
+  /// dispatch yield-spins while a ring is full. Only read when
+  /// threads > 0; must then be >= 1.
+  int rt_queue_cap = 256;
+  /// Fault hook for the worker-abort path (tools/partial_metrics.cmake):
+  /// the k-th dispatched solve job (1-based, in dispatch order) fails
+  /// with an internal error inside the worker, which latches the pool
+  /// failure and aborts the run through the normal status=failed partial
+  /// metrics machinery. 0 (the default) = never. Only read when
+  /// threads > 0.
+  int64_t rt_fail_at = 0;
   /// Evaluate fidelity every N ticks (1 = every second).
   int fidelity_stride = 1;
   /// Relative slack when testing secondary-range violations, guarding

@@ -13,6 +13,7 @@
 
 #include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "obs/trace.h"
 
 namespace polydab::obs {
 namespace {
@@ -373,6 +374,74 @@ TEST(RegistryTest, EntriesStayNameOrderedUnderAnyRegistrationOrder) {
     for (size_t i = 1; i < entries.size(); ++i) {
       EXPECT_LT(entries[i - 1].name, entries[i].name) << "trial=" << trial;
     }
+  }
+}
+
+TEST(TraceSinkTest, ConcurrentEmitsKeepIdOrder) {
+  // Regression (real-thread lane runtime, docs/CONCURRENCY.md): Emit
+  // used to draw the event id from the atomic counter *outside* the
+  // buffer lock, so two racing emitters could append their events in the
+  // opposite order of their ids — a buffer whose id sequence is not
+  // monotone, which broke the canonical re-sort pass's id-order
+  // assumptions. Ids must be assigned inside the critical section:
+  // buffer order == id order == 1..N, whatever the thread interleaving.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  TraceSink sink;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceEvent e;
+        e.time = static_cast<double>(i);
+        e.kind = TraceEventKind::kRefreshEmitted;
+        e.query = t;
+        sink.Emit(e);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const TraceFile trace = sink.Collect();
+  ASSERT_EQ(trace.events.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    ASSERT_EQ(trace.events[i].id, i + 1) << "buffer position " << i;
+  }
+}
+
+TEST(TraceSinkTest, ConcurrentStreamedEmitsKeepFileIdOrder) {
+  // The streaming flavor of the regression above: with StreamTo active,
+  // Emit renders and appends the JSONL line while still holding the
+  // lock, so the flushed file must replay with the same monotone id
+  // sequence a captured buffer has.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  const std::string path =
+      ::testing::TempDir() + "/concurrent_stream_trace.jsonl";
+  {
+    TraceSink sink;
+    ASSERT_TRUE(sink.StreamTo(path).ok());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&sink, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          TraceEvent e;
+          e.time = static_cast<double>(i);
+          e.kind = TraceEventKind::kRefreshEmitted;
+          e.query = t;
+          sink.Emit(e);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_TRUE(sink.Finish().ok());
+  }
+  Result<TraceFile> loaded = LoadTraceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->events.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  for (size_t i = 0; i < loaded->events.size(); ++i) {
+    ASSERT_EQ(loaded->events[i].id, i + 1) << "file position " << i;
   }
 }
 

@@ -50,6 +50,13 @@ set(bad_cases
   "slo missing threshold\;series-out=s.jsonl\;slo=sim.coordinator.refreshes >"
   "zero slo for-count\;series-out=s.jsonl\;slo=sim.coordinator.refreshes > 5 for 0"
   "series with sharded coordinator\;series-out=s.jsonl\;coord-shards=2"
+  "negative threads\;threads=-1"
+  "non-numeric threads\;threads=two"
+  "rt-queue-cap without threads\;rt-queue-cap=64"
+  "zero rt-queue-cap\;threads=2\;rt-queue-cap=0"
+  "rt-fail-at without threads\;rt-fail-at=3"
+  "negative rt-fail-at\;threads=2\;rt-fail-at=-1"
+  "series with threaded runtime\;series-out=s.jsonl\;threads=2"
 )
 
 foreach(case IN LISTS bad_cases)
@@ -80,6 +87,19 @@ if(NOT status EQUAL 0)
   message(FATAL_ERROR "valid invocation failed (exit ${status}):\n${out}${err}")
 endif()
 message(STATUS "valid invocation accepted (exit 0)")
+
+# A threaded invocation exercising every rt knob end to end (the
+# rt-fail-at=0 spelling is the documented "never" value).
+execute_process(COMMAND ${EXPERIMENT} queries=2 items=4 ticks=80
+                threads=2 rt-queue-cap=8 rt-fail-at=0
+                coord-shards=2 shard-policy=hash
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR
+    "threaded invocation failed (exit ${status}):\n${out}${err}")
+endif()
+message(STATUS "threaded invocation accepted (exit 0)")
 
 # And a chaos invocation exercising every fault knob end to end.
 execute_process(COMMAND ${EXPERIMENT} queries=2 items=4 ticks=80

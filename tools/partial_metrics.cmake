@@ -33,3 +33,32 @@ if(NOT contents MATCHES "\"key\":\"error\"")
   message(FATAL_ERROR "partial report lacks the error record:\n${contents}")
 endif()
 message(STATUS "failed run wrote a partial report with status=failed")
+
+# Same contract when a worker of the real-thread lane runtime aborts
+# mid-run: rt-fail-at=1 injects a failure into the first dispatched solve
+# job, the pool latches it, the dispatcher aborts the run, and the partial
+# report must carry status=failed plus the injected error text.
+set(rt_report ${SCRATCH}/partial_metrics_rt.jsonl)
+file(REMOVE ${rt_report})
+execute_process(COMMAND ${EXPERIMENT} queries=4 items=10 ticks=100
+                method=optimal threads=2 rt-fail-at=1
+                metrics-out=${rt_report}
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 1)
+  message(FATAL_ERROR
+    "want exit 1 from a worker abort, got ${status}\n${out}${err}")
+endif()
+if(NOT EXISTS ${rt_report})
+  message(FATAL_ERROR "aborted threaded run did not write the report")
+endif()
+file(READ ${rt_report} contents)
+if(NOT contents MATCHES "\"key\":\"status\",\"value\":\"failed\"")
+  message(FATAL_ERROR
+    "threaded partial report lacks status=failed:\n${contents}")
+endif()
+if(NOT contents MATCHES "injected worker abort")
+  message(FATAL_ERROR
+    "threaded partial report lacks the injected error:\n${contents}")
+endif()
+message(STATUS "worker abort wrote a partial report with status=failed")

@@ -28,6 +28,19 @@
 //                    coordinator (1)
 //   shard-policy=eqi|hash   query partition: EQI component grouping or
 //                    plain query-id hashing (eqi)
+//   threads=N        real-thread lane runtime (src/rt/,
+//                    docs/CONCURRENCY.md): N >= 1 executes the per-part
+//                    GP re-solves on an N-worker std::jthread pool, with
+//                    metrics and the canonicalized trace byte-identical
+//                    to the threads=0 virtual-clock engine under the
+//                    same seed. 0 = the single-threaded engine,
+//                    byte-identical to earlier builds. Incompatible with
+//                    series-out (0)
+//   rt-queue-cap=N   per-worker SPSC job-ring capacity, >= 1; requires
+//                    threads > 0 (256)
+//   rt-fail-at=K     test hook: abort the K-th dispatched solve job
+//                    inside its worker (1-based), exercising the pool's
+//                    failure path; requires threads > 0; 0 = never (0)
 //   seed=N           RNG seed (1)
 //   csv=0|1          print a CSV row instead of key=value (0)
 //   metrics-out=FILE write a JSON-lines telemetry run report (src/obs/)
@@ -116,6 +129,7 @@
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/trace_canon.h"
 #include "obs/trace_fold.h"
 #include "sim/simulation.h"
 #include "svc/query_service.h"
@@ -145,7 +159,9 @@ const std::set<std::string>& KnownKeys() {
       "heuristic",    "ddm",          "mu",         "rates",
       "items",        "ticks",        "traces",     "delay_ms",
       "recompute_ms", "aao_period",   "coord_shards",
-      "shard_policy", "seed",         "csv",        "metrics_out",
+      "shard_policy", "threads",      "rt_queue_cap",
+      "rt_fail_at",
+      "seed",         "csv",        "metrics_out",
       "trace_out",    "flame_out",    "flame_group_by",
       "fault_drop",   "fault_crash",  "lease_s",    "retx_timeout_s",
       "churn_rate",   "churn_lifetime_s",           "churn_zipf",
@@ -252,6 +268,27 @@ int main(int argc, char** argv) {
   const std::string shard_policy = Get(args, "shard_policy", "eqi");
   if (shard_policy != "eqi" && shard_policy != "hash") {
     Die("unknown shard-policy '" + shard_policy + "' (want eqi|hash)");
+  }
+  // Real-thread runtime knobs (src/rt/, docs/CONCURRENCY.md). The
+  // rt- keys only mean anything on a threaded run, so naming them with
+  // threads=0 is treated as the typo it probably is.
+  const int threads = GetInt(args, "threads", 0);
+  if (threads < 0) {
+    Die("threads must be >= 0, got " + std::to_string(threads));
+  }
+  const int rt_queue_cap = GetInt(args, "rt_queue_cap", 256);
+  if (args.count("rt_queue_cap") != 0 && threads == 0) {
+    Die("rt-queue-cap requires threads > 0");
+  }
+  if (rt_queue_cap < 1) {
+    Die("rt-queue-cap must be >= 1, got " + std::to_string(rt_queue_cap));
+  }
+  const int rt_fail_at = GetInt(args, "rt_fail_at", 0);
+  if (args.count("rt_fail_at") != 0 && threads == 0) {
+    Die("rt-fail-at requires threads > 0");
+  }
+  if (rt_fail_at < 0) {
+    Die("rt-fail-at must be >= 0, got " + std::to_string(rt_fail_at));
   }
   obs::FoldGroupBy flame_group_by = obs::FoldGroupBy::kQuery;
   if (!obs::ParseFoldGroupBy(Get(args, "flame_group_by", "query"),
@@ -363,6 +400,9 @@ int main(int argc, char** argv) {
   }
   if (!series_out.empty() && coord_shards != 1) {
     Die("series-out is single-coordinator only (coord-shards=1)");
+  }
+  if (!series_out.empty() && threads > 0) {
+    Die("series-out requires the single-threaded engine (threads=0)");
   }
   std::vector<obs::SloRule> slo_rules;
   const std::string slo_text = Get(args, "slo", "");
@@ -487,6 +527,9 @@ int main(int argc, char** argv) {
   config.fault.crash_prob = fault_crash;
   config.fault.retx_timeout_s = retx_timeout_s;
   config.fault.lease_s = lease_s;
+  config.threads = threads;
+  config.rt_queue_cap = rt_queue_cap;
+  config.rt_fail_at = rt_fail_at;
 
   // Telemetry: attach a registry when a report was requested, so the run
   // records solver/planner/simulator instruments (docs/OBSERVABILITY.md).
@@ -552,7 +595,11 @@ int main(int argc, char** argv) {
   const std::string trace_out = Get(args, "trace_out", "");
   const std::string flame_out = Get(args, "flame_out", "");
   obs::TraceSink sink;
-  if (!trace_out.empty()) {
+  // A threaded run's raw emission order interleaves worker-tagged events,
+  // so its trace is captured in memory and canonicalized
+  // (obs/trace_canon.h) before anything reaches disk; streaming is the
+  // threads=0 path only.
+  if (!trace_out.empty() && threads == 0) {
     Status streaming = sink.StreamTo(trace_out);
     if (!streaming.ok()) {
       std::fprintf(stderr, "trace-out: %s\n", streaming.ToString().c_str());
@@ -592,16 +639,33 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_out.empty()) {
-    Status finished = sink.Finish();
-    if (!finished.ok()) {
-      std::fprintf(stderr, "trace-out: %s\n", finished.ToString().c_str());
-      return 1;
+    if (threads > 0) {
+      obs::TraceFile trace = sink.Collect();
+      Status canon = obs::CanonicalizeThreadedTrace(&trace);
+      if (!canon.ok()) {
+        std::fprintf(stderr, "trace-out: %s\n", canon.ToString().c_str());
+        return 1;
+      }
+      Status saved = obs::SaveTraceFile(trace, trace_out);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "trace-out: %s\n", saved.ToString().c_str());
+        return 1;
+      }
+    } else {
+      Status finished = sink.Finish();
+      if (!finished.ok()) {
+        std::fprintf(stderr, "trace-out: %s\n",
+                     finished.ToString().c_str());
+        return 1;
+      }
     }
   }
 
   if (!flame_out.empty()) {
     obs::TraceFile trace;
     if (!trace_out.empty()) {
+      // With threads > 0 this re-reads the canonical file written above,
+      // so the folding never sees worker tags.
       Result<obs::TraceFile> loaded = obs::LoadTraceFile(trace_out);
       if (!loaded.ok()) {
         std::fprintf(stderr, "flame-out: %s\n",
@@ -611,6 +675,13 @@ int main(int argc, char** argv) {
       trace = std::move(loaded).value();
     } else {
       trace = sink.Collect();
+      if (threads > 0) {
+        Status canon = obs::CanonicalizeThreadedTrace(&trace);
+        if (!canon.ok()) {
+          std::fprintf(stderr, "flame-out: %s\n", canon.ToString().c_str());
+          return 1;
+        }
+      }
     }
     obs::TraceFoldOptions fold_options;
     fold_options.group_by = flame_group_by;
