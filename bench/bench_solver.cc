@@ -12,6 +12,7 @@
 #include "core/dual_dab.h"
 #include "core/multi_query.h"
 #include "core/optimal_refresh.h"
+#include "gp/solve_engine.h"
 
 namespace polydab::bench {
 namespace {
@@ -107,6 +108,66 @@ void BM_DualDabPpqWarmInstrumented(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DualDabPpqWarmInstrumented)->Unit(benchmark::kMillisecond);
+
+void BM_DualDabPpqEngineMiss(benchmark::State& state) {
+  // The warm re-solve routed through the solve engine with the memo off:
+  // the delta against BM_DualDabPpqWarm is the whole cost of the engine
+  // detour (signature hash + pooled-skeleton acquire) on a miss.
+  Setup s = MakeSetup(1);
+  gp::SolveEngine::Options eopt;
+  gp::SolveEngine engine(eopt);
+  core::DualDabParams params;
+  params.mu = core::kDefaultMu;
+  params.solver.engine = &engine;
+  auto prev = core::SolveDualDab(s.queries[0], s.values, s.rates, params);
+  if (!prev.ok()) {
+    state.SkipWithError("setup solve failed");
+    return;
+  }
+  Vector moved = s.values;
+  for (double& v : moved) v *= 1.002;
+  for (auto _ : state) {
+    auto d = core::SolveDualDab(s.queries[0], moved, s.rates, params,
+                                &*prev);
+    if (!d.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DualDabPpqEngineMiss)->Unit(benchmark::kMillisecond);
+
+void BM_DualDabPpqEngineHit(benchmark::State& state) {
+  // The same re-solve when the memo already holds it — what an
+  // EQI-equivalent query across users costs: digest + bitwise verify +
+  // instrument replay instead of a barrier solve.
+  Setup s = MakeSetup(1);
+  gp::SolveEngine::Options eopt;
+  eopt.cache_entries = 64;
+  gp::SolveEngine engine(eopt);
+  core::DualDabParams params;
+  params.mu = core::kDefaultMu;
+  params.solver.engine = &engine;
+  auto prev = core::SolveDualDab(s.queries[0], s.values, s.rates, params);
+  if (!prev.ok()) {
+    state.SkipWithError("setup solve failed");
+    return;
+  }
+  Vector moved = s.values;
+  for (double& v : moved) v *= 1.002;
+  // Prime the memo so every timed iteration is a hit.
+  if (!core::SolveDualDab(s.queries[0], moved, s.rates, params, &*prev)
+           .ok()) {
+    state.SkipWithError("priming solve failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto d = core::SolveDualDab(s.queries[0], moved, s.rates, params,
+                                &*prev);
+    if (!d.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(d);
+  }
+  if (engine.cache_hits() == 0) state.SkipWithError("memo never hit");
+}
+BENCHMARK(BM_DualDabPpqEngineHit)->Unit(benchmark::kMillisecond);
 
 void BM_AaoTenPpqs(benchmark::State& state) {
   Setup s = MakeSetup(10);

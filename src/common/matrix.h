@@ -36,6 +36,16 @@ class Matrix {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 
+  /// Reshape to rows x cols with every entry reset to zero. Reuses the
+  /// existing allocation when capacity suffices, which lets the GP
+  /// solver's workspace (gp/solver_internal.h) rebuild its Newton system
+  /// every iteration without touching the heap.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
   double& operator()(size_t r, size_t c) {
     POLYDAB_DCHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];

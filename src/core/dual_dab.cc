@@ -2,14 +2,16 @@
 
 namespace polydab::core {
 
-Result<QueryDabs> SolveDualDab(const PolynomialQuery& query,
-                               const Vector& values, const Vector& rates,
-                               const DualDabParams& params,
-                               const QueryDabs* warm) {
+Result<DualDabProgram> BuildDualDabProgram(const PolynomialQuery& query,
+                                           const Vector& values,
+                                           const Vector& rates,
+                                           const DualDabParams& params,
+                                           const QueryDabs* warm) {
   if (params.mu <= 0.0) {
     return Status::InvalidArgument("mu must be positive");
   }
-  GpVarMap map;
+  DualDabProgram prog;
+  GpVarMap& map = prog.map;
   map.vars = query.p.Variables();
   map.has_secondary = true;
   const size_t k = map.vars.size();
@@ -18,7 +20,7 @@ Result<QueryDabs> SolveDualDab(const PolynomialQuery& query,
   }
   const int r_index = static_cast<int>(2 * k);  // R after b's and c's
 
-  gp::GpProblem gp_problem;
+  gp::GpProblem& gp_problem = prog.gp;
   gp_problem.num_vars = static_cast<int>(2 * k + 1);
 
   // Objective: refresh stream + mu * recompute stream.
@@ -56,22 +58,25 @@ Result<QueryDabs> SolveDualDab(const PolynomialQuery& query,
     gp_problem.constraints.push_back(std::move(rec));
   }
 
-  Vector warm_x;
-  const Vector* warm_ptr = nullptr;
   if (warm != nullptr && warm->vars == map.vars &&
       warm->recompute_rate > 0.0) {
-    warm_x.reserve(2 * k + 1);
-    warm_x.insert(warm_x.end(), warm->primary.begin(), warm->primary.end());
-    warm_x.insert(warm_x.end(), warm->secondary.begin(),
-                  warm->secondary.end());
-    warm_x.push_back(warm->recompute_rate);
-    warm_ptr = &warm_x;
+    prog.warm_x.reserve(2 * k + 1);
+    prog.warm_x.insert(prog.warm_x.end(), warm->primary.begin(),
+                       warm->primary.end());
+    prog.warm_x.insert(prog.warm_x.end(), warm->secondary.begin(),
+                       warm->secondary.end());
+    prog.warm_x.push_back(warm->recompute_rate);
+    prog.has_warm = true;
   }
-  POLYDAB_ASSIGN_OR_RETURN(gp::GpSolution sol,
-                           SolveGp(gp_problem, params.solver, warm_ptr));
+  return prog;
+}
 
+QueryDabs ExtractDualDab(const DualDabProgram& prog,
+                         const gp::GpSolution& sol) {
+  const size_t k = prog.map.vars.size();
+  const int r_index = static_cast<int>(2 * k);
   QueryDabs out;
-  out.vars = map.vars;
+  out.vars = prog.map.vars;
   out.primary.assign(sol.x.begin(), sol.x.begin() + static_cast<long>(k));
   out.secondary.assign(sol.x.begin() + static_cast<long>(k),
                        sol.x.begin() + static_cast<long>(2 * k));
@@ -84,6 +89,20 @@ Result<QueryDabs> SolveDualDab(const PolynomialQuery& query,
     }
   }
   return out;
+}
+
+Result<QueryDabs> SolveDualDab(const PolynomialQuery& query,
+                               const Vector& values, const Vector& rates,
+                               const DualDabParams& params,
+                               const QueryDabs* warm) {
+  POLYDAB_ASSIGN_OR_RETURN(
+      DualDabProgram prog,
+      BuildDualDabProgram(query, values, rates, params, warm));
+  POLYDAB_ASSIGN_OR_RETURN(
+      gp::GpSolution sol,
+      SolveGp(prog.gp, params.solver,
+              prog.has_warm ? &prog.warm_x : nullptr));
+  return ExtractDualDab(prog, sol);
 }
 
 }  // namespace polydab::core

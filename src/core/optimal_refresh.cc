@@ -2,13 +2,12 @@
 
 namespace polydab::core {
 
-Result<QueryDabs> SolveOptimalRefresh(const PolynomialQuery& query,
-                                      const Vector& values,
-                                      const Vector& rates,
-                                      DataDynamicsModel ddm,
-                                      const gp::SolverOptions& options,
-                                      const QueryDabs* warm) {
-  GpVarMap map;
+Result<OptimalRefreshProgram> BuildOptimalRefreshProgram(
+    const PolynomialQuery& query, const Vector& values, const Vector& rates,
+    DataDynamicsModel ddm, const QueryDabs* warm) {
+  OptimalRefreshProgram prog;
+  prog.ddm = ddm;
+  GpVarMap& map = prog.map;
   map.vars = query.p.Variables();
   map.has_secondary = false;
   const size_t k = map.vars.size();
@@ -16,7 +15,7 @@ Result<QueryDabs> SolveOptimalRefresh(const PolynomialQuery& query,
     return Status::InvalidArgument("query has no variables");
   }
 
-  gp::GpProblem gp_problem;
+  gp::GpProblem& gp_problem = prog.gp;
   gp_problem.num_vars = static_cast<int>(k);
   for (size_t i = 0; i < k; ++i) {
     AddRateTerm(ddm, rates[static_cast<size_t>(map.vars[i])],
@@ -27,17 +26,19 @@ Result<QueryDabs> SolveOptimalRefresh(const PolynomialQuery& query,
       SingleDabCondition(query.p, values, query.qab, map));
   gp_problem.constraints.push_back(std::move(cond));
 
-  Vector warm_x;
-  const Vector* warm_ptr = nullptr;
   if (warm != nullptr && warm->vars == map.vars) {
-    warm_x = warm->primary;
-    warm_ptr = &warm_x;
+    prog.warm_x = warm->primary;
+    prog.has_warm = true;
   }
-  POLYDAB_ASSIGN_OR_RETURN(gp::GpSolution sol,
-                           SolveGp(gp_problem, options, warm_ptr));
+  return prog;
+}
 
+QueryDabs ExtractOptimalRefresh(const OptimalRefreshProgram& prog,
+                                const Vector& rates,
+                                const gp::GpSolution& sol) {
+  const size_t k = prog.map.vars.size();
   QueryDabs out;
-  out.vars = map.vars;
+  out.vars = prog.map.vars;
   out.primary = sol.x;
   out.secondary = sol.x;  // mirrors primary; see single_dab below
   out.single_dab = true;
@@ -45,11 +46,26 @@ Result<QueryDabs> SolveOptimalRefresh(const PolynomialQuery& query,
   // is the total refresh rate.
   double total = 0.0;
   for (size_t i = 0; i < k; ++i) {
-    total += MessageRate(ddm, rates[static_cast<size_t>(map.vars[i])],
+    total += MessageRate(prog.ddm, rates[static_cast<size_t>(prog.map.vars[i])],
                          sol.x[i]);
   }
   out.recompute_rate = total;
   return out;
+}
+
+Result<QueryDabs> SolveOptimalRefresh(const PolynomialQuery& query,
+                                      const Vector& values,
+                                      const Vector& rates,
+                                      DataDynamicsModel ddm,
+                                      const gp::SolverOptions& options,
+                                      const QueryDabs* warm) {
+  POLYDAB_ASSIGN_OR_RETURN(
+      OptimalRefreshProgram prog,
+      BuildOptimalRefreshProgram(query, values, rates, ddm, warm));
+  POLYDAB_ASSIGN_OR_RETURN(
+      gp::GpSolution sol,
+      SolveGp(prog.gp, options, prog.has_warm ? &prog.warm_x : nullptr));
+  return ExtractOptimalRefresh(prog, rates, sol);
 }
 
 }  // namespace polydab::core

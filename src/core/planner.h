@@ -115,6 +115,25 @@ Result<QueryDabs> ReplanPart(const PlanPart& part, const Vector& values,
                              const Vector& rates,
                              const PlannerConfig& config);
 
+/// \brief Re-solve many stale parts through one batched engine call
+/// (gp/solve_engine.h, docs/SOLVER.md). Results come back in input order
+/// and each is bit-identical to what `ReplanPart` on that part alone
+/// would return: the GP programs are assembled by the same Build step the
+/// per-part solvers use, the engine only groups/memoizes bitwise-equal
+/// work, and closed-form parts (LAQs, WS-DAB) solve inline. The
+/// `core.planner.*` and `gp.solver.*` instrument totals on
+/// `config.registry` also match N individual calls (replan_seconds gets
+/// one sample per part, each an equal share of the batch wall time).
+///
+/// Unlike `ReplanPart`, this does NOT emit planner_replan trace events:
+/// the caller interleaves each part's replan between its own
+/// recompute_start/end, so it re-emits the events at those exact slots
+/// (src/sim/simulation.cc's batched service pass).
+std::vector<Result<QueryDabs>> ReplanParts(
+    const std::vector<const PlanPart*>& parts, const Vector& values,
+    const Vector& rates, const PlannerConfig& config,
+    gp::SolveEngine* engine);
+
 /// Staleness-aware bound widening (the robustness protocol's graceful
 /// degradation, docs/ROBUSTNESS.md): when an item's source lease expires,
 /// the coordinator can keep serving the query under a widened bound only

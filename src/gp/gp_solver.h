@@ -20,6 +20,8 @@
 
 namespace polydab::gp {
 
+class SolveEngine;
+
 /// Tunables for the barrier method. Defaults solve every program in this
 /// codebase to ~1e-7 relative accuracy in well under a millisecond per
 /// hundred variables.
@@ -37,6 +39,15 @@ struct SolverOptions {
   /// outcome. Null (the default) costs one branch per solve and nothing
   /// else. Not owned; must outlive the solve.
   obs::MetricRegistry* registry = nullptr;
+  /// Optional batched/memoizing solve server (gp/solve_engine.h,
+  /// docs/SOLVER.md). When set, `SolveGp` routes through it: results are
+  /// bit-identical to the direct path by construction (the engine only
+  /// returns memoized solutions for bitwise-equal inputs and otherwise
+  /// runs this same solver in a pooled workspace), and the engine replays
+  /// the `gp.solver.*` instruments on cache hits so telemetry totals
+  /// match an engine-less run exactly. Null (the default) costs one
+  /// branch per solve. Not owned; must outlive the solve.
+  SolveEngine* engine = nullptr;
 };
 
 /// Result of a successful solve.

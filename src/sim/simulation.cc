@@ -13,6 +13,7 @@
 
 #include "common/hash.h"
 #include "core/multi_query.h"
+#include "gp/solve_engine.h"
 #include "core/query_index.h"
 #include "core/validator.h"
 #include "obs/json_util.h"
@@ -303,6 +304,18 @@ Result<SimMetrics> RunSimulation(
   if (config.threads > 0 && config.rt_fail_at < 0) {
     return Status::InvalidArgument("rt_fail_at must be >= 0");
   }
+  if (config.solve_batch < 0) {
+    return Status::InvalidArgument("solve_batch must be >= 0");
+  }
+  if (config.solve_cache < 0) {
+    return Status::InvalidArgument("solve_cache must be >= 0");
+  }
+  if (config.solve_batch > 0 && config.threads > 0) {
+    // The real-thread runtime already runs its own two-pass dispatch; a
+    // second batching pass would fight it over the stale-set replay.
+    return Status::InvalidArgument(
+        "solve_batch requires the single-threaded engine (threads=0)");
+  }
   // A malformed delay or fault config would otherwise surface as a NaN
   // epidemic or a hard CHECK abort deep inside a run; reject it up front
   // with a diagnostic naming the field.
@@ -383,6 +396,21 @@ Result<SimMetrics> RunSimulation(
     planner_cfg.dual.solver.registry = planner_cfg.registry;
   }
 
+  // Batched/memoizing solve server (gp/solve_engine.h, docs/SOLVER.md).
+  // Attached through SolverOptions::engine, so every GP solve in the run
+  // — per-part replans, plan-time solves, AAO joint solves, rt workers —
+  // routes through the one shared engine; every result is bit-identical
+  // to the direct path by construction. Declared before the lane pool so
+  // it outlives the workers that hold a pointer to it.
+  const bool engine_on = config.solve_batch > 0 || config.solve_cache > 0;
+  gp::SolveEngine::Options engine_opt;
+  engine_opt.cache_entries = config.solve_cache;
+  engine_opt.registry = config.registry;
+  gp::SolveEngine solve_engine(engine_opt);
+  if (engine_on && planner_cfg.dual.solver.engine == nullptr) {
+    planner_cfg.dual.solver.engine = &solve_engine;
+  }
+
   // Causal event trace (obs/trace.h): propagated into the planner like
   // the registry. Every emission site below is one branch when off.
   obs::TraceSink* const trace = config.trace;
@@ -449,6 +477,13 @@ Result<SimMetrics> RunSimulation(
   size_t next_solve_job = 0;
   int64_t solve_jobs_dispatched = 0;
   const bool threaded = config.threads > 0;
+  // Batched serial engine (solve_batch > 0): pass 1 collects the stale
+  // parts and re-solves them through core::ReplanParts; pass 2 is the
+  // unchanged serial loop consuming `batch_results` in oracle order.
+  const bool batched = config.solve_batch > 0;
+  std::vector<const core::PlanPart*> batch_parts;
+  std::vector<Result<QueryDabs>> batch_results;
+  size_t next_batch_result = 0;
   rt::LanePool pool;
   if (threaded) {
     rt::LanePool::Options rt_opt;
@@ -1343,6 +1378,53 @@ Result<SimMetrics> RunSimulation(
           }
         }
       }
+      if (batched) {
+        // Pass 1 (batched serial engine): decide the stale-part set with
+        // exactly the reads the serial loop below makes — the set is
+        // stable across the two passes for the same reason as the
+        // threaded pass 1 above — and re-solve it through the engine in
+        // chunks of at most config.solve_batch programs. Results are
+        // bit-identical to per-part ReplanPart calls (core::ReplanParts),
+        // and solve inputs cannot change between the passes: installs
+        // only mutate a part's own dabs/anchors, and each part appears at
+        // most once per service.
+        batch_parts.clear();
+        batch_results.clear();
+        next_batch_result = 0;
+        for (int qi : st.item_queries[static_cast<size_t>(ev.item)]) {
+          core::QueryPlan& plan = st.plans[static_cast<size_t>(qi)];
+          for (size_t pi = 0; pi < plan.parts.size(); ++pi) {
+            core::PlanPart& part = plan.parts[pi];
+            const int idx = part.dabs.IndexOf(static_cast<VarId>(ev.item));
+            if (idx < 0) continue;
+            if (part.dabs.never_stale) continue;
+            if (!recompute_every_refresh) {
+              const double anchor = st.anchors[static_cast<size_t>(qi)][pi]
+                                              [static_cast<size_t>(idx)];
+              const double drift = std::fabs(ev.value - anchor);
+              const double limit =
+                  part.dabs.secondary[static_cast<size_t>(idx)] *
+                  (1.0 + config.violation_tol);
+              if (drift <= limit) continue;
+            }
+            batch_parts.push_back(&part);
+          }
+        }
+        for (size_t off = 0; off < batch_parts.size();
+             off += static_cast<size_t>(config.solve_batch)) {
+          const size_t len =
+              std::min(batch_parts.size() - off,
+                       static_cast<size_t>(config.solve_batch));
+          std::vector<const core::PlanPart*> chunk(
+              batch_parts.begin() + static_cast<long>(off),
+              batch_parts.begin() + static_cast<long>(off + len));
+          std::vector<Result<QueryDabs>> chunk_results = core::ReplanParts(
+              chunk, st.view, rates, planner_cfg, &solve_engine);
+          for (Result<QueryDabs>& r : chunk_results) {
+            batch_results.push_back(std::move(r));
+          }
+        }
+      }
       for (int qi : st.item_queries[static_cast<size_t>(ev.item)]) {
         const size_t lane = static_cast<size_t>(st.query_shard[
             static_cast<size_t>(qi)]);
@@ -1444,6 +1526,27 @@ Result<SimMetrics> RunSimulation(
             // The worker emitted the planner_replan event; the serial
             // oracle emits it here, between start and end — the
             // canonical re-sort (obs/trace_canon.h) restores that slot.
+          } else if (batched) {
+            // The batched pass already solved this part; consume in the
+            // exact order pass 1 produced, and emit the planner_replan
+            // event at the serial oracle's slot — core::ReplanParts
+            // emits none, precisely so this site can place it between
+            // recompute_start and recompute_end.
+            if (next_batch_result >= batch_results.size()) {
+              return Status::Internal(
+                  "solve_batch: serial replay found a stale part pass 1 "
+                  "did not solve");
+            }
+            fresh = std::move(batch_results[next_batch_result++]);
+            if (trace != nullptr) {
+              obs::TraceEvent e;
+              e.time = trace->now();
+              e.kind = obs::TraceEventKind::kPlannerReplan;
+              e.node = tnode;
+              e.query = part.subquery.id;
+              e.flag = fresh.ok() ? 1 : 0;
+              trace->Emit(e);
+            }
           } else {
             fresh = core::ReplanPart(part, st.view, rates, planner_cfg);
           }
@@ -1481,6 +1584,11 @@ Result<SimMetrics> RunSimulation(
       if (threaded && next_solve_job != solve_jobs.size()) {
         return Status::Internal(
             "rt: pass 1 dispatched solves the serial replay never "
+            "consumed");
+      }
+      if (batched && next_batch_result != batch_results.size()) {
+        return Status::Internal(
+            "solve_batch: pass 1 solved parts the serial replay never "
             "consumed");
       }
       // End of service: the home lane ran from the arrival; a lane that

@@ -188,6 +188,26 @@ struct SimConfig {
   /// metrics machinery. 0 (the default) = never. Only read when
   /// threads > 0.
   int64_t rt_fail_at = 0;
+  /// Batched GP solving for the serial engine (gp/solve_engine.h,
+  /// docs/SOLVER.md): when > 0, each refresh service decides its stale-
+  /// part set in a read-only first pass and re-solves it through
+  /// `gp::SolveEngine::SolveBatch` in chunks of at most this many
+  /// programs, sharing per-shape skeletons, workspaces and cached term
+  /// logarithms across the chunk. Metrics, registry totals and the trace
+  /// are byte-identical to the unbatched oracle
+  /// (tests/solve_engine_diff_test.cc). Requires threads == 0 — the
+  /// real-thread runtime has its own two-pass dispatch. Excluded from
+  /// Describe() like `threads`, so batched and oracle run reports stay
+  /// comparable.
+  int solve_batch = 0;
+  /// Capacity, in entries, of the solve engine's exact-match LRU memo;
+  /// 0 (the default) disables it. A hit replays a memoized solution and
+  /// its gp.solver.* instrument stats, bit-identical to re-running the
+  /// deterministic solver on the same input bits (identical programs are
+  /// common: EQI-equivalent queries produce bitwise-equal GPs). Valid
+  /// with both the serial and the threads > 0 engines. Excluded from
+  /// Describe() like `threads`.
+  int solve_cache = 0;
   /// Evaluate fidelity every N ticks (1 = every second).
   int fidelity_stride = 1;
   /// Relative slack when testing secondary-range violations, guarding

@@ -106,10 +106,13 @@ const Golden kGolden[] = {
      886, 4195, 4766, 444, 0, 0.50100200400801609},
     {"wsdab_s11", core::AssignmentMethod::kWsDab, 1.0, 0.0, 11,
      886, 4189, 4757, 441, 0, 0.4208416833667335},
-    // The 69 solver failures are pinned behaviour: some periodic joint
-    // solves fail on this workload and the stale plans are kept.
+    // This workload's periodic joint solves used to fail 69 times (the
+    // stale plans were kept); the solver-robustness sweep of
+    // docs/SOLVER.md — budget-free clamped travel, Levenberg-damped stage
+    // retry, cold restart after a failed warm descent — converges all of
+    // them, which shifts every downstream count. Re-pinned accordingly.
     {"aao120_s3", core::AssignmentMethod::kDualDab, 5.0, kAao, 3,
-     748, 125, 61, 443, 69, 0.62124248496993995},
+     760, 64, 70, 442, 0, 0.6412825651302605},
 };
 
 void ExpectMetricsEqual(const SimMetrics& got, const SimMetrics& want,

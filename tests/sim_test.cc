@@ -191,6 +191,23 @@ TEST_F(SimTest, RegistryCountersMatchSimMetricsExactly) {
   EXPECT_GT(registry.GetCounter("core.planner.plans")->value(), 0);
   EXPECT_GT(registry.GetCounter("gp.solver.solves")->value(), 0);
   EXPECT_GT(registry.GetHistogram("gp.solver.solve_seconds")->count(), 0);
+  // Solver-counter exactness (docs/SOLVER.md): every solve of a
+  // constrained program either trusted its warm point or went through
+  // phase I — never both, never neither. A cold restart resets the
+  // per-attempt stats, so a warm descent that failed and re-ran through
+  // phase I reports as exactly one phase-I solve; double counting here
+  // was the historical over-report bug.
+  const int64_t solves = registry.GetCounter("gp.solver.solves")->value();
+  EXPECT_EQ(registry.GetCounter("gp.solver.warm_start_feasible")->value() +
+                registry.GetCounter("gp.solver.phase1_solves")->value(),
+            solves);
+  EXPECT_EQ(registry.GetCounter("gp.solver.converged")->value() +
+                registry.GetCounter("gp.solver.failures")->value(),
+            solves);
+  EXPECT_EQ(registry.GetHistogram("gp.solver.newton_iterations")->count(),
+            solves);
+  EXPECT_EQ(registry.GetHistogram("gp.solver.solve_seconds")->count(),
+            solves);
 }
 
 TEST_F(SimTest, RegistryDoesNotPerturbResults) {

@@ -57,6 +57,11 @@ set(bad_cases
   "rt-fail-at without threads\;rt-fail-at=3"
   "negative rt-fail-at\;threads=2\;rt-fail-at=-1"
   "series with threaded runtime\;series-out=s.jsonl\;threads=2"
+  "negative solve-batch\;solve-batch=-1"
+  "non-numeric solve-batch\;solve-batch=many"
+  "solve-batch with threaded runtime\;solve-batch=8\;threads=2"
+  "negative solve-cache\;solve-cache=-1"
+  "non-numeric solve-cache\;solve-cache=big"
 )
 
 foreach(case IN LISTS bad_cases)
@@ -100,6 +105,26 @@ if(NOT status EQUAL 0)
     "threaded invocation failed (exit ${status}):\n${out}${err}")
 endif()
 message(STATUS "threaded invocation accepted (exit 0)")
+
+# A batched+memoized solve-engine invocation (docs/SOLVER.md), and the
+# cache riding on the threaded runtime (the one engine knob valid there).
+execute_process(COMMAND ${EXPERIMENT} queries=2 items=4 ticks=80
+                solve-batch=8 solve-cache=64
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR
+    "solve-engine invocation failed (exit ${status}):\n${out}${err}")
+endif()
+execute_process(COMMAND ${EXPERIMENT} queries=2 items=4 ticks=80
+                threads=2 solve-cache=64
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR
+    "threaded solve-cache invocation failed (exit ${status}):\n${out}${err}")
+endif()
+message(STATUS "solve-engine invocations accepted (exit 0)")
 
 # And a chaos invocation exercising every fault knob end to end.
 execute_process(COMMAND ${EXPERIMENT} queries=2 items=4 ticks=80

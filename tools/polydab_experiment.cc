@@ -41,6 +41,16 @@
 //   rt-fail-at=K     test hook: abort the K-th dispatched solve job
 //                    inside its worker (1-based), exercising the pool's
 //                    failure path; requires threads > 0; 0 = never (0)
+//   solve-batch=N    batched GP solving (gp/solve_engine.h,
+//                    docs/SOLVER.md): each refresh service re-solves its
+//                    stale parts through one engine batch of at most N
+//                    programs, sharing per-shape workspaces; metrics and
+//                    traces stay byte-identical to the unbatched run.
+//                    Requires threads=0. 0 = off (0)
+//   solve-cache=N    solve engine exact-match LRU memo capacity in
+//                    entries; hits replay the memoized solution and its
+//                    solver telemetry bit-identically. Works with any
+//                    threads setting. 0 = off (0)
 //   seed=N           RNG seed (1)
 //   csv=0|1          print a CSV row instead of key=value (0)
 //   metrics-out=FILE write a JSON-lines telemetry run report (src/obs/)
@@ -160,7 +170,7 @@ const std::set<std::string>& KnownKeys() {
       "items",        "ticks",        "traces",     "delay_ms",
       "recompute_ms", "aao_period",   "coord_shards",
       "shard_policy", "threads",      "rt_queue_cap",
-      "rt_fail_at",
+      "rt_fail_at",   "solve_batch",  "solve_cache",
       "seed",         "csv",        "metrics_out",
       "trace_out",    "flame_out",    "flame_group_by",
       "fault_drop",   "fault_crash",  "lease_s",    "retx_timeout_s",
@@ -289,6 +299,17 @@ int main(int argc, char** argv) {
   }
   if (rt_fail_at < 0) {
     Die("rt-fail-at must be >= 0, got " + std::to_string(rt_fail_at));
+  }
+  const int solve_batch = GetInt(args, "solve_batch", 0);
+  if (solve_batch < 0) {
+    Die("solve-batch must be >= 0, got " + std::to_string(solve_batch));
+  }
+  if (solve_batch > 0 && threads > 0) {
+    Die("solve-batch requires the single-threaded engine (threads=0)");
+  }
+  const int solve_cache = GetInt(args, "solve_cache", 0);
+  if (solve_cache < 0) {
+    Die("solve-cache must be >= 0, got " + std::to_string(solve_cache));
   }
   obs::FoldGroupBy flame_group_by = obs::FoldGroupBy::kQuery;
   if (!obs::ParseFoldGroupBy(Get(args, "flame_group_by", "query"),
@@ -530,6 +551,8 @@ int main(int argc, char** argv) {
   config.threads = threads;
   config.rt_queue_cap = rt_queue_cap;
   config.rt_fail_at = rt_fail_at;
+  config.solve_batch = solve_batch;
+  config.solve_cache = solve_cache;
 
   // Telemetry: attach a registry when a report was requested, so the run
   // records solver/planner/simulator instruments (docs/OBSERVABILITY.md).
