@@ -1,0 +1,280 @@
+// Durable-state overhead sweep (src/recovery/, docs/RECOVERY.md): wall
+// clock and artifact volume vs the checkpoint cadence, plus one
+// crash-and-restart leg. Recovery's core contract is zero perturbation —
+// the checkpoint/WAL machinery must not move a single deterministic
+// counter, whatever the cadence, and a restarted run must finish with
+// exactly the uninterrupted run's counters (the byte-level proof lives
+// in tests/recovery_diff_test.cc; the bench hard-fails on any counter
+// drift so the wall-clock columns stay meaningful). Mirrors the table
+// into BENCH_recovery.json; the ctest gate (bench_recovery_gate) re-runs
+// the quick scale and diffs it against the committed baseline with
+// bench_compare, which tolerates only the wall-clock fields.
+//
+// Scales: POLYDAB_BENCH_QUICK=1 is the seconds-long ctest scale,
+// REPRO_FULL=1 the paper scale, default in between.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "recovery/checkpoint.h"
+#include "recovery/recovery.h"
+#include "recovery/wal.h"
+#include "sim/simulation.h"
+#include "workload/tick_source.h"
+
+namespace polydab::bench {
+namespace {
+
+bool QuickScale() {
+  const char* env = std::getenv("POLYDAB_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+struct Row {
+  int interval_s;   // 0 = recovery off
+  int restarted;    // 1 = the crash-and-restart leg
+  int64_t refreshes;
+  int64_t recomputations;
+  int64_t dab_changes;
+  int64_t notifications;
+  double loss_pct;
+  int64_t ckpt_blocks;
+  int64_t wal_rows;
+  double wall_seconds;
+};
+
+int64_t CountCkptBlocks(const std::string& path) {
+  recovery::CheckpointState state;
+  // A load that fails (no file) means zero blocks for the off row.
+  if (!recovery::LoadLatestCheckpoint(path, &state).ok()) return 0;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return 0;
+  int64_t blocks = 0;
+  int c;
+  std::string line;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (line.find("\"t\":\"hdr\"") != std::string::npos) ++blocks;
+    line.clear();
+  }
+  std::fclose(f);
+  return blocks;
+}
+
+int64_t CountWalRows(const std::string& path) {
+  std::vector<recovery::WalRecord> records;
+  if (!recovery::LoadWal(path, &records).ok()) return 0;
+  int64_t rows = 0;
+  for (const recovery::WalRecord& r : records) {
+    if (r.kind == recovery::WalRecord::Kind::kRow) ++rows;
+  }
+  return rows;
+}
+
+int Run() {
+  const int items = QuickScale() ? 24 : 60;
+  const int ticks = QuickScale() ? 400 : (FullScale() ? 10000 : 2000);
+  const int nq = QuickScale() ? 12 : (FullScale() ? 120 : 60);
+  const Universe u =
+      MakeUniverse(workload::TraceKind::kGbmStock, 9001, items, ticks);
+  workload::QueryGenConfig qc;
+  qc.num_items = items;
+  Rng qrng(48);
+  auto queries = *workload::GeneratePortfolioQueries(nq, qc, u.initial,
+                                                     &qrng);
+
+  const std::string ckpt_path = "BENCH_recovery.ckpt";
+  const std::string wal_path = "BENCH_recovery.wal";
+  auto base_config = [] {
+    sim::SimConfig c;
+    c.planner.method = core::AssignmentMethod::kDualDab;
+    c.planner.dual.mu = 5.0;
+    c.seed = 99;
+    return c;
+  };
+
+  std::vector<Row> rows;
+  HarnessTimer timer;
+
+  // Cadence sweep: off, hourly-ish, aggressive, pathological.
+  for (int interval : {0, 60, 20, 5}) {
+    std::remove(ckpt_path.c_str());
+    std::remove(wal_path.c_str());
+    recovery::RecoveryConfig rc;
+    sim::SimConfig c = base_config();
+    if (interval > 0) {
+      rc.checkpoint_path = ckpt_path;
+      rc.wal_path = wal_path;
+      rc.interval_s = interval;
+      c.recovery = &rc;
+    }
+    const std::string section =
+        "bench.run.ckpt_interval." + std::to_string(interval);
+    sim::SimMetrics m;
+    {
+      auto t = timer.Section(section);
+      auto r = sim::RunSimulation(queries, u.traces, u.rates, c);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s: %s\n", section.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      m = *r;
+    }
+    rows.push_back(Row{interval, 0, m.refreshes, m.recomputations,
+                       m.dab_change_messages, m.user_notifications,
+                       m.mean_fidelity_loss_pct,
+                       CountCkptBlocks(ckpt_path), CountWalRows(wal_path),
+                       timer.registry()->GetHistogram(section)->sum()});
+  }
+
+  // Crash-and-restart leg: crash at mid-run under the 20 s cadence, then
+  // time the restart (snapshot load + WAL replay + the remaining ticks).
+  {
+    std::remove(ckpt_path.c_str());
+    std::remove(wal_path.c_str());
+    const int crash_tick = ticks / 2;
+    recovery::RecoveryConfig crash_rc;
+    crash_rc.checkpoint_path = ckpt_path;
+    crash_rc.wal_path = wal_path;
+    crash_rc.interval_s = 20;
+    crash_rc.crash_at_tick = crash_tick;
+    sim::SimConfig c = base_config();
+    c.recovery = &crash_rc;
+    auto crashed = sim::RunSimulation(queries, u.traces, u.rates, c);
+    if (!crashed.ok() || !crash_rc.crashed) {
+      std::fprintf(stderr, "crash leg failed: %s\n",
+                   crashed.ok() ? "injector never fired"
+                                : crashed.status().ToString().c_str());
+      return 1;
+    }
+
+    recovery::CheckpointState ckpt;
+    std::vector<recovery::WalRecord> wal;
+    if (!recovery::LoadLatestCheckpoint(ckpt_path, &ckpt).ok() ||
+        !recovery::LoadWal(wal_path, &wal).ok()) {
+      std::fprintf(stderr, "restart leg: cannot load ckpt/wal\n");
+      return 1;
+    }
+    const recovery::WalRecord* marker = recovery::LastCrashMarker(wal);
+    if (marker == nullptr) {
+      std::fprintf(stderr, "restart leg: WAL carries no crash marker\n");
+      return 1;
+    }
+    recovery::RecoveryConfig restart_rc;
+    restart_rc.checkpoint_path = ckpt_path;
+    restart_rc.wal_path = wal_path;
+    restart_rc.interval_s = 20;
+    restart_rc.restart = &ckpt;
+    restart_rc.wal = &wal;
+    sim::SimConfig rcfg = base_config();
+    rcfg.recovery = &restart_rc;
+    workload::TraceSetTickSource src(&u.traces);
+    Vector skip;
+    for (int t = 0; t < marker->tick; ++t) {
+      auto got = src.Next(&skip);
+      if (!got.ok() || !*got) {
+        std::fprintf(stderr, "restart leg: source too short\n");
+        return 1;
+      }
+    }
+    const std::string section = "bench.run.restart";
+    sim::SimMetrics m;
+    {
+      auto t = timer.Section(section);
+      auto r = sim::RunSimulation(queries, src, u.rates, rcfg);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s: %s\n", section.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      m = *r;
+    }
+    rows.push_back(Row{20, 1, m.refreshes, m.recomputations,
+                       m.dab_change_messages, m.user_notifications,
+                       m.mean_fidelity_loss_pct,
+                       CountCkptBlocks(ckpt_path), CountWalRows(wal_path),
+                       timer.registry()->GetHistogram(section)->sum()});
+  }
+  std::remove(ckpt_path.c_str());
+  std::remove(wal_path.c_str());
+
+  // Zero-perturbation contract: cadence and crash-recovery are invisible
+  // to every protocol-level outcome. Fail hard on any drift.
+  for (const Row& r : rows) {
+    const Row& base = rows.front();
+    if (r.refreshes != base.refreshes ||
+        r.recomputations != base.recomputations ||
+        r.dab_changes != base.dab_changes ||
+        r.notifications != base.notifications ||
+        r.loss_pct != base.loss_pct) {
+      std::fprintf(stderr,
+                   "interval=%d restarted=%d diverged from the "
+                   "recovery-off oracle (e.g. recomputations %lld vs "
+                   "%lld)\n",
+                   r.interval_s, r.restarted,
+                   static_cast<long long>(r.recomputations),
+                   static_cast<long long>(base.recomputations));
+      return 1;
+    }
+  }
+
+  Table t({"interval_s", "restart", "refreshes", "recomps", "ckpt_blocks",
+           "wal_rows", "loss%", "wall_s", "overhead%"});
+  const double off_wall = rows.front().wall_seconds;
+  for (const Row& r : rows) {
+    t.AddRow({Fmt(static_cast<int64_t>(r.interval_s)),
+              Fmt(static_cast<int64_t>(r.restarted)), Fmt(r.refreshes),
+              Fmt(r.recomputations), Fmt(r.ckpt_blocks), Fmt(r.wal_rows),
+              Fmt(r.loss_pct, 3), Fmt(r.wall_seconds, 3),
+              Fmt(off_wall > 0.0
+                      ? 100.0 * (r.wall_seconds - off_wall) / off_wall
+                      : 0.0,
+                  1)});
+  }
+  std::printf("=== Durable-state overhead sweep (%d PPQs, %d items, "
+              "%d ticks) ===\n",
+              nq, items, ticks);
+  t.Print();
+  timer.PrintSummary();
+
+  const char* path = "BENCH_recovery.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"interval\": %d, \"restarted\": %d, \"refreshes\": %lld, "
+        "\"recomputations\": %lld, \"dab_changes\": %lld, "
+        "\"user_notifications\": %lld, \"mean_fidelity_loss_pct\": %.17g, "
+        "\"ckpt_blocks\": %lld, \"wal_rows\": %lld, "
+        "\"wall_seconds\": %.6f}%s\n",
+        r.interval_s, r.restarted, static_cast<long long>(r.refreshes),
+        static_cast<long long>(r.recomputations),
+        static_cast<long long>(r.dab_changes),
+        static_cast<long long>(r.notifications), r.loss_pct,
+        static_cast<long long>(r.ckpt_blocks),
+        static_cast<long long>(r.wal_rows), r.wall_seconds,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu rows)\n", path, rows.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace polydab::bench
+
+int main() { return polydab::bench::Run(); }

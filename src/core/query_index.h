@@ -2,6 +2,7 @@
 #define POLYDAB_CORE_QUERY_INDEX_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -91,6 +92,18 @@ class IncrementalEvaluator {
 
   /// Updates processed between automatic exact recomputations.
   static constexpr int64_t kAutoRebaseUpdates = 1 << 16;
+
+  /// Crash-recovery checkpoint support (src/recovery/): expose / reinstate
+  /// the drift-carrying internals bit-exactly. A restored evaluator must
+  /// be constructed with the same query vector (including dead slots —
+  /// they are never erased) before RestoreState overwrites the values.
+  int64_t updates_since_rebase() const { return updates_since_rebase_; }
+  void RestoreState(Vector values, Vector query_values,
+                    int64_t updates_since_rebase) {
+    values_ = std::move(values);
+    query_values_ = std::move(query_values);
+    updates_since_rebase_ = updates_since_rebase;
+  }
 
  private:
   std::vector<PolynomialQuery> queries_;

@@ -45,6 +45,10 @@ constexpr KindName kKindNames[] = {
     {TraceEventKind::kPlanPatch, "plan_patch"},
     {TraceEventKind::kAlertFire, "alert_fire"},
     {TraceEventKind::kAlertResolve, "alert_resolve"},
+    {TraceEventKind::kCheckpointBegin, "checkpoint_begin"},
+    {TraceEventKind::kCheckpointEnd, "checkpoint_end"},
+    {TraceEventKind::kCoordCrash, "coord_crash"},
+    {TraceEventKind::kRecoveryReplay, "recovery_replay"},
 };
 
 void AppendNumberField(std::string* out, const char* key, double v) {
@@ -431,6 +435,7 @@ void TraceSink::SetInfo(const std::string& key, const std::string& value) {
 
 void TraceSink::AddQueryInfo(TraceQueryInfo info) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (suppress_query_infos_) return;
   queries_.push_back(std::move(info));
 }
 

@@ -84,6 +84,17 @@ enum class TraceEventKind : uint8_t {
   // traces are byte-identical to earlier formats.
   kAlertFire,           ///< an SLO rule started firing at a window close
   kAlertResolve,        ///< a firing SLO rule stopped breaching
+  // Crash-recovery events (src/recovery/, docs/RECOVERY.md). Only
+  // emitted when checkpointing / crash injection is configured;
+  // recovery-free traces are byte-identical to earlier formats, and
+  // obs::StripRecoveryEvents (trace_canon.h) removes them again so a
+  // crashed+restarted trace can be byte-compared to a vanilla oracle.
+  kCheckpointBegin,     ///< coordinator state snapshot started (a = tick)
+  kCheckpointEnd,       ///< snapshot durable (cause = kCheckpointBegin)
+  kCoordCrash,          ///< injected coordinator crash (flag = tick;
+                        ///< cause = latest kCheckpointEnd, 0 if none)
+  kRecoveryReplay,      ///< restart finished replaying the WAL
+                        ///< (cause = kCoordCrash, a = rows, b = ckpt tick)
 };
 
 /// Serialization name, e.g. "refresh_arrived".
@@ -325,6 +336,16 @@ class TraceSink {
   void AddQueryInfo(TraceQueryInfo info);
   void AddRunSummary(const TraceRunSummary& summary);
 
+  /// Restart-from-checkpoint support (src/recovery/): resume id
+  /// assignment at \p next_id so a restarted run's events line up with
+  /// the crashed run's id space. Only legal before the first Emit.
+  void SetNextId(uint64_t next_id) { next_id_.store(next_id); }
+
+  /// While suppressed, AddQueryInfo calls are dropped — the WAL replay
+  /// re-registers queries whose infos the crashed run already recorded,
+  /// and the merged trace must carry each info exactly once.
+  void SuppressQueryInfos(bool suppress) { suppress_query_infos_ = suppress; }
+
   /// Forward every subsequent Emit to \p observer (null detaches). The
   /// observer sees events after id assignment, in emission order.
   void SetObserver(TraceObserver* observer);
@@ -360,6 +381,7 @@ class TraceSink {
                            ///< the single-producer simulators
   TraceObserver* observer_ = nullptr;
   bool discard_ = false;
+  bool suppress_query_infos_ = false;
   std::vector<TraceEvent> buffer_;
   std::map<std::string, std::string> info_;
   std::vector<TraceQueryInfo> queries_;

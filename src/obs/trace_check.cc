@@ -362,13 +362,23 @@ class Checker {
       FailEvent(e, "ids not strictly increasing (previous #" +
                        std::to_string(prev->id) + ")");
     }
+    // coord_crash / recovery_replay mark the crash boundary: they are
+    // stamped with the crash tick T but sit *before* tick T's message
+    // deliveries, whose arrival times fall in (T-1, T]. They must not
+    // run ahead of the monotonicity watermark themselves, but advancing
+    // it to T would falsely flag those in-flight arrivals as regressions
+    // (docs/RECOVERY.md).
+    const bool crash_boundary = e.kind == TraceEventKind::kCoordCrash ||
+                                e.kind == TraceEventKind::kRecoveryReplay;
     auto [it, fresh] = last_time_.emplace(e.node, e.time);
     if (!fresh) {
       if (e.time < it->second) {
         FailEvent(e, "time goes backwards on node " +
                          std::to_string(e.node));
       }
-      it->second = e.time;
+      if (!crash_boundary) it->second = e.time;
+    } else if (crash_boundary) {
+      it->second = 0.0;
     }
     // Each coordinator lane is itself a serial resource: its event stream
     // must be time-monotonic on its own.
@@ -1311,6 +1321,93 @@ class Checker {
         if (e.cause != 0) (void)Cause(e);  // must exist and precede
         break;
       }
+      // --- Crash-recovery bookkeeping (src/recovery/, docs/RECOVERY.md).
+      // Neutral in every derivation (metrics, fidelity, lane clocks);
+      // their own invariants are the begin/end bracket, the crash's
+      // citation of the latest durable snapshot, and the replay record's
+      // adjacency to the crash it re-enacted. ---
+      case TraceEventKind::kCheckpointBegin: {
+        if (e.cause != 0) {
+          FailEvent(e, "checkpoint_begin carries a cause");
+        }
+        if (e.a != e.time) {
+          FailEvent(e, "checkpoint tick " + std::to_string(e.a) +
+                           " differs from the event time");
+        }
+        auto [it, fresh] = open_ckpt_begin_.emplace(e.node, e.id);
+        if (!fresh) {
+          FailEvent(e, "previous checkpoint (begin #" +
+                           std::to_string(it->second) + ") never ended");
+        }
+        break;
+      }
+      case TraceEventKind::kCheckpointEnd: {
+        const TraceEvent* c =
+            CauseOfKind(e, TraceEventKind::kCheckpointBegin);
+        if (c == nullptr) break;
+        // The snapshot write emits nothing, so begin and end are adjacent
+        // ids at the same instant — the property the restart leans on to
+        // resume numbering at end + 1.
+        if (e.id != c->id + 1) {
+          FailEvent(e, "checkpoint_end id is not adjacent to its begin #" +
+                           std::to_string(c->id));
+        }
+        if (e.time != c->time) {
+          FailEvent(e, "checkpoint_end time differs from its begin's");
+        }
+        auto it = open_ckpt_begin_.find(e.node);
+        if (it == open_ckpt_begin_.end() || it->second != c->id) {
+          FailEvent(e, "checkpoint_end does not close the open begin");
+        } else {
+          open_ckpt_begin_.erase(it);
+        }
+        last_ckpt_end_[e.node] = e.id;
+        break;
+      }
+      case TraceEventKind::kCoordCrash: {
+        auto it = last_ckpt_end_.find(e.node);
+        const uint64_t expected =
+            it == last_ckpt_end_.end() ? 0 : it->second;
+        if (e.cause != expected) {
+          FailEvent(e, "coord_crash cites checkpoint_end #" +
+                           std::to_string(e.cause) +
+                           " but the latest durable snapshot is #" +
+                           std::to_string(expected));
+        }
+        if (e.cause != 0) {
+          (void)CauseOfKind(e, TraceEventKind::kCheckpointEnd);
+        }
+        if (static_cast<double>(e.flag) != e.time) {
+          FailEvent(e, "crash tick flag " + std::to_string(e.flag) +
+                           " differs from the event time");
+        }
+        break;
+      }
+      case TraceEventKind::kRecoveryReplay: {
+        const TraceEvent* c = CauseOfKind(e, TraceEventKind::kCoordCrash);
+        if (c == nullptr) break;
+        // The replay record follows its re-enacted crash immediately: the
+        // restart emits both back to back at the crash instant.
+        if (e.id != c->id + 1) {
+          FailEvent(e, "recovery_replay is not adjacent to its coord_crash "
+                       "#" + std::to_string(c->id));
+        }
+        if (e.time != c->time) {
+          FailEvent(e, "recovery_replay time differs from its crash's");
+        }
+        if (e.a < 0.0) {
+          FailEvent(e, "negative replayed-row count");
+        }
+        // b = the snapshot tick; the replayed span (b, crash tick) has
+        // exactly a rows.
+        if (e.b + e.a + 1.0 != static_cast<double>(c->flag)) {
+          FailEvent(e, "replay span (snapshot tick " + std::to_string(e.b) +
+                           " + " + std::to_string(e.a) +
+                           " rows) does not reach the crash tick " +
+                           std::to_string(c->flag));
+        }
+        break;
+      }
     }
   }
 
@@ -1337,6 +1434,10 @@ class Checker {
   int64_t planner_events_ = 0;
   int64_t planner_replans_ = 0;
   int64_t starts_non_aao_ = 0;
+
+  // --- Crash-recovery bracket state (docs/RECOVERY.md) ---
+  std::map<int32_t, uint64_t> open_ckpt_begin_;  // node -> unclosed begin id
+  std::map<int32_t, uint64_t> last_ckpt_end_;    // node -> latest durable end
 
   // --- Fault-mode reliability state (docs/ROBUSTNESS.md) ---
   /// A dropped data copy (class 0/1) awaiting resolution.

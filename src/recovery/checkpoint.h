@@ -1,0 +1,189 @@
+#ifndef POLYDAB_RECOVERY_CHECKPOINT_H_
+#define POLYDAB_RECOVERY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+/// \file checkpoint.h
+/// Durable coordinator snapshots (docs/RECOVERY.md). A checkpoint block
+/// is the coordinator's *entire* mutable state at the end of one tick —
+/// query slots and installed plans, primary/secondary DAB assignments and
+/// anchors, the in-flight event heap, the reliability protocol's
+/// seq/ack/retransmit/lease arrays, the two persistent RNG streams, every
+/// registry instrument, and the service driver's opaque state — rendered
+/// as strictly parsed JSON lines (format tag polydab.ckpt.v1) in the same
+/// json_util dialect as traces and run reports. Blocks are appended to an
+/// accumulating file; the loader takes the last *complete* block (header
+/// through digest footer), so a crash mid-write simply falls back to the
+/// previous snapshot. Corruption is never repaired silently: version
+/// skew, unknown keys, missing fields, a digest mismatch and a truncated
+/// final line are all InvalidArgument naming the line number.
+
+namespace polydab::recovery {
+
+/// One query slot (live or dead — dead slots keep their index).
+struct CheckpointQuery {
+  int id = 0;
+  double qab = 0.0;
+  std::string poly;       ///< EncodePolynomial
+  bool alive = true;
+  int reg_tick = 0;
+  int dereg_tick = -1;    ///< -1 = never deregistered (INT_MAX in-engine)
+  double violated_time = 0.0;
+  double last_user_value = 0.0;
+  int shard = 0;          ///< coordinator lane
+  double query_value = 0.0;  ///< incremental evaluator's delta-chain value
+  int degraded_items = 0;    ///< fault mode: items degrading this query
+  uint64_t degrade_event = 0;
+};
+
+/// One installed plan part of one query slot.
+struct CheckpointPart {
+  int slot = 0;
+  int part = 0;
+  std::string poly;  ///< the sub-polynomial, EncodePolynomial
+  double pqab = 0.0; ///< the part's share of the query accuracy bound
+  std::vector<int> vars;
+  std::string primary;    ///< EncodeVector, aligned with vars
+  std::string secondary;  ///< EncodeVector, aligned with vars
+  double recompute_rate = 0.0;
+  bool single_dab = false;
+  bool never_stale = false;
+  std::string anchor;     ///< EncodeVector: item values the DABs anchor at
+};
+
+/// One queued simulator event, verbatim (the heap array is serialized in
+/// storage order and restored as-is — the replacement heap's layout is
+/// specified, so the bytes are deterministic).
+struct CheckpointEvent {
+  double time = 0.0;
+  int type = 0;
+  int item = -1;
+  double value = 0.0;
+  uint64_t trace_id = 0;
+  double wait = 0.0;
+  int64_t seq = 0;
+};
+
+/// Per-source reliability protocol state (fault mode only).
+struct CheckpointSource {
+  int source = 0;
+  double crashed_until = 0.0;
+  uint64_t crash_event = 0;
+  double next_heartbeat = 0.0;
+  double last_contact = 0.0;
+  uint64_t contact_event = 0;
+};
+
+/// Per-item reliability protocol state (fault mode only).
+struct CheckpointItemFault {
+  int item = 0;
+  int64_t next_seq = 1;
+  int64_t delivered_seq = 0;
+  int64_t drop_seq = 0;
+  uint64_t drop_eid = 0;
+  bool expired = false;
+  uint64_t expire_event = 0;
+  // The pending (unacked) refresh, if any.
+  bool pending_live = false;
+  int64_t pending_seq = 0;
+  double pending_value = 0.0;
+  uint64_t pending_emit_id = 0;
+  double pending_next_retx = 0.0;
+  int pending_attempts = 0;
+};
+
+/// One registry instrument. kind is 'c' (counter), 'g' (gauge) or 'h'
+/// (histogram); only the matching fields are meaningful. Instrument
+/// *presence* matters as much as values — the run report prints every
+/// registered name — so even zero-valued instruments are recorded.
+struct CheckpointInstrument {
+  char kind = 'c';
+  std::string name;
+  int64_t count = 0;                              ///< 'c' value / 'h' count
+  double value = 0.0;                             ///< 'g'
+  double sum = 0.0;                               ///< 'h'
+  double raw_min = 0.0;                           ///< 'h' (+inf while empty)
+  double raw_max = 0.0;                           ///< 'h' (-inf while empty)
+  std::vector<std::pair<int, int64_t>> buckets;   ///< 'h' non-empty buckets
+};
+
+/// A full snapshot. Plain data; the engine builds/applies it, this module
+/// only moves it to and from disk.
+struct CheckpointState {
+  int tick = 0;         ///< snapshot taken at the end of this tick
+  int ticks_seen = 0;
+  uint32_t config_fp = 0;  ///< FNV-1a of SimConfig::Describe()
+  int num_items = 0;
+  int num_sources = 0;
+  int num_shards = 0;
+  uint64_t trace_next_id = 0;  ///< first event id after the snapshot
+  uint64_t ckpt_end_id = 0;    ///< id of this snapshot's checkpoint_end
+  bool fault_mode = false;
+  bool dqi_built = false;      ///< dynamic query index existed (churn ran)
+  int64_t updates_since_rebase = 0;  ///< incremental evaluator drift clock
+
+  // SimMetrics, field for field.
+  int64_t refreshes = 0;
+  int64_t recomputations = 0;
+  int64_t dab_change_messages = 0;
+  int64_t user_notifications = 0;
+  int64_t solver_failures = 0;
+  int64_t fault_drops = 0;
+  int64_t retransmits = 0;
+  int64_t duplicates_suppressed = 0;
+  int64_t lease_expiries = 0;
+  double degraded_query_seconds = 0.0;
+
+  std::vector<CheckpointQuery> queries;
+  std::vector<CheckpointPart> parts;
+
+  // Item-indexed coordinator vectors.
+  Vector view;
+  Vector source_value;
+  Vector last_pushed;
+  Vector installed_dab;   ///< +inf for unconstrained items
+  Vector min_primary;     ///< +inf for unconstrained items
+  std::vector<int> item_home_shard;
+  std::vector<std::vector<int>> item_queries;  ///< query slots per item
+  std::vector<std::vector<int>> item_shards;   ///< lanes per item
+  Vector shard_free_at;
+
+  std::vector<CheckpointEvent> events;         ///< heap array, verbatim
+  std::vector<CheckpointSource> sources;       ///< fault mode only
+  std::vector<CheckpointItemFault> item_fault; ///< fault mode only
+  std::vector<CheckpointInstrument> instruments;
+
+  std::string delay_rng;  ///< mt19937_64 stream state, space-separated
+  std::string fault_rng;
+  std::string service_state;  ///< ServiceHooks::SnapshotState, opaque
+};
+
+/// Append one snapshot block (header .. digest footer) to \p path,
+/// creating the file if needed. Flushes before returning so the block is
+/// durable against a subsequent simulated crash.
+Status WriteCheckpoint(const CheckpointState& state, const std::string& path);
+
+/// Load the last complete block of \p path. Incomplete trailing blocks
+/// (in-progress or torn writes, i.e. a header without its matching
+/// footer) are tolerated only at the end of the file; everything else is
+/// a named, line-numbered error.
+Status LoadLatestCheckpoint(const std::string& path, CheckpointState* out);
+
+/// Human-oriented multi-line summary of one snapshot (polydab_ckpt).
+std::string SummarizeCheckpoint(const CheckpointState& state);
+
+/// Compare two snapshots field by field; appends one "  path: a vs b"
+/// line per difference to \p out (capped at \p max_lines) and returns
+/// the total number of differences.
+int DiffCheckpoints(const CheckpointState& a, const CheckpointState& b,
+                    int max_lines, std::string* out);
+
+}  // namespace polydab::recovery
+
+#endif  // POLYDAB_RECOVERY_CHECKPOINT_H_

@@ -1,0 +1,34 @@
+#include "recovery/recovery.h"
+
+namespace polydab::recovery {
+
+Status RecoveryConfig::Validate() const {
+  if (interval_s <= 0) {
+    return Status::InvalidArgument(
+        "recovery.interval_s must be positive, got " +
+        std::to_string(interval_s));
+  }
+  if (crash_at_tick < 0) {
+    return Status::InvalidArgument(
+        "recovery.crash_at_tick must be >= 0, got " +
+        std::to_string(crash_at_tick));
+  }
+  if (crash_at_tick > 0 &&
+      (checkpoint_path.empty() || wal_path.empty())) {
+    return Status::InvalidArgument(
+        "recovery.crash_at_tick requires both a checkpoint file and a WAL "
+        "(nothing to restart from otherwise)");
+  }
+  if (crash_at_tick > 0 && restarting()) {
+    return Status::InvalidArgument(
+        "recovery.crash_at_tick cannot be combined with a restart in one "
+        "invocation");
+  }
+  if (restarting() && wal == nullptr) {
+    return Status::InvalidArgument(
+        "recovery restart requires the parsed WAL");
+  }
+  return Status::OK();
+}
+
+}  // namespace polydab::recovery

@@ -1,0 +1,68 @@
+#ifndef POLYDAB_RECOVERY_RECOVERY_H_
+#define POLYDAB_RECOVERY_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "recovery/checkpoint.h"
+#include "recovery/wal.h"
+
+/// \file recovery.h
+/// Coordinator crash recovery (docs/RECOVERY.md). The simulation engine
+/// is deterministic given a seed, so durability needs exactly three
+/// artifacts: a periodic checkpoint of the coordinator's full mutable
+/// state (recovery/checkpoint.h), a write-ahead log of the refresh rows
+/// consumed after the last checkpoint (recovery/wal.h), and a restart
+/// path that reloads the snapshot, replays the logged rows through the
+/// unmodified tick loop, and resumes — bit-identical to a run that never
+/// crashed. RecoveryConfig is the engine-facing knob bundle; the
+/// polydab_experiment CLI maps ckpt-out= / ckpt-interval-s= / wal-out= /
+/// coord-crash-at= / restart-from= onto it.
+
+namespace polydab::recovery {
+
+/// Engine-facing recovery configuration, attached to SimConfig::recovery.
+/// Plain data; the engine never owns the pointers.
+struct RecoveryConfig {
+  /// Checkpoint file to append snapshot blocks to ("" = no checkpoints).
+  std::string checkpoint_path;
+  /// WAL file to append consumed-tick rows to ("" = no WAL).
+  std::string wal_path;
+  /// Simulated-time checkpoint cadence in seconds (= ticks; the engine's
+  /// tick is one second). A snapshot block is appended at the end of
+  /// every tick that is a positive multiple of this interval.
+  int interval_s = 60;
+  /// Crash injector: terminate the coordinator at the *top* of this tick,
+  /// before the tick's source row is consumed (0 = never). The engine
+  /// emits a coord_crash trace event, appends a crash marker to the WAL,
+  /// sets `crashed` below and returns its partial metrics.
+  int crash_at_tick = 0;
+
+  /// Restart inputs (both null for a fresh run): the snapshot to resume
+  /// from and the parsed WAL whose rows past the snapshot tick are
+  /// replayed. Loaded by the caller (polydab_ckpt / polydab_experiment);
+  /// the engine only validates consistency.
+  const CheckpointState* restart = nullptr;
+  const std::vector<WalRecord>* wal = nullptr;
+
+  /// --- Outputs (written by the engine) ---
+  /// True when the run terminated via the crash injector rather than by
+  /// exhausting its tick source.
+  bool crashed = false;
+  /// Trace id of the emitted coord_crash event (0 when untraced).
+  uint64_t crash_event_id = 0;
+
+  bool restarting() const { return restart != nullptr; }
+
+  /// Reject inconsistent knob combinations with a diagnostic naming the
+  /// field: negative/zero cadence, crash injection without both a
+  /// checkpoint file and a WAL (nothing to restart from), crash injection
+  /// combined with restart in one invocation, and restart without a WAL.
+  Status Validate() const;
+};
+
+}  // namespace polydab::recovery
+
+#endif  // POLYDAB_RECOVERY_RECOVERY_H_

@@ -65,6 +65,12 @@ class DelayModel {
 
   const DelayConfig& config() const { return config_; }
 
+  /// Crash-recovery checkpoint support (src/recovery/): the model's RNG
+  /// stream is the only mutable state, serialized/restored through the
+  /// mt19937_64 stream operators so a restarted run draws the exact
+  /// delay sequence the crashed run would have.
+  Rng& rng() { return rng_; }
+
  private:
   DelayConfig config_;
   Rng rng_;

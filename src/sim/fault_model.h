@@ -121,6 +121,10 @@ class FaultModel {
 
   const FaultConfig& config() const { return config_; }
 
+  /// Crash-recovery checkpoint support (src/recovery/): see
+  /// DelayModel::rng().
+  Rng& rng() { return rng_; }
+
  private:
   FaultConfig config_;
   Rng rng_;

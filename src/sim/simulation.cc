@@ -9,6 +9,7 @@
 #include <memory>
 #include <ostream>
 #include <queue>
+#include <sstream>
 #include <utility>
 
 #include "common/hash.h"
@@ -19,6 +20,10 @@
 #include "obs/json_util.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
+#include "recovery/checkpoint.h"
+#include "recovery/codec.h"
+#include "recovery/recovery.h"
+#include "recovery/wal.h"
 #include "rt/lane_pool.h"
 
 #include "common/logging.h"
@@ -56,6 +61,29 @@ struct Event {
 /// Fault mode: a source's latest unacked refresh of one item, kept for
 /// timeout retransmission. Replaced wholesale when a newer value pushes
 /// (the newer seq supersedes the older one).
+/// In-flight message queue. Drop-in for the former
+/// `std::priority_queue<Event, std::vector<Event>, std::greater<Event>>`:
+/// the standard specifies priority_queue::push as push_back + push_heap
+/// and ::pop as pop_heap + pop_back, so this explicit heap is
+/// bit-identical to it — while exposing the underlying array, which the
+/// crash-recovery checkpoint (src/recovery/) serializes verbatim and
+/// restores without re-heapifying (docs/RECOVERY.md).
+struct EventQueue {
+  std::vector<Event> c;  // valid heap under std::greater<Event>
+
+  bool empty() const { return c.empty(); }
+  size_t size() const { return c.size(); }
+  const Event& top() const { return c.front(); }
+  void push(Event e) {
+    c.push_back(e);
+    std::push_heap(c.begin(), c.end(), std::greater<Event>{});
+  }
+  void pop() {
+    std::pop_heap(c.begin(), c.end(), std::greater<Event>{});
+    c.pop_back();
+  }
+};
+
 struct PendingRefresh {
   int64_t seq = 0;
   double value = 0.0;
@@ -94,7 +122,7 @@ struct State {
 
   // Bookkeeping.
   std::vector<double> violated_time;  // per query: fidelity loss
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  EventQueue events;
 };
 
 /// Minimum primary DAB for one item across every part of every plan that
@@ -374,6 +402,40 @@ Result<SimMetrics> RunSimulation(
       return Status::InvalidArgument("series recorder already finalized");
     }
   }
+  // Crash-recovery layer (src/recovery/, docs/RECOVERY.md). Restart
+  // correctness rests on re-running the tick loop with identical inputs,
+  // so engine modes that would need extra non-checkpointed state — series
+  // fold offsets, the solve engine's batch/LRU contents, the AAO joint
+  // solution, the rt fault-injection dispatch counter — are rejected
+  // outright rather than half-supported.
+  recovery::RecoveryConfig* const rec = config.recovery;
+  if (rec != nullptr) {
+    POLYDAB_RETURN_NOT_OK(rec->Validate());
+    if (config.series != nullptr) {
+      return Status::InvalidArgument(
+          "crash recovery is incompatible with series recording (the "
+          "recorder's window fold is not checkpointed)");
+    }
+    if (config.solve_batch > 0 || config.solve_cache > 0) {
+      return Status::InvalidArgument(
+          "crash recovery is incompatible with the batched/memoizing solve "
+          "engine (solve_batch/solve_cache); its cache is not checkpointed");
+    }
+    if (config.aao_period_s > 0.0) {
+      return Status::InvalidArgument(
+          "crash recovery is incompatible with AAO mode (the joint "
+          "allocation is not checkpointed)");
+    }
+    if (config.threads > 0 && config.rt_fail_at > 0) {
+      return Status::InvalidArgument(
+          "crash recovery is incompatible with rt_fail_at fault injection "
+          "(the dispatch counter is not checkpointed)");
+    }
+  }
+  const bool rec_restart = rec != nullptr && rec->restarting();
+  const recovery::CheckpointState* const ckpt =
+      rec_restart ? rec->restart : nullptr;
+  const bool rec_ckpt = rec != nullptr && !rec->checkpoint_path.empty();
 
   Rng master(config.seed);
   DelayModel delays(config.delays, master.Fork());
@@ -383,6 +445,37 @@ Result<SimMetrics> RunSimulation(
   // timings, and an inactive config takes no fault branch at all.
   FaultModel faults(config.fault, master.Fork());
   const bool fault_mode = config.fault.active();
+
+  // Recovery: the config fingerprint sealed into every checkpoint block;
+  // a restart refuses a snapshot taken under a different engine config.
+  // The recovery knobs themselves are absent from Describe(), so a
+  // crashed run and its restart — which differ only in those knobs —
+  // fingerprint identically, as intended: they are control inputs, not
+  // state-bearing configuration.
+  const std::string config_desc = config.Describe();
+  const uint32_t config_fp =
+      Fnv1a32(config_desc.data(), config_desc.size());
+  struct FileCloser {
+    void operator()(std::FILE* f) const { std::fclose(f); }
+  };
+  std::unique_ptr<std::FILE, FileCloser> wal_file;
+  if (rec != nullptr && !rec->wal_path.empty()) {
+    wal_file.reset(std::fopen(rec->wal_path.c_str(), "a"));
+    if (wal_file == nullptr) {
+      return Status::InvalidArgument("cannot open WAL '" + rec->wal_path +
+                                     "' for appending");
+    }
+    recovery::AppendWalHeader(wal_file.get());
+  }
+  // Replay bookkeeping, filled by the restore block below. Declared this
+  // early because the ack/churn lambdas capture them: audit records are
+  // only appended once the replay span is exhausted (`replay_done`), so a
+  // restart never re-writes rows the WAL already holds.
+  uint64_t last_ckpt_end_id = 0;
+  const recovery::WalRecord* crash_marker = nullptr;
+  std::vector<const recovery::WalRecord*> replay_rows;
+  bool replay_done = true;
+  size_t replay_idx = 0;
 
   // Telemetry: cache instruments once and propagate the registry into the
   // planner (and through it the GP solver) so one SimConfig::registry
@@ -498,40 +591,117 @@ Result<SimMetrics> RunSimulation(
     }
   }
 
-  st.item_queries.resize(n_items);
-  for (size_t qi = 0; qi < queries.size(); ++qi) {
-    for (VarId v : queries[qi].p.Variables()) {
-      if (static_cast<size_t>(v) >= n_items) {
-        return Status::InvalidArgument(
-            "query references item beyond trace set");
-      }
-      st.item_queries[static_cast<size_t>(v)].push_back(
-          static_cast<int>(qi));
+  // Restart: rebuild the full slot vector — the initial queries plus any
+  // churn-registered slots — from the snapshot before any structure keyed
+  // by query index is built. The caller must hand the same initial set;
+  // only the prefix ids are checkable (churn may have modified bodies).
+  if (rec_restart) {
+    if (ckpt->config_fp != config_fp) {
+      return Status::InvalidArgument(
+          "restart: checkpoint was taken under a different engine config "
+          "(fingerprint mismatch)");
     }
+    if (static_cast<size_t>(ckpt->num_items) != n_items) {
+      return Status::InvalidArgument(
+          "restart: checkpoint item count " +
+          std::to_string(ckpt->num_items) + " != trace set width " +
+          std::to_string(n_items));
+    }
+    if (ckpt->num_sources != num_sources) {
+      return Status::InvalidArgument(
+          "restart: checkpoint source count mismatch");
+    }
+    if (ckpt->num_shards != num_shards) {
+      return Status::InvalidArgument(
+          "restart: checkpoint shard count mismatch");
+    }
+    if (ckpt->fault_mode != fault_mode) {
+      return Status::InvalidArgument(
+          "restart: checkpoint fault-mode flag mismatch");
+    }
+    if (ckpt->queries.size() < queries.size()) {
+      return Status::InvalidArgument(
+          "restart: checkpoint has fewer query slots than the initial "
+          "workload");
+    }
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (ckpt->queries[qi].id != queries[qi].id) {
+        return Status::InvalidArgument(
+            "restart: initial query slot " + std::to_string(qi) +
+            " id mismatch (checkpoint " +
+            std::to_string(ckpt->queries[qi].id) + ", workload " +
+            std::to_string(queries[qi].id) + ")");
+      }
+    }
+    std::vector<PolynomialQuery> restored;
+    restored.reserve(ckpt->queries.size());
+    for (const recovery::CheckpointQuery& cq : ckpt->queries) {
+      PolynomialQuery q;
+      q.id = cq.id;
+      q.qab = cq.qab;
+      Status ps = recovery::DecodePolynomial(cq.poly, &q.p);
+      if (!ps.ok()) {
+        return Status::InvalidArgument(
+            "restart: bad query polynomial in checkpoint: " + ps.message());
+      }
+      restored.push_back(std::move(q));
+    }
+    queries = std::move(restored);
   }
 
-  // Lane partition. With a single lane every query lands on lane 0 and
-  // the event loop below reduces to the historical serial coordinator
-  // (bit-identically: same iteration order, same RNG draw order, same
-  // floating-point accumulation sequence).
-  {
-    core::QueryIndex qindex(queries, n_items);
-    st.query_shard = config.shard_policy == ShardPolicy::kQueryHash
-                         ? qindex.ShardByQueryId(num_shards)
-                         : qindex.ShardByComponent(num_shards);
-  }
-  st.item_home_shard.assign(n_items, -1);
-  st.item_shards.resize(n_items);
-  for (size_t i = 0; i < n_items; ++i) {
-    const auto& qs = st.item_queries[i];
-    if (qs.empty()) continue;
-    st.item_home_shard[i] = st.query_shard[static_cast<size_t>(qs[0])];
-    auto& lanes = st.item_shards[i];
-    for (int qi : qs) {
-      lanes.push_back(st.query_shard[static_cast<size_t>(qi)]);
+  if (!rec_restart) {
+    st.item_queries.resize(n_items);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      for (VarId v : queries[qi].p.Variables()) {
+        if (static_cast<size_t>(v) >= n_items) {
+          return Status::InvalidArgument(
+              "query references item beyond trace set");
+        }
+        st.item_queries[static_cast<size_t>(v)].push_back(
+            static_cast<int>(qi));
+      }
     }
-    std::sort(lanes.begin(), lanes.end());
-    lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+
+    // Lane partition. With a single lane every query lands on lane 0 and
+    // the event loop below reduces to the historical serial coordinator
+    // (bit-identically: same iteration order, same RNG draw order, same
+    // floating-point accumulation sequence).
+    {
+      core::QueryIndex qindex(queries, n_items);
+      st.query_shard = config.shard_policy == ShardPolicy::kQueryHash
+                           ? qindex.ShardByQueryId(num_shards)
+                           : qindex.ShardByComponent(num_shards);
+    }
+    st.item_home_shard.assign(n_items, -1);
+    st.item_shards.resize(n_items);
+    for (size_t i = 0; i < n_items; ++i) {
+      const auto& qs = st.item_queries[i];
+      if (qs.empty()) continue;
+      st.item_home_shard[i] = st.query_shard[static_cast<size_t>(qs[0])];
+      auto& lanes = st.item_shards[i];
+      for (int qi : qs) {
+        lanes.push_back(st.query_shard[static_cast<size_t>(qi)]);
+      }
+      std::sort(lanes.begin(), lanes.end());
+      lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+    }
+  } else {
+    // These structures evolve under churn (dead slots leave, modified
+    // polynomials move items), so they are restored verbatim rather than
+    // rebuilt from the slot vector.
+    if (ckpt->item_queries.size() != n_items ||
+        ckpt->item_home_shard.size() != n_items ||
+        ckpt->item_shards.size() != n_items) {
+      return Status::InvalidArgument(
+          "restart: checkpoint item-table width mismatch");
+    }
+    st.item_queries = ckpt->item_queries;
+    st.item_home_shard = ckpt->item_home_shard;
+    st.item_shards = ckpt->item_shards;
+    st.query_shard.resize(queries.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      st.query_shard[qi] = ckpt->queries[qi].shard;
+    }
   }
   st.shard_free_at.assign(static_cast<size_t>(num_shards), 0.0);
   if (trace != nullptr && sharded) {
@@ -539,16 +709,29 @@ Result<SimMetrics> RunSimulation(
     trace->SetInfo("shard_policy", Name(config.shard_policy));
   }
 
-  // Tick 0: the initial snapshot every party starts in agreement on.
+  // Tick 0: the initial snapshot every party starts in agreement on. On
+  // restart the tool has already positioned the source past every
+  // consumed tick; the snapshot carries the three value vectors.
   Vector row;
-  {
-    auto first = source.Next(&row);
-    if (!first.ok()) return first.status();
-    if (!*first) return Status::InvalidArgument("trace too short");
+  if (!rec_restart) {
+    {
+      auto first = source.Next(&row);
+      if (!first.ok()) return first.status();
+      if (!*first) return Status::InvalidArgument("trace too short");
+    }
+    st.source_value = row;
+    st.last_pushed = st.source_value;
+    st.view = st.source_value;
+  } else {
+    if (ckpt->source_value.size() != n_items ||
+        ckpt->last_pushed.size() != n_items || ckpt->view.size() != n_items) {
+      return Status::InvalidArgument(
+          "restart: checkpoint value-vector width mismatch");
+    }
+    st.source_value = ckpt->source_value;
+    st.last_pushed = ckpt->last_pushed;
+    st.view = ckpt->view;
   }
-  st.source_value = row;
-  st.last_pushed = st.source_value;
-  st.view = st.source_value;
   st.plans.resize(queries.size());
   st.anchors.resize(queries.size());
   st.violated_time.assign(queries.size(), 0.0);
@@ -594,6 +777,69 @@ Result<SimMetrics> RunSimulation(
     }
     degraded_items.assign(queries.size(), 0);
     degrade_event.assign(queries.size(), 0);
+  }
+
+  if (rec_restart) {
+    // Counters and the fault-protocol tables resume from the snapshot.
+    metrics.refreshes = ckpt->refreshes;
+    metrics.recomputations = ckpt->recomputations;
+    metrics.dab_change_messages = ckpt->dab_change_messages;
+    metrics.user_notifications = ckpt->user_notifications;
+    metrics.solver_failures = ckpt->solver_failures;
+    metrics.fault_drops = ckpt->fault_drops;
+    metrics.retransmits = ckpt->retransmits;
+    metrics.duplicates_suppressed = ckpt->duplicates_suppressed;
+    metrics.lease_expiries = ckpt->lease_expiries;
+    metrics.degraded_query_seconds = ckpt->degraded_query_seconds;
+    if (fault_mode) {
+      if (ckpt->sources.size() != static_cast<size_t>(num_sources)) {
+        return Status::InvalidArgument(
+            "restart: checkpoint source-table size mismatch");
+      }
+      for (size_t s = 0; s < ckpt->sources.size(); ++s) {
+        const recovery::CheckpointSource& cs = ckpt->sources[s];
+        if (cs.source != static_cast<int>(s)) {
+          return Status::InvalidArgument(
+              "restart: checkpoint source records out of order");
+        }
+        crashed_until[s] = cs.crashed_until;
+        crash_event[s] = cs.crash_event;
+        next_heartbeat[s] = cs.next_heartbeat;
+        last_contact[s] = cs.last_contact;
+        contact_event[s] = cs.contact_event;
+      }
+      if (ckpt->item_fault.size() != n_items) {
+        return Status::InvalidArgument(
+            "restart: checkpoint item-fault table size mismatch");
+      }
+      for (size_t i = 0; i < ckpt->item_fault.size(); ++i) {
+        const recovery::CheckpointItemFault& cf = ckpt->item_fault[i];
+        if (cf.item != static_cast<int>(i)) {
+          return Status::InvalidArgument(
+              "restart: checkpoint item-fault records out of order");
+        }
+        next_seq[i] = cf.next_seq;
+        delivered_seq[i] = cf.delivered_seq;
+        drop_seq[i] = cf.drop_seq;
+        drop_eid[i] = cf.drop_eid;
+        item_expired[i] = cf.expired ? 1 : 0;
+        expire_event[i] = cf.expire_event;
+        pending[i].live = cf.pending_live;
+        pending[i].seq = cf.pending_seq;
+        pending[i].value = cf.pending_value;
+        pending[i].emit_id = cf.pending_emit_id;
+        pending[i].next_retx = cf.pending_next_retx;
+        pending[i].attempts = cf.pending_attempts;
+      }
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        degraded_items[qi] = ckpt->queries[qi].degraded_items;
+        degrade_event[qi] = ckpt->queries[qi].degrade_event;
+      }
+    } else if (!ckpt->sources.empty() || !ckpt->item_fault.empty()) {
+      return Status::InvalidArgument(
+          "restart: checkpoint carries fault tables but the fault layer "
+          "is inactive");
+    }
   }
 
   // Contact from source `s` observed at the coordinator (a delivered or
@@ -689,6 +935,11 @@ Result<SimMetrics> RunSimulation(
       e.flag = static_cast<int32_t>(seq);
       ack_id = trace->Emit(e);
     }
+    // Audit record only: restart replay regenerates acks deterministically
+    // from the rows, so the loader never feeds these back.
+    if (wal_file != nullptr && replay_done) {
+      recovery::AppendWalAck(wal_file.get(), now, item, seq);
+    }
     if (faults.DropMessage()) {
       ++metrics.fault_drops;
       if (ins.fault_drops != nullptr) ins.fault_drops->Inc();
@@ -722,59 +973,121 @@ Result<SimMetrics> RunSimulation(
   };
 
   // Initial planning (time zero; not counted as recomputation, and the
-  // initial filters are installed synchronously).
-  for (size_t qi = 0; qi < queries.size(); ++qi) {
-    auto plan = core::PlanQueryParts(queries[qi], st.view, rates,
-                                     planner_cfg);
-    if (!plan.ok()) {
-      return Status::Internal("initial planning failed for query " +
-                              std::to_string(queries[qi].id) + ": " +
-                              plan.status().ToString());
-    }
-    st.plans[qi] = std::move(plan).value();
-    st.anchors[qi].resize(st.plans[qi].parts.size());
-    for (size_t pi = 0; pi < st.plans[qi].parts.size(); ++pi) {
-      anchor_part(qi, pi);
-    }
-    if (config.paranoid_validation) {
-      Status valid = core::ValidatePlan(st.plans[qi], st.view);
-      if (!valid.ok()) {
-        return Status::Internal("plan validation failed for query " +
-                                std::to_string(queries[qi].id) + ": " +
-                                valid.ToString());
-      }
-    }
-  }
-  st.min_primary.resize(n_items);
-  st.installed_dab.resize(n_items);
-  for (size_t i = 0; i < n_items; ++i) {
-    st.min_primary[i] = ItemMinPrimary(st, static_cast<int>(i));
-    st.installed_dab[i] = st.min_primary[i];
-  }
-  if (trace != nullptr) {
+  // initial filters are installed synchronously). A restart skips this
+  // wholesale — the t=0 solves, query infos, and install events all live
+  // in the crashed run's trace — and reinstates plans, anchors, and the
+  // per-item merge state bit-exactly from the snapshot instead.
+  if (!rec_restart) {
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      obs::TraceQueryInfo info;
-      info.query = queries[qi].id;
-      info.node = tnode;
-      if (sharded) info.shard = st.query_shard[qi];
-      info.qab = queries[qi].qab;
-      for (VarId v : queries[qi].p.Variables()) {
-        info.items.push_back(static_cast<int32_t>(v));
+      auto plan = core::PlanQueryParts(queries[qi], st.view, rates,
+                                       planner_cfg);
+      if (!plan.ok()) {
+        return Status::Internal("initial planning failed for query " +
+                                std::to_string(queries[qi].id) + ": " +
+                                plan.status().ToString());
       }
-      trace->AddQueryInfo(std::move(info));
+      st.plans[qi] = std::move(plan).value();
+      st.anchors[qi].resize(st.plans[qi].parts.size());
+      for (size_t pi = 0; pi < st.plans[qi].parts.size(); ++pi) {
+        anchor_part(qi, pi);
+      }
+      if (config.paranoid_validation) {
+        Status valid = core::ValidatePlan(st.plans[qi], st.view);
+        if (!valid.ok()) {
+          return Status::Internal("plan validation failed for query " +
+                                  std::to_string(queries[qi].id) + ": " +
+                                  valid.ToString());
+        }
+      }
     }
-    // The initial plan's filters install synchronously at time zero
-    // (cause 0); items no query uses keep an infinite width and never
-    // refresh, so they are not recorded.
+    st.min_primary.resize(n_items);
+    st.installed_dab.resize(n_items);
     for (size_t i = 0; i < n_items; ++i) {
-      if (std::isinf(st.installed_dab[i])) continue;
-      obs::TraceEvent e;
-      e.kind = obs::TraceEventKind::kDabChangeInstalled;
-      e.node = tnode;
-      e.item = static_cast<int32_t>(i);
-      e.a = st.installed_dab[i];
-      trace->Emit(e);
+      st.min_primary[i] = ItemMinPrimary(st, static_cast<int>(i));
+      st.installed_dab[i] = st.min_primary[i];
     }
+    if (trace != nullptr) {
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        obs::TraceQueryInfo info;
+        info.query = queries[qi].id;
+        info.node = tnode;
+        if (sharded) info.shard = st.query_shard[qi];
+        info.qab = queries[qi].qab;
+        for (VarId v : queries[qi].p.Variables()) {
+          info.items.push_back(static_cast<int32_t>(v));
+        }
+        trace->AddQueryInfo(std::move(info));
+      }
+      // The initial plan's filters install synchronously at time zero
+      // (cause 0); items no query uses keep an infinite width and never
+      // refresh, so they are not recorded.
+      for (size_t i = 0; i < n_items; ++i) {
+        if (std::isinf(st.installed_dab[i])) continue;
+        obs::TraceEvent e;
+        e.kind = obs::TraceEventKind::kDabChangeInstalled;
+        e.node = tnode;
+        e.item = static_cast<int32_t>(i);
+        e.a = st.installed_dab[i];
+        trace->Emit(e);
+      }
+    }
+  } else {
+    for (const recovery::CheckpointPart& cp : ckpt->parts) {
+      if (cp.slot < 0 || static_cast<size_t>(cp.slot) >= queries.size()) {
+        return Status::InvalidArgument(
+            "restart: checkpoint part references slot " +
+            std::to_string(cp.slot) + " out of range");
+      }
+      const size_t slot = static_cast<size_t>(cp.slot);
+      if (static_cast<size_t>(cp.part) != st.plans[slot].parts.size()) {
+        return Status::InvalidArgument(
+            "restart: checkpoint part records for slot " +
+            std::to_string(cp.slot) + " out of order");
+      }
+      core::PlanPart part;
+      part.subquery.id = queries[slot].id;
+      part.subquery.qab = cp.pqab;
+      Status ps = recovery::DecodePolynomial(cp.poly, &part.subquery.p);
+      if (!ps.ok()) {
+        return Status::InvalidArgument(
+            "restart: bad part polynomial in checkpoint: " + ps.message());
+      }
+      part.dabs.vars.reserve(cp.vars.size());
+      for (int v : cp.vars) {
+        part.dabs.vars.push_back(static_cast<VarId>(v));
+      }
+      POLYDAB_RETURN_NOT_OK(
+          recovery::DecodeVector(cp.primary, &part.dabs.primary));
+      POLYDAB_RETURN_NOT_OK(
+          recovery::DecodeVector(cp.secondary, &part.dabs.secondary));
+      part.dabs.recompute_rate = cp.recompute_rate;
+      part.dabs.single_dab = cp.single_dab;
+      part.dabs.never_stale = cp.never_stale;
+      if (part.dabs.primary.size() != part.dabs.vars.size() ||
+          part.dabs.secondary.size() != part.dabs.vars.size()) {
+        return Status::InvalidArgument(
+            "restart: checkpoint part DAB widths disagree with its "
+            "variable list");
+      }
+      Vector anchor;
+      POLYDAB_RETURN_NOT_OK(recovery::DecodeVector(cp.anchor, &anchor));
+      if (anchor.size() != part.dabs.vars.size()) {
+        return Status::InvalidArgument(
+            "restart: checkpoint part anchor width mismatch");
+      }
+      st.plans[slot].parts.push_back(std::move(part));
+      st.anchors[slot].push_back(std::move(anchor));
+    }
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      st.violated_time[qi] = ckpt->queries[qi].violated_time;
+    }
+    if (ckpt->min_primary.size() != n_items ||
+        ckpt->installed_dab.size() != n_items) {
+      return Status::InvalidArgument(
+          "restart: checkpoint DAB-vector width mismatch");
+    }
+    st.min_primary = ckpt->min_primary;
+    st.installed_dab = ckpt->installed_dab;
   }
 
   // Per-service scratch for the lane clocks: busy time accrued on each
@@ -1067,6 +1380,9 @@ Result<SimMetrics> RunSimulation(
         std::max(cur_now, st.shard_free_at[lane_s]) + busy;
     emit_plan_patch(reg_id);
     ship_churn_changes(items, reg_id, q.id, lane);
+    if (wal_file != nullptr && replay_done) {
+      recovery::AppendWalChurn(wal_file.get(), cur_tick, "register", q.id);
+    }
     return Status::OK();
   };
 
@@ -1109,6 +1425,9 @@ Result<SimMetrics> RunSimulation(
         std::max(cur_now, st.shard_free_at[lane_s]) + busy;
     emit_plan_patch(mod_id);
     ship_churn_changes(queries[q].p.Variables(), mod_id, query_id, lane);
+    if (wal_file != nullptr && replay_done) {
+      recovery::AppendWalChurn(wal_file.get(), cur_tick, "modify", query_id);
+    }
     return Status::OK();
   };
 
@@ -1147,6 +1466,10 @@ Result<SimMetrics> RunSimulation(
     // Dropping a query is bookkeeping, not solver work: no lane charge.
     emit_plan_patch(de_id);
     ship_churn_changes(items, de_id, /*q_id=*/-1, /*q_lane=*/-1);
+    if (wal_file != nullptr && replay_done) {
+      recovery::AppendWalChurn(wal_file.get(), cur_tick, "deregister",
+                               query_id);
+    }
     return Status::OK();
   };
 
@@ -1628,11 +1951,406 @@ Result<SimMetrics> RunSimulation(
   // streaming run length is discovered, not declared.
   int ticks_seen = 1;
 
-  for (int tick = 1;; ++tick) {
+  // Assemble a full snapshot of the coordinator's mutable state at the
+  // end of tick `tick` (docs/RECOVERY.md). `end_id` is the id the
+  // checkpoint_end event will get (0 untraced); the restart resumes event
+  // numbering at end_id + 1.
+  auto build_checkpoint = [&](int tick, uint64_t end_id) {
+    recovery::CheckpointState snap;
+    snap.tick = tick;
+    snap.ticks_seen = ticks_seen;
+    snap.config_fp = config_fp;
+    snap.num_items = static_cast<int>(n_items);
+    snap.num_sources = num_sources;
+    snap.num_shards = num_shards;
+    snap.trace_next_id = end_id == 0 ? 0 : end_id + 1;
+    snap.ckpt_end_id = end_id;
+    snap.fault_mode = fault_mode;
+    snap.dqi_built = dqi != nullptr;
+    snap.updates_since_rebase = view_eval.updates_since_rebase();
+    snap.refreshes = metrics.refreshes;
+    snap.recomputations = metrics.recomputations;
+    snap.dab_change_messages = metrics.dab_change_messages;
+    snap.user_notifications = metrics.user_notifications;
+    snap.solver_failures = metrics.solver_failures;
+    snap.fault_drops = metrics.fault_drops;
+    snap.retransmits = metrics.retransmits;
+    snap.duplicates_suppressed = metrics.duplicates_suppressed;
+    snap.lease_expiries = metrics.lease_expiries;
+    snap.degraded_query_seconds = metrics.degraded_query_seconds;
+    snap.queries.reserve(queries.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      recovery::CheckpointQuery cq;
+      cq.id = queries[qi].id;
+      cq.qab = queries[qi].qab;
+      cq.poly = recovery::EncodePolynomial(queries[qi].p);
+      cq.alive = q_alive[qi] != 0;
+      cq.reg_tick = q_reg_tick[qi];
+      cq.dereg_tick = q_dereg_tick[qi] == std::numeric_limits<int>::max()
+                          ? -1
+                          : q_dereg_tick[qi];
+      cq.violated_time = st.violated_time[qi];
+      cq.last_user_value = last_user_value[qi];
+      cq.shard = st.query_shard[qi];
+      cq.query_value = view_eval.QueryValue(qi);
+      if (fault_mode) {
+        cq.degraded_items = degraded_items[qi];
+        cq.degrade_event = degrade_event[qi];
+      }
+      snap.queries.push_back(std::move(cq));
+    }
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      for (size_t pi = 0; pi < st.plans[qi].parts.size(); ++pi) {
+        const core::PlanPart& part = st.plans[qi].parts[pi];
+        recovery::CheckpointPart cp;
+        cp.slot = static_cast<int>(qi);
+        cp.part = static_cast<int>(pi);
+        cp.poly = recovery::EncodePolynomial(part.subquery.p);
+        cp.pqab = part.subquery.qab;
+        cp.vars.reserve(part.dabs.vars.size());
+        for (VarId v : part.dabs.vars) {
+          cp.vars.push_back(static_cast<int>(v));
+        }
+        cp.primary = recovery::EncodeVector(part.dabs.primary);
+        cp.secondary = recovery::EncodeVector(part.dabs.secondary);
+        cp.recompute_rate = part.dabs.recompute_rate;
+        cp.single_dab = part.dabs.single_dab;
+        cp.never_stale = part.dabs.never_stale;
+        cp.anchor = recovery::EncodeVector(st.anchors[qi][pi]);
+        snap.parts.push_back(std::move(cp));
+      }
+    }
+    snap.view = st.view;
+    snap.source_value = st.source_value;
+    snap.last_pushed = st.last_pushed;
+    snap.installed_dab = st.installed_dab;
+    snap.min_primary = st.min_primary;
+    snap.item_home_shard = st.item_home_shard;
+    snap.item_queries = st.item_queries;
+    snap.item_shards = st.item_shards;
+    snap.shard_free_at = st.shard_free_at;
+    snap.events.reserve(st.events.c.size());
+    for (const Event& ev : st.events.c) {
+      recovery::CheckpointEvent ce;
+      ce.time = ev.time;
+      ce.type = static_cast<int>(ev.type);
+      ce.item = ev.item;
+      ce.value = ev.value;
+      ce.trace_id = ev.trace_id;
+      ce.wait = ev.wait;
+      ce.seq = ev.seq;
+      snap.events.push_back(ce);
+    }
+    if (fault_mode) {
+      snap.sources.reserve(static_cast<size_t>(num_sources));
+      for (int s = 0; s < num_sources; ++s) {
+        const size_t ss = static_cast<size_t>(s);
+        recovery::CheckpointSource cs;
+        cs.source = s;
+        cs.crashed_until = crashed_until[ss];
+        cs.crash_event = crash_event[ss];
+        cs.next_heartbeat = next_heartbeat[ss];
+        cs.last_contact = last_contact[ss];
+        cs.contact_event = contact_event[ss];
+        snap.sources.push_back(cs);
+      }
+      snap.item_fault.reserve(n_items);
+      for (size_t i = 0; i < n_items; ++i) {
+        recovery::CheckpointItemFault cf;
+        cf.item = static_cast<int>(i);
+        cf.next_seq = next_seq[i];
+        cf.delivered_seq = delivered_seq[i];
+        cf.drop_seq = drop_seq[i];
+        cf.drop_eid = drop_eid[i];
+        cf.expired = item_expired[i] != 0;
+        cf.expire_event = expire_event[i];
+        cf.pending_live = pending[i].live;
+        cf.pending_seq = pending[i].seq;
+        cf.pending_value = pending[i].value;
+        cf.pending_emit_id = pending[i].emit_id;
+        cf.pending_next_retx = pending[i].next_retx;
+        cf.pending_attempts = pending[i].attempts;
+        snap.item_fault.push_back(cf);
+      }
+    }
+    if (config.registry != nullptr) {
+      for (const obs::MetricRegistry::Entry& en : config.registry->Entries()) {
+        recovery::CheckpointInstrument ci;
+        ci.name = en.name;
+        switch (en.kind) {
+          case obs::InstrumentKind::kCounter:
+            ci.kind = 'c';
+            ci.count = en.counter->value();
+            break;
+          case obs::InstrumentKind::kGauge:
+            ci.kind = 'g';
+            ci.value = en.gauge->value();
+            break;
+          case obs::InstrumentKind::kHistogram:
+            ci.kind = 'h';
+            en.histogram->SnapshotState(&ci.buckets, &ci.count, &ci.sum,
+                                        &ci.raw_min, &ci.raw_max);
+            break;
+        }
+        snap.instruments.push_back(std::move(ci));
+      }
+    }
     {
-      auto more = source.Next(&row);
-      if (!more.ok()) return more.status();
-      if (!*more) break;
+      std::ostringstream os;
+      os << delays.rng().engine();
+      snap.delay_rng = os.str();
+    }
+    {
+      std::ostringstream os;
+      os << faults.rng().engine();
+      snap.fault_rng = os.str();
+    }
+    if (config.service != nullptr) {
+      snap.service_state = config.service->SnapshotState();
+    }
+    return snap;
+  };
+
+  // ---- Restart: apply the remaining snapshot state and stage the WAL
+  // replay. Everything structural (queries, plans, lanes, fault tables)
+  // was restored above; what's left is the exact mutable tail — the
+  // evaluator's delta chain, user-visible values, churn clocks, the
+  // in-flight event heap, both RNG streams, telemetry, and the service
+  // driver — plus the post-checkpoint rows to re-run. ----
+  if (rec_restart) {
+    last_ckpt_end_id = ckpt->ckpt_end_id;
+    {
+      Vector qvals(queries.size());
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        qvals[qi] = ckpt->queries[qi].query_value;
+      }
+      view_eval.RestoreState(st.view, std::move(qvals),
+                             ckpt->updates_since_rebase);
+    }
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const recovery::CheckpointQuery& cq = ckpt->queries[qi];
+      last_user_value[qi] = cq.last_user_value;
+      q_alive[qi] = cq.alive ? 1 : 0;
+      q_reg_tick[qi] = cq.reg_tick;
+      q_dereg_tick[qi] =
+          cq.dereg_tick < 0 ? std::numeric_limits<int>::max() : cq.dereg_tick;
+    }
+    if (ckpt->dqi_built) {
+      // Rebuild the dynamic index by replaying membership: every slot is
+      // added in slot order (so dqi slot i == query index i, the
+      // ensure_dqi invariant), then the dead ones removed. ComponentMin
+      // and the shard assignment are content-determined, so the rebuilt
+      // index answers identically to the crashed run's.
+      ensure_dqi();
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        if (q_alive[qi] == 0) {
+          dqi->RemoveQuery(static_cast<int>(qi));
+        }
+      }
+    }
+    st.events.c.clear();
+    st.events.c.reserve(ckpt->events.size());
+    for (const recovery::CheckpointEvent& ce : ckpt->events) {
+      Event ev{ce.time, static_cast<EventType>(ce.type), ce.item, ce.value,
+               ce.trace_id, ce.wait};
+      ev.seq = ce.seq;
+      st.events.c.push_back(ev);
+    }
+    {
+      std::istringstream in(ckpt->delay_rng);
+      in >> delays.rng().engine();
+      if (in.fail()) {
+        return Status::InvalidArgument(
+            "restart: bad delay-RNG stream state in checkpoint");
+      }
+    }
+    {
+      std::istringstream in(ckpt->fault_rng);
+      in >> faults.rng().engine();
+      if (in.fail()) {
+        return Status::InvalidArgument(
+            "restart: bad fault-RNG stream state in checkpoint");
+      }
+    }
+    if (config.registry != nullptr) {
+      for (const recovery::CheckpointInstrument& ci : ckpt->instruments) {
+        if (ci.kind == 'c') {
+          obs::Counter* c = config.registry->GetCounter(ci.name);
+          c->Add(ci.count - c->value());
+        } else if (ci.kind == 'g') {
+          config.registry->GetGauge(ci.name)->Set(ci.value);
+        } else {
+          config.registry->GetHistogram(ci.name)->RestoreState(
+              ci.buckets, ci.count, ci.sum, ci.raw_min, ci.raw_max);
+        }
+      }
+    } else if (!ckpt->instruments.empty()) {
+      return Status::InvalidArgument(
+          "restart: checkpoint carries registry instruments but the "
+          "restart has no metric registry attached");
+    }
+    if (config.service != nullptr) {
+      POLYDAB_RETURN_NOT_OK(config.service->RestoreState(ckpt->service_state));
+    } else if (!ckpt->service_state.empty()) {
+      return Status::InvalidArgument(
+          "restart: checkpoint carries service-driver state but no "
+          "service driver is attached");
+    }
+    if (trace != nullptr) {
+      if (ckpt->trace_next_id == 0) {
+        return Status::InvalidArgument(
+            "restart: checkpoint was taken untraced but the restart has a "
+            "trace sink");
+      }
+      // Continue event numbering where the snapshot left off, and hold
+      // back query infos while replaying: the crashed trace already has
+      // every info recorded before the crash.
+      trace->SetNextId(ckpt->trace_next_id);
+      trace->SuppressQueryInfos(true);
+    } else if (ckpt->trace_next_id != 0) {
+      return Status::InvalidArgument(
+          "restart: checkpoint was taken traced but the restart has no "
+          "trace sink");
+    }
+    ticks_seen = ckpt->ticks_seen;
+    if (ckpt->shard_free_at.size() != static_cast<size_t>(num_shards)) {
+      return Status::InvalidArgument(
+          "restart: checkpoint lane-clock width mismatch");
+    }
+    st.shard_free_at = ckpt->shard_free_at;
+    tick_refresh_base = metrics.refreshes;
+    tick_recompute_base = metrics.recomputations;
+    // Stage the replay: every WAL row after the snapshot and before the
+    // crash marker, in tick order, gap-free.
+    crash_marker = recovery::LastCrashMarker(*rec->wal);
+    if (crash_marker == nullptr) {
+      return Status::InvalidArgument(
+          "restart: WAL has no crash marker (the crashed run did not "
+          "terminate through the injector)");
+    }
+    if (crash_marker->tick <= ckpt->tick) {
+      return Status::InvalidArgument(
+          "restart: WAL crash marker (tick " +
+          std::to_string(crash_marker->tick) +
+          ") precedes the checkpoint (tick " + std::to_string(ckpt->tick) +
+          "); checkpoint and WAL files disagree");
+    }
+    if (crash_marker->cause != last_ckpt_end_id) {
+      return Status::InvalidArgument(
+          "restart: WAL crash marker cites checkpoint_end id " +
+          std::to_string(crash_marker->cause) +
+          " but the loaded snapshot's is " +
+          std::to_string(last_ckpt_end_id));
+    }
+    int expect = ckpt->tick + 1;
+    for (const recovery::WalRecord& r : *rec->wal) {
+      if (r.kind != recovery::WalRecord::Kind::kRow) continue;
+      if (r.tick <= ckpt->tick || r.tick >= crash_marker->tick) continue;
+      if (r.tick != expect) {
+        return Status::InvalidArgument(
+            "restart: WAL rows are not contiguous (expected tick " +
+            std::to_string(expect) + ", found tick " +
+            std::to_string(r.tick) + ")");
+      }
+      if (r.values.size() != n_items) {
+        return Status::InvalidArgument(
+            "restart: WAL row at tick " + std::to_string(r.tick) +
+            " has width " + std::to_string(r.values.size()) +
+            ", expected " + std::to_string(n_items));
+      }
+      replay_rows.push_back(&r);
+      ++expect;
+    }
+    if (expect != crash_marker->tick) {
+      return Status::InvalidArgument(
+          "restart: WAL is missing rows between the checkpoint (tick " +
+          std::to_string(ckpt->tick) + ") and the crash (tick " +
+          std::to_string(crash_marker->tick) + ")");
+    }
+    replay_done = false;
+  }
+
+  for (int tick = rec_restart ? ckpt->tick + 1 : 1;; ++tick) {
+    if (!replay_done && replay_idx >= replay_rows.size()) {
+      // WAL exhausted: this is exactly the crashed run's crash instant.
+      // Re-emit the coord_crash replica — its id must reproduce the
+      // marker's, a built-in replay-determinism self-check — then mark
+      // the recovery boundary and fall through to live consumption.
+      replay_done = true;
+      if (trace != nullptr) {
+        const double ct = static_cast<double>(tick);
+        trace->SetNow(ct);
+        obs::TraceEvent e;
+        e.time = ct;
+        e.kind = obs::TraceEventKind::kCoordCrash;
+        e.node = tnode;
+        e.cause = last_ckpt_end_id;
+        e.flag = tick;
+        const uint64_t xid = trace->Emit(e);
+        if (xid != crash_marker->event_id) {
+          return Status::Internal(
+              "recovery replay diverged: coord_crash replica got event id " +
+              std::to_string(xid) + " but the crashed run recorded " +
+              std::to_string(crash_marker->event_id));
+        }
+        obs::TraceEvent r2;
+        r2.time = ct;
+        r2.kind = obs::TraceEventKind::kRecoveryReplay;
+        r2.node = tnode;
+        r2.cause = xid;
+        r2.a = static_cast<double>(replay_rows.size());
+        r2.b = static_cast<double>(ckpt->tick);
+        trace->Emit(r2);
+        trace->SuppressQueryInfos(false);
+      }
+    }
+    if (!replay_done) {
+      const recovery::WalRecord* wr = replay_rows[replay_idx++];
+      if (wr->tick != tick) {
+        return Status::Internal("recovery replay desynchronized at tick " +
+                                std::to_string(tick));
+      }
+      row = wr->values;
+    } else {
+      if (rec != nullptr && rec->crash_at_tick == tick) {
+        // --- Injected coordinator crash: top of the tick, before the
+        // tick's row is consumed, so the WAL's last row is tick - 1 and
+        // the restart resumes by replaying up to exactly here. The
+        // partial metrics go back to the caller; rec->crashed tells the
+        // tool this was the injector, not a normal end-of-trace. ---
+        uint64_t xid = 0;
+        if (trace != nullptr) {
+          const double ct = static_cast<double>(tick);
+          trace->SetNow(ct);
+          obs::TraceEvent e;
+          e.time = ct;
+          e.kind = obs::TraceEventKind::kCoordCrash;
+          e.node = tnode;
+          e.cause = last_ckpt_end_id;
+          e.flag = tick;
+          xid = trace->Emit(e);
+        }
+        if (wal_file != nullptr) {
+          recovery::AppendWalCrash(wal_file.get(), tick, xid,
+                                   last_ckpt_end_id);
+          std::fflush(wal_file.get());
+        }
+        rec->crashed = true;
+        rec->crash_event_id = xid;
+        if (threaded) {
+          POLYDAB_RETURN_NOT_OK(pool.Quiesce());
+          pool.Stop();
+        }
+        return metrics;
+      }
+      {
+        auto more = source.Next(&row);
+        if (!more.ok()) return more.status();
+        if (!*more) break;
+      }
+      if (wal_file != nullptr) {
+        recovery::AppendWalRow(wal_file.get(), tick, row);
+      }
     }
     ++ticks_seen;
     const double now = static_cast<double>(tick);
@@ -2034,6 +2752,45 @@ Result<SimMetrics> RunSimulation(
     //    every later-timed event (the trace stays time-monotonic).
     if (config.series != nullptr) {
       config.series->OnTickEnd(now);
+    }
+
+    // 7. Durable checkpoint at the configured simulated-time cadence
+    //    (docs/RECOVERY.md). Taken at the tick boundary — the lane pool
+    //    holds no in-flight work between ticks, so the snapshot is a
+    //    consistent cut even under threads > 0 — and bracketed by
+    //    checkpoint_begin / checkpoint_end events whose ids the snapshot
+    //    itself records; the restart continues numbering after them.
+    //    `replay_done` is always true by now (the replay span never
+    //    contains a cadence tick, since the snapshot tick is itself the
+    //    last cadence multiple before the crash), kept as a guard.
+    if (rec_ckpt && replay_done && tick % rec->interval_s == 0) {
+      uint64_t begin_id = 0;
+      if (trace != nullptr) {
+        trace->SetNow(now);
+        obs::TraceEvent e;
+        e.time = now;
+        e.kind = obs::TraceEventKind::kCheckpointBegin;
+        e.node = tnode;
+        e.a = static_cast<double>(tick);
+        begin_id = trace->Emit(e);
+      }
+      const uint64_t end_id = begin_id == 0 ? 0 : begin_id + 1;
+      POLYDAB_RETURN_NOT_OK(recovery::WriteCheckpoint(
+          build_checkpoint(tick, end_id), rec->checkpoint_path));
+      if (wal_file != nullptr) std::fflush(wal_file.get());
+      if (trace != nullptr) {
+        obs::TraceEvent e;
+        e.time = now;
+        e.kind = obs::TraceEventKind::kCheckpointEnd;
+        e.node = tnode;
+        e.cause = begin_id;
+        const uint64_t got = trace->Emit(e);
+        if (got != end_id) {
+          return Status::Internal(
+              "checkpoint events interleaved with a concurrent emission");
+        }
+      }
+      last_ckpt_end_id = end_id;
     }
   }
 

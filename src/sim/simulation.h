@@ -41,6 +41,10 @@ namespace polydab::obs {
 class SeriesRecorder;  // obs/timeseries.h; kept out of this header's deps
 }
 
+namespace polydab::recovery {
+struct RecoveryConfig;  // recovery/recovery.h; kept out of this header's deps
+}
+
 namespace polydab::sim {
 
 /// How queries are partitioned across coordinator lanes when
@@ -125,6 +129,22 @@ class ServiceHooks {
  public:
   virtual ~ServiceHooks() = default;
   virtual Status OnTick(int tick, double now, ServiceOps& ops) = 0;
+
+  /// Crash-recovery checkpoint support (src/recovery/,
+  /// docs/RECOVERY.md): serialize the driver's full mutable state into an
+  /// opaque string the checkpoint embeds, and reinstate it on restart.
+  /// The base implementations are for stateless drivers; a stateful
+  /// driver (svc::QueryService) must round-trip bit-exactly or the
+  /// restarted run diverges from the oracle.
+  virtual std::string SnapshotState() const { return std::string(); }
+  virtual Status RestoreState(const std::string& state) {
+    if (!state.empty()) {
+      return Status::InvalidArgument(
+          "service driver has no state restore but checkpoint carries "
+          "service state");
+    }
+    return Status::OK();
+  }
 };
 
 struct SimConfig {
@@ -262,6 +282,16 @@ struct SimConfig {
   /// Plan-maintenance strategy for runtime churn; ignored without a
   /// service driver. kRebuild is the checked from-scratch fallback.
   PlanMaintenance plan_maintenance = PlanMaintenance::kIncremental;
+  /// Optional crash-recovery layer (src/recovery/recovery.h,
+  /// docs/RECOVERY.md): durable coordinator checkpoints at a simulated-
+  /// time cadence, a write-ahead log of consumed ticks, an injected
+  /// coordinator crash, and a restart path that resumes a crashed run
+  /// bit-identically. Null (the default) leaves the run byte-identical
+  /// (trace, metrics, registry) to a build without the recovery layer.
+  /// Incompatible with `series`, solve_batch/solve_cache > 0,
+  /// aao_period_s > 0 and rt_fail_at > 0. Not owned; must outlive the
+  /// run; `crashed`/`crash_event_id` are written back as outputs.
+  recovery::RecoveryConfig* recovery = nullptr;
 
   /// One-line rendering of the full configuration, for run reports and
   /// test-failure messages.

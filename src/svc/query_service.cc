@@ -1,7 +1,10 @@
 #include "svc/query_service.h"
 
 #include <chrono>
+#include <sstream>
 #include <utility>
+
+#include "recovery/codec.h"
 
 namespace polydab::svc {
 
@@ -168,6 +171,111 @@ Status QueryService::DoModify(const workload::ChurnOp& op,
   it->second.estimate = estimate;
   ++modifications_;
   if (m_modifications_ != nullptr) m_modifications_->Inc();
+  return Status::OK();
+}
+
+namespace {
+constexpr char kStateVersion[] = "polydab.svcstate.v1";
+}  // namespace
+
+std::string QueryService::SnapshotState() const {
+  // Line format, one record per line; every double goes through the
+  // recovery codec so the round trip is bit-exact. The schedule itself is
+  // reconstructed by the caller (same workload config), so only the
+  // cursor is recorded.
+  std::string out = kStateVersion;
+  out += "\nnext_op ";
+  out += std::to_string(next_op_);
+  out += "\nused ";
+  out += recovery::EncodeDouble(used_budget_);
+  out += "\ncounts ";
+  out += std::to_string(registrations_);
+  out += ' ';
+  out += std::to_string(deregistrations_);
+  out += ' ';
+  out += std::to_string(modifications_);
+  out += ' ';
+  out += std::to_string(rejections_);
+  out += ' ';
+  out += std::to_string(degraded_);
+  for (const auto& [id, lq] : live_) {
+    out += "\nlive ";
+    out += std::to_string(id);
+    out += ' ';
+    out += recovery::EncodeDouble(lq.query.qab);
+    out += ' ';
+    out += recovery::EncodeDouble(lq.estimate);
+    out += ' ';
+    // EncodePolynomial never contains spaces, so it can close the line.
+    out += recovery::EncodePolynomial(lq.query.p);
+  }
+  return out;
+}
+
+Status QueryService::RestoreState(const std::string& state) {
+  std::istringstream in(state);
+  std::string line;
+  if (!std::getline(in, line) || line != kStateVersion) {
+    return Status::InvalidArgument(
+        "service state: expected version header '" +
+        std::string(kStateVersion) + "', found '" + line + "'");
+  }
+  live_.clear();
+  bool have_next = false, have_used = false, have_counts = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "next_op") {
+      long long v = 0;
+      ls >> v;
+      if (ls.fail() || v < 0) {
+        return Status::InvalidArgument("service state: bad next_op line");
+      }
+      next_op_ = static_cast<size_t>(v);
+      have_next = true;
+    } else if (key == "used") {
+      std::string tok;
+      ls >> tok;
+      POLYDAB_RETURN_NOT_OK(recovery::DecodeDouble(tok, &used_budget_));
+      have_used = true;
+    } else if (key == "counts") {
+      ls >> registrations_ >> deregistrations_ >> modifications_ >>
+          rejections_ >> degraded_;
+      if (ls.fail()) {
+        return Status::InvalidArgument("service state: bad counts line");
+      }
+      have_counts = true;
+    } else if (key == "live") {
+      int id = 0;
+      std::string qab_tok, est_tok, poly_tok;
+      ls >> id >> qab_tok >> est_tok >> poly_tok;
+      if (ls.fail()) {
+        return Status::InvalidArgument("service state: bad live line");
+      }
+      LiveQuery lq;
+      lq.query.id = id;
+      POLYDAB_RETURN_NOT_OK(recovery::DecodeDouble(qab_tok, &lq.query.qab));
+      POLYDAB_RETURN_NOT_OK(recovery::DecodeDouble(est_tok, &lq.estimate));
+      POLYDAB_RETURN_NOT_OK(recovery::DecodePolynomial(poly_tok, &lq.query.p));
+      if (!live_.emplace(id, std::move(lq)).second) {
+        return Status::InvalidArgument(
+            "service state: duplicate live query id " + std::to_string(id));
+      }
+    } else {
+      return Status::InvalidArgument("service state: unknown key '" + key +
+                                     "'");
+    }
+  }
+  if (!have_next || !have_used || !have_counts) {
+    return Status::InvalidArgument(
+        "service state: missing next_op/used/counts record");
+  }
+  if (next_op_ > schedule_.size()) {
+    return Status::InvalidArgument(
+        "service state: cursor " + std::to_string(next_op_) +
+        " beyond schedule length " + std::to_string(schedule_.size()));
+  }
   return Status::OK();
 }
 

@@ -77,6 +77,15 @@ class QueryService final : public sim::ServiceHooks {
   /// Engine callback: apply every scheduled op with time <= now.
   Status OnTick(int tick, double now, sim::ServiceOps& ops) override;
 
+  /// Crash-recovery round trip (src/recovery/, docs/RECOVERY.md): the
+  /// driver's full mutable bookkeeping — schedule cursor, live-query
+  /// table with admission charges, outcome counters — in a versioned
+  /// line format embedded opaquely in the engine checkpoint. Restore is
+  /// strict: version skew, unknown keys, or malformed values are
+  /// InvalidArgument, never a silent partial load.
+  std::string SnapshotState() const override;
+  Status RestoreState(const std::string& state) override;
+
   // Outcome accessors (tests, run reports).
   int64_t registrations() const { return registrations_; }
   int64_t deregistrations() const { return deregistrations_; }

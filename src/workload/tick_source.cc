@@ -58,6 +58,26 @@ bool BlankLine(const std::string& line) {
   return true;
 }
 
+/// fgetc that survives signal interruption. On a pipe or socket a blocked
+/// read(2) returns EINTR when a signal lands (stdio does not restart it),
+/// which fgetc surfaces as EOF with ferror set and errno == EINTR —
+/// indistinguishable from a real end-of-stream unless checked. Retrying
+/// after clearerr resumes the read exactly where it stopped; stdio
+/// already reassembles short reads byte by byte, so this is the only gap.
+/// Real errors (and genuine EOF) still come back as EOF for the caller's
+/// ferror handling.
+int GetcRetry(std::FILE* f) {
+  for (;;) {
+    const int c = std::fgetc(f);
+    if (c != EOF) return c;
+    if (std::ferror(f) != 0 && errno == EINTR) {
+      std::clearerr(f);
+      continue;
+    }
+    return EOF;
+  }
+}
+
 /// Probe the first line: a non-numeric first line is a header (the
 /// trace_io.h convention), in which case the next line is the first data
 /// row. On success *first_row holds tick 0 and *num_items its width.
@@ -175,7 +195,7 @@ Result<std::unique_ptr<FdTickSource>> FdTickSource::Adopt(int fd) {
   auto read_line = [&src](std::string* line) {
     line->clear();
     int c;
-    while ((c = std::fgetc(src->file_)) != EOF) {
+    while ((c = GetcRetry(src->file_)) != EOF) {
       if (c == '\n') return true;
       line->push_back(static_cast<char>(c));
     }
@@ -210,9 +230,13 @@ Result<bool> FdTickSource::Next(Vector* row) {
   int c;
   while (true) {
     line.clear();
-    while ((c = std::fgetc(file_)) != EOF) {
+    while ((c = GetcRetry(file_)) != EOF) {
       if (c == '\n') break;
       line.push_back(static_cast<char>(c));
+    }
+    if (c == EOF && std::ferror(file_) != 0) {
+      return Status::Internal("read error on tick stream fd: " +
+                              std::string(std::strerror(errno)));
     }
     if (line.empty() && c == EOF) return false;
     ++line_no_;

@@ -23,7 +23,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <map>
 #include <string>
 
 #include "obs/metrics.h"
@@ -368,6 +370,99 @@ TEST_F(ChaosDiffTest, InvalidFaultConfigIsRejected) {
   f.drop_prob = 0.1;
   f.heartbeat_s = std::numeric_limits<double>::infinity();
   rejects(f, "infinite heartbeat_s");
+}
+
+TEST_F(ChaosDiffTest, RetransmitCapExhaustionDegradesAndStaysAttributed) {
+  // A black-hole network (every message dropped) drives each item's
+  // pending refresh far past the backoff cap: attempts keep climbing but
+  // the retry gap must pin at 8 x retx_timeout_s. The silence then lapses
+  // every lease, each affected query degrades exactly once, and every
+  // post-degrade fidelity violation stays attributed — first to the
+  // concrete drop fault (flag 2, cause = the drop event), then to the
+  // degradation announcement (flag 1, cause = the degrade event). The
+  // offline verifier replays the same blame scan, so CheckTrace green
+  // means the attribution chain survives end to end.
+  obs::TraceSink sink;
+  SimConfig c = Config(core::AssignmentMethod::kDualDab, 11);
+  c.fault.drop_prob = 1.0;
+  c.fault.retx_timeout_s = 0.5;
+  c.fault.heartbeat_s = 2.0;
+  // Long enough that values drift past their QABs well before the lease
+  // lapses: both attribution shapes (pre-degrade drop blame, post-degrade
+  // announcement blame) must appear in one run.
+  c.fault.lease_s = 60.0;
+  c.trace = &sink;
+  auto m = RunSimulation(queries_, traces_, rates_, c);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_GT(m->retransmits, 0);
+  EXPECT_GT(m->lease_expiries, 0);
+  EXPECT_GT(m->degraded_query_seconds, 0.0);
+
+  const obs::TraceFile trace = sink.Collect();
+  // Past the cap: attempts well beyond 3, and for one item the gaps
+  // between capped retries are exactly 8 x retx_timeout_s = 4 s.
+  double max_attempts = 0.0;
+  int32_t capped_item = -1;
+  for (const obs::TraceEvent& e : trace.events) {
+    if (e.kind != obs::TraceEventKind::kRetransmit) continue;
+    max_attempts = std::max(max_attempts, e.b);
+    if (e.b >= 6.0) capped_item = e.item;
+  }
+  EXPECT_GE(max_attempts, 6.0) << "cap never exhausted";
+  ASSERT_GE(capped_item, 0);
+  // Follow each retry chain (a retransmit's cause is the previous
+  // emission of the same seq): once an attempt count passes 3, the gap
+  // to the chained successor must pin at exactly 8 x retx_timeout_s.
+  std::map<uint64_t, const obs::TraceEvent*> retx_by_cause;
+  for (const obs::TraceEvent& e : trace.events) {
+    if (e.kind == obs::TraceEventKind::kRetransmit && e.cause != 0) {
+      retx_by_cause[e.cause] = &e;
+    }
+  }
+  int capped_gaps = 0;
+  for (const obs::TraceEvent& e : trace.events) {
+    if (e.kind != obs::TraceEventKind::kRetransmit || e.b < 3.0) continue;
+    const auto next = retx_by_cause.find(e.id);
+    if (next == retx_by_cause.end()) continue;  // chain ended (new seq)
+    EXPECT_DOUBLE_EQ(next->second->time - e.time,
+                     8.0 * c.fault.retx_timeout_s)
+        << "backoff gap drifted past the cap at attempt "
+        << next->second->b;
+    ++capped_gaps;
+  }
+  EXPECT_GT(capped_gaps, 0) << "no chained capped retries observed";
+
+  // Degrades fired, and both attribution shapes occur with their cause
+  // ids pointing at the right event kinds.
+  std::map<uint64_t, obs::TraceEventKind> kind_by_id;
+  for (const obs::TraceEvent& e : trace.events) kind_by_id[e.id] = e.kind;
+  int degrades = 0, blamed_on_drop = 0, blamed_on_degrade = 0;
+  for (const obs::TraceEvent& e : trace.events) {
+    if (e.kind == obs::TraceEventKind::kDegrade) ++degrades;
+    if (e.kind != obs::TraceEventKind::kFidelityViolation) continue;
+    ASSERT_NE(e.flag, 0) << "unattributed violation under a total "
+                            "blackout, event #" << e.id;
+    ASSERT_NE(e.cause, 0u);
+    const auto cause = kind_by_id.find(e.cause);
+    ASSERT_NE(cause, kind_by_id.end());
+    if (e.flag == 2) {
+      EXPECT_EQ(cause->second, obs::TraceEventKind::kFaultDrop);
+      ++blamed_on_drop;
+    } else {
+      ASSERT_EQ(e.flag, 1);
+      EXPECT_EQ(cause->second, obs::TraceEventKind::kDegrade);
+      ++blamed_on_degrade;
+    }
+  }
+  EXPECT_GT(degrades, 0);
+  EXPECT_GT(blamed_on_drop, 0) << "no violation traced to the drop fault";
+  EXPECT_GT(blamed_on_degrade, 0);
+
+  // The offline verifier re-derives the same blame scan and counters.
+  Result<obs::TraceCheckReport> checked =
+      obs::CheckTrace(trace, obs::TraceCheckOptions{});
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_TRUE(checked->ok()) << checked->ToText(trace);
 }
 
 TEST_F(ChaosDiffTest, InvalidDelayConfigIsRejected) {

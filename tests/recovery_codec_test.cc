@@ -1,0 +1,342 @@
+// Unit coverage for the durable-state codecs (src/recovery/,
+// docs/RECOVERY.md): checkpoint block round-trips on real engine
+// snapshots, WAL record round-trips, the latest-complete-block and
+// torn-trailing-block rules, and the strict-parse corruption diagnostics
+// the format guarantees — truncated final line, unknown keys, version
+// skew and digest mismatch are all InvalidArgument naming the line
+// number, never a silent partial load. The service-layer state string
+// (svc::QueryService::SnapshotState) gets the same strictness check.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "recovery/checkpoint.h"
+#include "recovery/recovery.h"
+#include "recovery/wal.h"
+#include "sim/simulation.h"
+#include "svc/query_service.h"
+#include "workload/query_gen.h"
+#include "workload/rate_estimator.h"
+
+namespace polydab::recovery {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteAll(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Produces genuine on-disk artifacts by running the engine with the
+/// checkpoint cadence on (no crash): a multi-block checkpoint file and a
+/// WAL with row records. Fault injection is enabled so the snapshot
+/// exercises the protocol-state sections too.
+class RecoveryCodecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Paths carry the test name: ctest runs each case as its own
+    // process, in parallel, all sharing TempDir.
+    const std::string unique =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ckpt_path_ = ::testing::TempDir() + "recovery_codec_" + unique + ".ckpt";
+    wal_path_ = ::testing::TempDir() + "recovery_codec_" + unique + ".wal";
+    std::remove(ckpt_path_.c_str());
+    std::remove(wal_path_.c_str());
+
+    Rng rng(4242);
+    workload::TraceSetConfig tc;
+    tc.num_items = 16;
+    tc.num_ticks = 90;
+    traces_ = *workload::GenerateTraceSet(tc, &rng);
+    rates_ = *workload::EstimateRates(traces_, 60);
+    workload::QueryGenConfig qc;
+    qc.num_items = 16;
+    queries_ = *workload::GeneratePortfolioQueries(6, qc,
+                                                   traces_.Snapshot(0), &rng);
+
+    RecoveryConfig rc;
+    rc.checkpoint_path = ckpt_path_;
+    rc.wal_path = wal_path_;
+    rc.interval_s = 30;
+    sim::SimConfig config;
+    config.seed = 7;
+    config.fault.drop_prob = 0.05;
+    config.recovery = &rc;
+    auto m = sim::RunSimulation(queries_, traces_, rates_, config);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+  }
+
+  void TearDown() override {
+    std::remove(ckpt_path_.c_str());
+    std::remove(wal_path_.c_str());
+  }
+
+  /// Expect LoadLatestCheckpoint to fail with a diagnostic carrying both
+  /// the line number and the named cause.
+  void ExpectCkptError(const std::string& text, int line,
+                       const std::string& needle) {
+    const std::string path = ckpt_path_ + ".bad";
+    WriteAll(path, text);
+    CheckpointState state;
+    Status loaded = LoadLatestCheckpoint(path, &state);
+    std::remove(path.c_str());
+    ASSERT_FALSE(loaded.ok()) << "expected failure: " << needle;
+    EXPECT_NE(loaded.ToString().find("line " + std::to_string(line)),
+              std::string::npos)
+        << loaded.ToString();
+    EXPECT_NE(loaded.ToString().find(needle), std::string::npos)
+        << loaded.ToString();
+  }
+
+  void ExpectWalError(const std::string& text, int line,
+                      const std::string& needle) {
+    const std::string path = wal_path_ + ".bad";
+    WriteAll(path, text);
+    std::vector<WalRecord> records;
+    Status loaded = LoadWal(path, &records);
+    std::remove(path.c_str());
+    ASSERT_FALSE(loaded.ok()) << "expected failure: " << needle;
+    EXPECT_NE(loaded.ToString().find("line " + std::to_string(line)),
+              std::string::npos)
+        << loaded.ToString();
+    EXPECT_NE(loaded.ToString().find(needle), std::string::npos)
+        << loaded.ToString();
+  }
+
+  workload::TraceSet traces_;
+  Vector rates_;
+  std::vector<PolynomialQuery> queries_;
+  std::string ckpt_path_;
+  std::string wal_path_;
+};
+
+TEST_F(RecoveryCodecTest, CheckpointRoundTripsFieldForField) {
+  CheckpointState loaded;
+  ASSERT_TRUE(LoadLatestCheckpoint(ckpt_path_, &loaded).ok());
+  EXPECT_EQ(loaded.tick, 60);  // the latest block (ticks 1..89 run)
+  EXPECT_FALSE(loaded.instruments.empty() && loaded.events.empty() &&
+               loaded.queries.empty());
+
+  const std::string copy_path =
+      ::testing::TempDir() + "recovery_codec_copy.ckpt";
+  std::remove(copy_path.c_str());
+  ASSERT_TRUE(WriteCheckpoint(loaded, copy_path).ok());
+  CheckpointState reloaded;
+  ASSERT_TRUE(LoadLatestCheckpoint(copy_path, &reloaded).ok());
+  std::remove(copy_path.c_str());
+
+  std::string diffs;
+  EXPECT_EQ(DiffCheckpoints(loaded, reloaded, 20, &diffs), 0) << diffs;
+}
+
+TEST_F(RecoveryCodecTest, LoaderTakesLatestCompleteBlock) {
+  // The 90-tick run with a 30 s cadence appended two blocks; tampering
+  // an *earlier* block's bytes must not matter, because only the last
+  // complete block is decoded and digest-checked.
+  std::string text = ReadAll(ckpt_path_);
+  const size_t first_hdr = text.find("\"t\":\"hdr\"");
+  ASSERT_NE(first_hdr, std::string::npos);
+  text.replace(text.find("\"tick\":30"), 9, "\"tick\":31");
+  const std::string path = ::testing::TempDir() + "recovery_codec_prev.ckpt";
+  WriteAll(path, text);
+  CheckpointState state;
+  Status loaded = LoadLatestCheckpoint(path, &state);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_EQ(state.tick, 60);
+}
+
+TEST_F(RecoveryCodecTest, TornTrailingBlockFallsBackToPreviousSnapshot) {
+  // A crash mid-write leaves a header with no digest footer at the end
+  // of the file; the loader must fall back to the previous snapshot.
+  std::vector<std::string> lines = SplitLines(ReadAll(ckpt_path_));
+  std::string torn = JoinLines(lines);
+  torn += lines[0];  // a fresh block header, then nothing
+  torn += '\n';
+  const std::string path = ::testing::TempDir() + "recovery_codec_torn.ckpt";
+  WriteAll(path, torn);
+  CheckpointState state;
+  Status loaded = LoadLatestCheckpoint(path, &state);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_EQ(state.tick, 60);
+}
+
+TEST_F(RecoveryCodecTest, TruncatedFinalLineIsNamedError) {
+  std::string text = ReadAll(ckpt_path_);
+  const int last_line = static_cast<int>(SplitLines(text).size());
+  text.resize(text.size() - 5);  // clip inside the digest footer
+  ExpectCkptError(text, last_line, "truncated record at end of file");
+}
+
+TEST_F(RecoveryCodecTest, TamperedBlockFailsTheDigest) {
+  std::vector<std::string> lines = SplitLines(ReadAll(ckpt_path_));
+  // Flip a value inside the *last* block (its header carries tick 60).
+  bool flipped = false;
+  for (std::string& line : lines) {
+    const size_t at = line.find("\"tick\":60");
+    if (at != std::string::npos) {
+      line.replace(at, 9, "\"tick\":61");
+      flipped = true;
+    }
+  }
+  ASSERT_TRUE(flipped);
+  ExpectCkptError(JoinLines(lines), static_cast<int>(lines.size()),
+                  "ckpt digest mismatch");
+}
+
+TEST_F(RecoveryCodecTest, UnknownKeyIsNamedError) {
+  std::vector<std::string> lines = SplitLines(ReadAll(ckpt_path_));
+  std::string& footer = lines.back();
+  ASSERT_NE(footer.find("\"t\":\"end\""), std::string::npos);
+  footer.insert(footer.find("\"digest\""), "\"zzz\":1,");
+  ExpectCkptError(JoinLines(lines), static_cast<int>(lines.size()),
+                  "unknown key 'zzz'");
+}
+
+TEST_F(RecoveryCodecTest, VersionSkewIsNamedErrorEvenWithAValidDigest) {
+  // Re-sign the tampered block so the version check — not the digest —
+  // is what rejects it: exactly what a snapshot written by a newer build
+  // would look like.
+  std::vector<std::string> lines = SplitLines(ReadAll(ckpt_path_));
+  int block_start = -1;
+  for (int i = static_cast<int>(lines.size()) - 1; i >= 0; --i) {
+    if (lines[i].find("\"t\":\"hdr\"") != std::string::npos) {
+      block_start = i;
+      break;
+    }
+  }
+  ASSERT_GE(block_start, 0);
+  const size_t at = lines[block_start].find("polydab.ckpt.v1");
+  ASSERT_NE(at, std::string::npos);
+  lines[block_start].replace(at, 15, "polydab.ckpt.v9");
+  uint32_t digest = kFnv1a32Seed;
+  for (size_t i = block_start; i + 1 < lines.size(); ++i) {
+    digest = Fnv1a32(lines[i].data(), lines[i].size(), digest);
+    digest = Fnv1a32("\n", 1, digest);
+  }
+  char footer[64];
+  std::snprintf(footer, sizeof(footer),
+                "{\"t\":\"end\",\"digest\":%u,\"n\":%zu}", digest,
+                lines.size() - 1 - block_start);
+  lines.back() = footer;
+  ExpectCkptError(JoinLines(lines), block_start + 1,
+                  "checkpoint version skew");
+}
+
+TEST_F(RecoveryCodecTest, WalRoundTripsEveryRecordKind) {
+  const std::string path = ::testing::TempDir() + "recovery_codec_rt.wal";
+  std::remove(path.c_str());
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  ASSERT_NE(f, nullptr);
+  AppendWalHeader(f);
+  Vector row;
+  row.push_back(1.5);
+  row.push_back(2.25);
+  AppendWalRow(f, 7, row);
+  AppendWalAck(f, 6.125, 3, 41);
+  AppendWalChurn(f, 8, "register", 12);
+  AppendWalCrash(f, 9, 777, 555);
+  std::fclose(f);
+
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(LoadWal(path, &records).ok());
+  std::remove(path.c_str());
+  // Header lines are consumed by the loader, not returned as records.
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].kind, WalRecord::Kind::kRow);
+  EXPECT_EQ(records[0].tick, 7);
+  ASSERT_EQ(records[0].values.size(), 2u);
+  EXPECT_EQ(records[0].values[0], 1.5);
+  EXPECT_EQ(records[0].values[1], 2.25);
+  EXPECT_EQ(records[1].kind, WalRecord::Kind::kAck);
+  EXPECT_EQ(records[1].time, 6.125);
+  EXPECT_EQ(records[1].item, 3);
+  EXPECT_EQ(records[1].seq, 41);
+  EXPECT_EQ(records[2].kind, WalRecord::Kind::kChurn);
+  EXPECT_EQ(records[2].op, "register");
+  EXPECT_EQ(records[2].query_id, 12);
+  EXPECT_EQ(records[3].kind, WalRecord::Kind::kCrash);
+  EXPECT_EQ(records[3].tick, 9);
+  EXPECT_EQ(records[3].event_id, 777u);
+  EXPECT_EQ(records[3].cause, 555u);
+  EXPECT_EQ(LastCrashMarker(records), &records[3]);
+}
+
+TEST_F(RecoveryCodecTest, WalWithoutCrashMarkerHasNoMarker) {
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(LoadWal(wal_path_, &records).ok());
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(LastCrashMarker(records), nullptr);  // the run ended cleanly
+}
+
+TEST_F(RecoveryCodecTest, WalCorruptionIsNamedError) {
+  std::string text = ReadAll(wal_path_);
+  const std::vector<std::string> lines = SplitLines(text);
+  const int n = static_cast<int>(lines.size());
+
+  std::string truncated = text;
+  truncated.resize(truncated.size() - 4);
+  ExpectWalError(truncated, n, "truncated record at end of file");
+
+  std::vector<std::string> skewed = lines;
+  const size_t at = skewed[0].find("polydab.wal.v1");
+  ASSERT_NE(at, std::string::npos);
+  skewed[0].replace(at, 14, "polydab.wal.v9");
+  ExpectWalError(JoinLines(skewed), 1, "wal version skew");
+
+  std::vector<std::string> unknown = lines;
+  ASSERT_NE(unknown[1].find("\"w\":\"row\""), std::string::npos);
+  unknown[1].insert(unknown[1].find("\"tick\""), "\"zzz\":2,");
+  ExpectWalError(JoinLines(unknown), 2, "unknown key 'zzz'");
+}
+
+TEST_F(RecoveryCodecTest, ServiceStateRestoreIsStrict) {
+  svc::AdmissionConfig ac;
+  std::vector<workload::ChurnOp> empty_schedule;
+  svc::QueryService service(ac, empty_schedule, nullptr,
+                            sim::PlanMaintenance::kIncremental);
+  const std::string state = service.SnapshotState();
+  ASSERT_NE(state.find("polydab.svcstate.v1"), std::string::npos);
+  EXPECT_TRUE(service.RestoreState(state).ok());
+
+  std::string skewed = state;
+  skewed.replace(skewed.find("polydab.svcstate.v1"), 19,
+                 "polydab.svcstate.v9");
+  Status bad = service.RestoreState(skewed);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.ToString().find("version"), std::string::npos)
+      << bad.ToString();
+}
+
+}  // namespace
+}  // namespace polydab::recovery

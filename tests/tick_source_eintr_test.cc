@@ -1,0 +1,125 @@
+// Regression tests for FdTickSource's resilience to the two failure
+// modes of reading a live pipe (docs/SERVICE.md "Streaming ingest"):
+//
+//  * short reads — the writer delivers the stream one byte at a time,
+//    so every fgetc-level read crosses a row boundary mid-cell;
+//  * EINTR — a signal lands while the reader is blocked in read(2).
+//    stdio does not restart the call: fgetc returns EOF with ferror set
+//    and errno == EINTR, which an unguarded loop mistakes for genuine
+//    end-of-stream and silently truncates the tick stream.
+//
+// The EINTR test installs a no-op SIGUSR1 handler WITHOUT SA_RESTART and
+// has the writer thread fire a signal at the reader before every byte it
+// writes, so with overwhelming probability many reads are interrupted
+// while blocked on an empty pipe — both inside Adopt's header probe and
+// inside Next.
+
+#include "workload/tick_source.h"
+
+#include <csignal>
+#include <cstdio>
+#include <pthread.h>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace polydab::workload {
+namespace {
+
+volatile sig_atomic_t g_signals_seen = 0;
+
+void OnSigusr1(int) { g_signals_seen = g_signals_seen + 1; }
+
+constexpr int kRows = 12;
+
+std::string MakeStream() {
+  std::string s = "a,b,c\n";
+  char buf[64];
+  for (int t = 0; t < kRows; ++t) {
+    std::snprintf(buf, sizeof(buf), "%.1f,%.1f,%.1f\n", t + 1.0, t + 1.5,
+                  t + 2.0);
+    s += buf;
+  }
+  return s;
+}
+
+void WriteByte(int fd, char c) {
+  while (true) {
+    const ssize_t n = write(fd, &c, 1);
+    if (n == 1) return;
+    ASSERT_TRUE(n < 0 && errno == EINTR) << "pipe write failed";
+  }
+}
+
+void DrainAndCheck(FdTickSource* src) {
+  ASSERT_EQ(src->num_items(), 3u);
+  Vector row;
+  for (int t = 0; t < kRows; ++t) {
+    Result<bool> got = src->Next(&row);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(*got) << "stream truncated at tick " << t;
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_DOUBLE_EQ(row[0], t + 1.0);
+    EXPECT_DOUBLE_EQ(row[1], t + 1.5);
+    EXPECT_DOUBLE_EQ(row[2], t + 2.0);
+  }
+  Result<bool> end = src->Next(&row);
+  ASSERT_TRUE(end.ok()) << end.status().ToString();
+  EXPECT_FALSE(*end);
+}
+
+TEST(FdTickSourceResilience, ReassemblesRowsFromByteAtATimePipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const std::string stream = MakeStream();
+  std::thread writer([&stream, fd = fds[1]] {
+    for (char c : stream) {
+      WriteByte(fd, c);
+      std::this_thread::yield();
+    }
+    close(fd);
+  });
+  Result<std::unique_ptr<FdTickSource>> src = FdTickSource::Adopt(fds[0]);
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  DrainAndCheck(src->get());
+  writer.join();
+}
+
+TEST(FdTickSourceResilience, SurvivesEintrWhileBlockedOnEmptyPipe) {
+  struct sigaction sa = {};
+  sa.sa_handler = OnSigusr1;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: read(2) must see EINTR
+  struct sigaction old = {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+  g_signals_seen = 0;
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const std::string stream = MakeStream();
+  const pthread_t reader = pthread_self();
+  std::thread writer([&stream, reader, fd = fds[1]] {
+    for (char c : stream) {
+      // Let the reader block on the empty pipe, then interrupt it before
+      // feeding the next byte. The handler is a no-op, so the only
+      // observable effect is read(2) failing with EINTR.
+      usleep(300);
+      pthread_kill(reader, SIGUSR1);
+      usleep(100);
+      WriteByte(fd, c);
+    }
+    close(fd);
+  });
+  Result<std::unique_ptr<FdTickSource>> src = FdTickSource::Adopt(fds[0]);
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  DrainAndCheck(src->get());
+  writer.join();
+  EXPECT_GT(g_signals_seen, 0) << "no signal was delivered; test is inert";
+  sigaction(SIGUSR1, &old, nullptr);
+}
+
+}  // namespace
+}  // namespace polydab::workload

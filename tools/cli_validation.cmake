@@ -62,6 +62,21 @@ set(bad_cases
   "solve-batch with threaded runtime\;solve-batch=8\;threads=2"
   "negative solve-cache\;solve-cache=-1"
   "non-numeric solve-cache\;solve-cache=big"
+  "ckpt-interval-s without ckpt-out\;ckpt-interval-s=30"
+  "zero ckpt-interval-s\;ckpt-out=c.ckpt\;ckpt-interval-s=0"
+  "non-numeric ckpt-interval-s\;ckpt-out=c.ckpt\;ckpt-interval-s=soon"
+  "coord-crash-at without durable outputs\;coord-crash-at=40"
+  "coord-crash-at with ckpt-out only\;ckpt-out=c.ckpt\;coord-crash-at=40"
+  "zero coord-crash-at\;ckpt-out=c.ckpt\;wal-out=w.wal\;coord-crash-at=0"
+  "crash combined with restart\;ckpt-out=c.ckpt\;wal-out=w.wal\;coord-crash-at=40\;restart-from=c.ckpt"
+  "restart-from without wal-out\;restart-from=c.ckpt"
+  "merge-trace without restart-from\;merge-trace=t.jsonl"
+  "merge-trace without trace-out\;restart-from=c.ckpt\;wal-out=w.wal\;merge-trace=t.jsonl"
+  "recovery with series telemetry\;ckpt-out=c.ckpt\;series-out=s.jsonl"
+  "recovery with joint AAO\;ckpt-out=c.ckpt\;aao-period=60"
+  "recovery with the solve engine\;ckpt-out=c.ckpt\;solve-batch=8"
+  "recovery with rt fault injection\;ckpt-out=c.ckpt\;threads=2\;rt-fail-at=3"
+  "flame-out on a crashed run\;ckpt-out=c.ckpt\;wal-out=w.wal\;coord-crash-at=40\;flame-out=f.folded"
 )
 
 foreach(case IN LISTS bad_cases)

@@ -1,0 +1,80 @@
+# Durable-state artifacts must fail closed: every corruption a partial
+# write or a bit flip can produce has to turn into a line-numbered
+# diagnostic and exit 2 from polydab_ckpt validate — never a silent
+# restart from bad state. Driven by ctest (recovery_ckpt_rejects_corrupt)
+# against the checkpoint/WAL pair the crash leg of the e2e chain wrote.
+#
+# Expects: -DCKPT_TOOL=<binary> -DCKPT=<valid ckpt> -DWAL=<valid wal>
+#          -DSCRATCH=<dir for corrupted copies>
+
+# Precondition: the pristine pair validates (otherwise every rejection
+# below would be vacuous).
+execute_process(COMMAND ${CKPT_TOOL} validate ${CKPT} --wal=${WAL} --quiet
+                RESULT_VARIABLE status
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR
+    "pristine ckpt/wal failed validation (exit ${status}):\n${out}${err}")
+endif()
+
+file(READ ${CKPT} ckpt_contents)
+file(READ ${WAL} wal_contents)
+
+# expect_reject(label needle <validate args...>): the invocation must exit
+# exactly 2 (corrupt input, not a usage error) and name the defect.
+function(expect_reject label needle)
+  execute_process(COMMAND ${CKPT_TOOL} validate ${ARGN}
+                  RESULT_VARIABLE status
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT status EQUAL 2)
+    message(FATAL_ERROR
+      "polydab_ckpt did not reject ${label}: exit ${status}\n${out}${err}")
+  endif()
+  string(FIND "${out}${err}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+      "polydab_ckpt rejected ${label} without naming it "
+      "(wanted '${needle}'):\n${out}${err}")
+  endif()
+  message(STATUS "rejected ${label} (exit 2)")
+endfunction()
+
+# 1. Partial write at EOF: the final record is cut mid-line. The loader
+# tolerates a torn trailing *block* (falls back to the previous
+# snapshot), but validate must still name the torn record.
+string(LENGTH "${ckpt_contents}" len)
+math(EXPR cut "${len} - 10")
+string(SUBSTRING "${ckpt_contents}" 0 ${cut} truncated)
+file(WRITE ${SCRATCH}/ckpt_truncated.jsonl "${truncated}")
+expect_reject("a truncated final record" "truncated record"
+              ${SCRATCH}/ckpt_truncated.jsonl)
+
+# 2. Bit flip inside the latest block: every footer's declared digest is
+# rewritten, so the block the loader would restart from no longer matches
+# its FNV signature.
+string(REGEX REPLACE "\"digest\":[0-9]+" "\"digest\":1"
+       tampered "${ckpt_contents}")
+file(WRITE ${SCRATCH}/ckpt_tampered.jsonl "${tampered}")
+expect_reject("a tampered snapshot digest" "digest mismatch"
+              ${SCRATCH}/ckpt_tampered.jsonl)
+
+# 3. A key the strict parser does not know (forward-compat refusal).
+string(REPLACE "{\"t\":\"end\"," "{\"t\":\"end\",\"zzz\":1,"
+       unknown_key "${ckpt_contents}")
+file(WRITE ${SCRATCH}/ckpt_unknown_key.jsonl "${unknown_key}")
+expect_reject("an unknown footer key" "unknown key 'zzz'"
+              ${SCRATCH}/ckpt_unknown_key.jsonl)
+
+# 4. WAL from a future format version, digest aside.
+string(REPLACE "polydab.wal.v1" "polydab.wal.v9" skewed "${wal_contents}")
+file(WRITE ${SCRATCH}/wal_skewed.jsonl "${skewed}")
+expect_reject("a version-skewed WAL" "wal version skew"
+              ${CKPT} --wal=${SCRATCH}/wal_skewed.jsonl)
+
+# 5. WAL with a torn final record.
+string(LENGTH "${wal_contents}" wlen)
+math(EXPR wcut "${wlen} - 5")
+string(SUBSTRING "${wal_contents}" 0 ${wcut} wal_truncated)
+file(WRITE ${SCRATCH}/wal_truncated.jsonl "${wal_truncated}")
+expect_reject("a truncated WAL" "truncated record"
+              ${CKPT} --wal=${SCRATCH}/wal_truncated.jsonl)

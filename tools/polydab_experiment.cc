@@ -117,12 +117,37 @@
 //                    Requires series-out
 //   series-breakdown=0|1  also record per-lane / per-query / per-source
 //                    breakdown rows in the series; requires series-out (0)
+//   ckpt-out=FILE    append durable coordinator snapshots (JSONL,
+//                    src/recovery/checkpoint.h, docs/RECOVERY.md) at the
+//                    ckpt-interval-s cadence; inspect with polydab_ckpt
+//   ckpt-interval-s=N  simulated seconds between snapshots, >= 1;
+//                    requires ckpt-out (60)
+//   wal-out=FILE     append a write-ahead log of every consumed tick row
+//                    (plus ack/churn audit records and crash markers);
+//                    the restart replays it. The file accumulates across
+//                    invocations, so checkpoint + WAL stay a
+//                    self-sufficient pair
+//   coord-crash-at=K crash injector: terminate the coordinator at the
+//                    top of tick K (>= 1), after appending a WAL crash
+//                    marker; requires ckpt-out and wal-out, incompatible
+//                    with restart-from. Exits 0 with the partial metrics
+//                    (a metrics-out report carries status=crashed)
+//   restart-from=CKPT  resume from the latest complete snapshot in CKPT,
+//                    replaying wal-out past it; requires wal-out. The
+//                    restarted run is bit-identical to one that never
+//                    crashed (tests/recovery_diff_test.cc)
+//   merge-trace=FILE the crashed invocation's trace file: the restart
+//                    captures its own trace in memory, splices the two
+//                    id spaces at the checkpoint boundary and writes the
+//                    combined trace to trace-out; requires restart-from
+//                    and trace-out
 //
 // Arguments are validated before any work happens: a malformed argument
 // (no '='), an unknown key, a non-numeric value for a numeric key, an
 // unknown enum value, or coord-shards < 1 all fail fast with a message
 // on stderr and exit status 2. Runtime failures exit 1; success exits 0.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -141,6 +166,9 @@
 #include "obs/trace.h"
 #include "obs/trace_canon.h"
 #include "obs/trace_fold.h"
+#include "recovery/checkpoint.h"
+#include "recovery/recovery.h"
+#include "recovery/wal.h"
 #include "sim/simulation.h"
 #include "svc/query_service.h"
 #include "workload/churn_gen.h"
@@ -178,7 +206,10 @@ const std::set<std::string>& KnownKeys() {
       "churn_modify_prob",            "admit_budget",
       "admit_policy", "maintenance",  "ingest",
       "series_out",   "series_window_s",            "slo",
-      "series_breakdown",
+      "series_breakdown",             "ckpt_out",
+      "ckpt_interval_s",              "wal_out",
+      "coord_crash_at",               "restart_from",
+      "merge_trace",
   };
   return keys;
 }
@@ -435,6 +466,69 @@ int main(int argc, char** argv) {
     }
     slo_rules = std::move(*parsed);
   }
+  // Crash-recovery knobs (docs/RECOVERY.md), validated to exit 2 before
+  // any work like everything above. The engine's RecoveryConfig::Validate
+  // re-checks the same constraints, but only at exit 1 — failing here
+  // keeps the contract that a bad command line never touches an output
+  // file.
+  const std::string ckpt_out = Get(args, "ckpt_out", "");
+  const std::string wal_out = Get(args, "wal_out", "");
+  const std::string restart_from = Get(args, "restart_from", "");
+  const std::string merge_trace = Get(args, "merge_trace", "");
+  const int ckpt_interval_s = GetInt(args, "ckpt_interval_s", 60);
+  const int coord_crash_at = GetInt(args, "coord_crash_at", 0);
+  const bool recovery_active = !ckpt_out.empty() || !wal_out.empty() ||
+                               !restart_from.empty() ||
+                               args.count("coord_crash_at") != 0;
+  if (args.count("ckpt_interval_s") != 0 && ckpt_out.empty()) {
+    Die("ckpt-interval-s requires ckpt-out");
+  }
+  if (ckpt_interval_s < 1) {
+    Die("ckpt-interval-s must be >= 1, got " +
+        Get(args, "ckpt_interval_s", ""));
+  }
+  if (args.count("coord_crash_at") != 0 && coord_crash_at < 1) {
+    Die("coord-crash-at must be >= 1, got " +
+        Get(args, "coord_crash_at", ""));
+  }
+  if (coord_crash_at > 0 && (ckpt_out.empty() || wal_out.empty())) {
+    Die("coord-crash-at requires ckpt-out and wal-out (nothing to restart "
+        "from otherwise)");
+  }
+  if (coord_crash_at > 0 && !restart_from.empty()) {
+    Die("coord-crash-at cannot be combined with restart-from in one "
+        "invocation");
+  }
+  if (!restart_from.empty() && wal_out.empty()) {
+    Die("restart-from requires wal-out (the log whose rows are replayed)");
+  }
+  if (!merge_trace.empty() && restart_from.empty()) {
+    Die("merge-trace requires restart-from");
+  }
+  if (!merge_trace.empty() && Get(args, "trace_out", "").empty()) {
+    Die("merge-trace requires trace-out (where the merged trace goes)");
+  }
+  if (recovery_active) {
+    if (!series_out.empty()) {
+      Die("recovery knobs cannot be combined with series-out (the recorder "
+          "folds a single uninterrupted emission order)");
+    }
+    if (aao_period > 0.0) {
+      Die("recovery knobs cannot be combined with aao-period");
+    }
+    if (solve_batch > 0 || solve_cache > 0) {
+      Die("recovery knobs cannot be combined with the solve engine "
+          "(solve-batch/solve-cache)");
+    }
+    if (rt_fail_at > 0) {
+      Die("recovery knobs cannot be combined with rt-fail-at");
+    }
+    if ((coord_crash_at > 0 || !restart_from.empty()) &&
+        !Get(args, "flame_out", "").empty()) {
+      Die("flame-out cannot fold a partial (crashed or restarted) run; "
+          "fold the merged trace offline with polydab_flame");
+    }
+  }
 
   // Universe: synthesize traces, replay a CSV trace set (traces=path), or
   // stream ticks row by row from a file (ingest=path) without ever
@@ -611,6 +705,50 @@ int main(int argc, char** argv) {
     config.service = service.get();
   }
 
+  // Crash recovery (docs/RECOVERY.md): the knob bundle is attached only
+  // when a recovery key was named, so knob-free runs stay byte-identical
+  // to builds without the recovery layer. A restart loads the latest
+  // complete snapshot and the parsed WAL here; the engine validates their
+  // consistency and replays the logged rows itself.
+  recovery::RecoveryConfig rc;
+  recovery::CheckpointState ckpt_state;
+  std::vector<recovery::WalRecord> wal_records;
+  int restart_crash_tick = 0;
+  if (recovery_active) {
+    rc.checkpoint_path = ckpt_out;
+    rc.wal_path = wal_out;
+    rc.interval_s = ckpt_interval_s;
+    rc.crash_at_tick = coord_crash_at;
+    if (!restart_from.empty()) {
+      Status loaded =
+          recovery::LoadLatestCheckpoint(restart_from, &ckpt_state);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "restart-from: %s\n",
+                     loaded.ToString().c_str());
+        return 1;
+      }
+      loaded = recovery::LoadWal(wal_out, &wal_records);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "wal-out: %s\n", loaded.ToString().c_str());
+        return 1;
+      }
+      const recovery::WalRecord* crash =
+          recovery::LastCrashMarker(wal_records);
+      if (crash == nullptr) {
+        std::fprintf(stderr,
+                     "restart-from: WAL '%s' carries no crash marker (the "
+                     "previous invocation did not terminate via "
+                     "coord-crash-at)\n",
+                     wal_out.c_str());
+        return 1;
+      }
+      restart_crash_tick = crash->tick;
+      rc.restart = &ckpt_state;
+      rc.wal = &wal_records;
+    }
+    config.recovery = &rc;
+  }
+
   // Causal event trace, streamed to disk as the run progresses
   // (docs/OBSERVABILITY.md "Event tracing"); verify offline with
   // polydab_tracecheck. flame-out needs the events too: with trace-out it
@@ -621,8 +759,9 @@ int main(int argc, char** argv) {
   // A threaded run's raw emission order interleaves worker-tagged events,
   // so its trace is captured in memory and canonicalized
   // (obs/trace_canon.h) before anything reaches disk; streaming is the
-  // threads=0 path only.
-  if (!trace_out.empty() && threads == 0) {
+  // threads=0 path only. A restarted run also captures in memory — its
+  // events must be merged with the crashed invocation's before saving.
+  if (!trace_out.empty() && threads == 0 && restart_from.empty()) {
     Status streaming = sink.StreamTo(trace_out);
     if (!streaming.ok()) {
       std::fprintf(stderr, "trace-out: %s\n", streaming.ToString().c_str());
@@ -638,9 +777,35 @@ int main(int argc, char** argv) {
     if (trace_out.empty() && flame_out.empty()) sink.SetDiscard(true);
   }
 
-  auto m = ingest_source != nullptr
-               ? sim::RunSimulation(*queries, *ingest_source, *rates, config)
-               : sim::RunSimulation(*queries, *traces, *rates, config);
+  Result<sim::SimMetrics> m = Status::Internal("unset");
+  if (!restart_from.empty()) {
+    // The engine replays the WAL rows of the crashed span itself; the
+    // live source only has to be positioned so its next row belongs to
+    // the crash tick T. The crashed invocation consumed exactly T rows
+    // (the tick-0 snapshot plus ticks 1..T-1), so T rows are skipped.
+    std::unique_ptr<workload::TraceSetTickSource> canned;
+    workload::TickSource* src = ingest_source.get();
+    if (src == nullptr) {
+      canned = std::make_unique<workload::TraceSetTickSource>(&*traces);
+      src = canned.get();
+    }
+    Vector skip_row;
+    for (int t = 0; t < restart_crash_tick; ++t) {
+      auto got = src->Next(&skip_row);
+      if (!got.ok() || !*got) {
+        std::fprintf(stderr,
+                     "restart-from: tick source ends at row %d but the "
+                     "crashed run consumed %d rows\n",
+                     t, restart_crash_tick);
+        return 1;
+      }
+    }
+    m = sim::RunSimulation(*queries, *src, *rates, config);
+  } else if (ingest_source != nullptr) {
+    m = sim::RunSimulation(*queries, *ingest_source, *rates, config);
+  } else {
+    m = sim::RunSimulation(*queries, *traces, *rates, config);
+  }
   if (!m.ok()) {
     std::fprintf(stderr, "simulation: %s\n", m.status().ToString().c_str());
     // Partial telemetry beats none: write whatever the instruments saw
@@ -662,12 +827,75 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_out.empty()) {
-    if (threads > 0) {
+    if (!restart_from.empty()) {
+      // Restarted run: the trace was captured in memory. With
+      // merge-trace= the crashed invocation's events with ids below the
+      // restart's resume id (the checkpoint's trace_next_id) are spliced
+      // in front — everything at or past it was re-emitted by the WAL
+      // replay — producing one complete id space. Threaded runs are
+      // canonicalized as a whole only after the merge, because the
+      // canonical renumbering would otherwise destroy the id alignment
+      // the splice depends on.
       obs::TraceFile trace = sink.Collect();
-      Status canon = obs::CanonicalizeThreadedTrace(&trace);
-      if (!canon.ok()) {
-        std::fprintf(stderr, "trace-out: %s\n", canon.ToString().c_str());
+      if (!merge_trace.empty()) {
+        Result<obs::TraceFile> crashed_trace =
+            obs::LoadTraceFile(merge_trace);
+        if (!crashed_trace.ok()) {
+          std::fprintf(stderr, "merge-trace: %s\n",
+                       crashed_trace.status().ToString().c_str());
+          return 1;
+        }
+        const uint64_t resume_id = ckpt_state.trace_next_id;
+        obs::TraceFile merged;
+        merged.info = crashed_trace->info;
+        for (const auto& [key, value] : trace.info) {
+          merged.info[key] = value;
+        }
+        // query_info records append in registration order: the crashed
+        // side carries every query registered before the crash, the
+        // restart side only the post-replay ones (the engine suppresses
+        // replay-period re-registrations).
+        merged.queries = std::move(crashed_trace->queries);
+        merged.queries.insert(merged.queries.end(), trace.queries.begin(),
+                              trace.queries.end());
+        for (obs::TraceEvent& e : crashed_trace->events) {
+          if (e.id < resume_id) merged.events.push_back(std::move(e));
+        }
+        merged.events.insert(merged.events.end(), trace.events.begin(),
+                             trace.events.end());
+        std::stable_sort(
+            merged.events.begin(), merged.events.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              return a.id < b.id;
+            });
+        // Run summaries come from the restart side only: it ran to
+        // completion, and its final counters equal the oracle's.
+        merged.summaries = std::move(trace.summaries);
+        trace = std::move(merged);
+      }
+      if (threads > 0) {
+        Status canon = obs::CanonicalizeThreadedTrace(&trace);
+        if (!canon.ok()) {
+          std::fprintf(stderr, "trace-out: %s\n", canon.ToString().c_str());
+          return 1;
+        }
+      }
+      Status saved = obs::SaveTraceFile(trace, trace_out);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "trace-out: %s\n", saved.ToString().c_str());
         return 1;
+      }
+    } else if (threads > 0) {
+      obs::TraceFile trace = sink.Collect();
+      // A crashed capture is saved with its raw worker-tagged id space:
+      // the restart invocation merges it before canonicalizing, and a
+      // canonical renumbering here would break that alignment.
+      if (!rc.crashed) {
+        Status canon = obs::CanonicalizeThreadedTrace(&trace);
+        if (!canon.ok()) {
+          std::fprintf(stderr, "trace-out: %s\n", canon.ToString().c_str());
+          return 1;
+        }
       }
       Status saved = obs::SaveTraceFile(trace, trace_out);
       if (!saved.ok()) {
@@ -753,6 +981,10 @@ int main(int argc, char** argv) {
     report.info["tool"] = "polydab_experiment";
     report.info["config"] = config.Describe();
     report.info["kind"] = kind;
+    // An injected-crash run writes its partial telemetry with an explicit
+    // marker, like the failed-run path above, so downstream tooling never
+    // mistakes it for a completed run.
+    if (rc.crashed) report.info["status"] = "crashed";
     if (!trace_path.empty()) report.info["traces"] = trace_path;
     Status written = report.WriteJsonLines(metrics_out);
     if (!written.ok()) {

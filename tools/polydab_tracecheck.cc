@@ -23,6 +23,13 @@
 //                  totals record must match the re-derivation exactly
 //   --mu=X         recomputation cost for the attribution (default: the
 //                  trace's mu info key, else 5)
+//   --strip-recovery-out=FILE  after the checks pass, write a copy of the
+//                  trace with the crash-recovery bookkeeping events
+//                  (checkpoint_begin/checkpoint_end/coord_crash/
+//                  recovery_replay) removed and the survivors renumbered
+//                  (obs::StripRecoveryEvents) — the form a crashed-and-
+//                  restarted run's merged trace byte-compares to an
+//                  uninterrupted oracle's in (docs/RECOVERY.md)
 //   --quiet        print nothing on success
 //
 // Exit status: 0 when the trace parses and every check passes, 1 when
@@ -35,6 +42,7 @@
 #include "obs/run_report.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/trace_canon.h"
 #include "obs/trace_check.h"
 
 using namespace polydab;
@@ -64,6 +72,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string report_path;
   std::string series_path;
+  std::string strip_out_path;
   double mu = -1.0;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -72,6 +81,8 @@ int main(int argc, char** argv) {
       report_path = arg + 9;
     } else if (std::strncmp(arg, "--series=", 9) == 0) {
       series_path = arg + 9;
+    } else if (std::strncmp(arg, "--strip-recovery-out=", 21) == 0) {
+      strip_out_path = arg + 21;
     } else if (std::strncmp(arg, "--mu=", 5) == 0) {
       mu = std::atof(arg + 5);
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -140,6 +151,20 @@ int main(int argc, char** argv) {
   if (!quiet || !checked->ok()) {
     const std::string text = checked->ToText(*trace);
     std::fwrite(text.data(), 1, text.size(), stdout);
+  }
+  if (checked->ok() && !strip_out_path.empty()) {
+    Status stripped = obs::StripRecoveryEvents(&*trace);
+    if (!stripped.ok()) {
+      std::fprintf(stderr, "strip-recovery-out: %s\n",
+                   stripped.ToString().c_str());
+      return 2;
+    }
+    Status saved = obs::SaveTraceFile(*trace, strip_out_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "strip-recovery-out: %s\n",
+                   saved.ToString().c_str());
+      return 2;
+    }
   }
   return checked->ok() ? 0 : 1;
 }
